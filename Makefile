@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all test short race cover bench reproduce ablations examples fmt vet
+
+all: vet test
+
+test:
+	go test ./...
+
+short:
+	go test -short ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+reproduce:
+	go run ./cmd/reproduce -out results -scale 4
+
+ablations:
+	go run ./cmd/ablations -study all -scale 2
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/adaptive_tuning -bench MT -scale 1
+	go run ./examples/custom_workload
+	go run ./examples/compression_explorer
+	go run ./examples/trace_replay
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...

@@ -1,0 +1,313 @@
+package mgpucompress_test
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each benchmark runs the corresponding experiment end to end on the
+// simulated 4-GPU platform and prints the same rows/series the paper
+// reports (once, on the first iteration). Shapes — which codec wins, by
+// roughly what factor, where the crossovers fall — are the reproduction
+// target; absolute cycle counts belong to our simulator, not the authors'
+// testbed.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// BENCH_SCALE (default 2) and BENCH_CUS (default 4) tune experiment size.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"mgpucompress/internal/comp"
+	"mgpucompress/internal/energy"
+	"mgpucompress/internal/runner"
+	"mgpucompress/internal/workloads"
+)
+
+func benchOpts() runner.ExpOptions {
+	scale := 2
+	if s := os.Getenv("BENCH_SCALE"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			scale = v
+		}
+	}
+	cus := 4
+	if s := os.Getenv("BENCH_CUS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			cus = v
+		}
+	}
+	return runner.ExpOptions{Scale: workloads.Scale(scale), CUsPerGPU: cus}
+}
+
+var printOnce sync.Map
+
+func printFirst(b *testing.B, key, text string) {
+	b.Helper()
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(text)
+	}
+}
+
+// BenchmarkTable1PatternSupport regenerates Table I (static property of the
+// codecs; benchmarked for completeness of the per-table index).
+func BenchmarkTable1PatternSupport(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = ""
+		for _, p := range comp.AllDataPatterns() {
+			out += fmt.Sprintf("%-20s %-8s %-8s %-8s\n", p,
+				comp.SupportedPatterns(comp.FPC)[p],
+				comp.SupportedPatterns(comp.BDI)[p],
+				comp.SupportedPatterns(comp.CPackZ)[p])
+		}
+	}
+	printFirst(b, "t1", "TABLE I:\n"+out)
+}
+
+// BenchmarkTable3CodecCosts regenerates Table III.
+func BenchmarkTable3CodecCosts(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = ""
+		for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
+			c := comp.CostOf(alg)
+			out += fmt.Sprintf("%-9s comp %2d cy  decomp %2d cy  area %5.0f µm²  energy %5.1f pJ\n",
+				alg, c.CompressionCycles, c.DecompressionCycles, c.AreaUM2, c.BlockEnergyPJ())
+		}
+	}
+	printFirst(b, "t3", "TABLE III:\n"+out)
+}
+
+// BenchmarkTable5InterGPUCharacteristics regenerates Table V: remote access
+// counts, aggregate entropy, and per-codec compression ratios for all seven
+// workloads.
+func BenchmarkTable5InterGPUCharacteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.TableV(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "t5", runner.FormatTableV(rows))
+	}
+}
+
+// BenchmarkTable6PatternMix regenerates Table VI: the top-3 detected
+// patterns per codec per workload.
+func BenchmarkTable6PatternMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.TableVI(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "t6", runner.FormatTableVI(rows))
+	}
+}
+
+// BenchmarkFig1TemporalSeries regenerates Fig. 1: per-transfer entropy and
+// per-codec compressed sizes for 500 consecutive inter-GPU transfers of SC
+// and FIR, summarized per phase.
+func BenchmarkFig1TemporalSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bench := range []string{"SC", "FIR"} {
+			s, err := runner.Fig1(bench, 500, benchOpts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			phases := runner.SummarizeFig1Phases(s)
+			out := fmt.Sprintf("Fig. 1 (%s), %d transfers — mean compressed bytes per phase:\n",
+				bench, len(s.Samples))
+			for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
+				p := phases[alg]
+				out += fmt.Sprintf("  %-9s first half %6.1f B | second half %6.1f B\n", alg, p[0], p[1])
+			}
+			printFirst(b, "f1"+bench, out)
+		}
+	}
+}
+
+// BenchmarkFig5StaticCompression regenerates Fig. 5: normalized inter-GPU
+// traffic and execution time under the static codecs.
+func BenchmarkFig5StaticCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "f5",
+			runner.FormatNormalized("Fig. 5", "traffic", rows)+"\n"+
+				runner.FormatNormalized("Fig. 5", "time", rows))
+	}
+}
+
+// BenchmarkFig6Adaptive regenerates Fig. 6: normalized traffic and execution
+// time under the adaptive policy for λ ∈ {0, 6, 32}.
+func BenchmarkFig6Adaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "f6",
+			runner.FormatNormalized("Fig. 6", "traffic", rows)+"\n"+
+				runner.FormatNormalized("Fig. 6", "time", rows))
+	}
+}
+
+// BenchmarkFig7Energy regenerates Fig. 7: normalized fabric+codec energy for
+// static and adaptive policies on the MCM-class fabric.
+func BenchmarkFig7Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "f7", runner.FormatNormalized("Fig. 7", "energy", rows))
+	}
+}
+
+// BenchmarkAreaOverhead regenerates the Sec. VII-C area numbers.
+func BenchmarkAreaOverhead(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
+			pct += energy.AreaOverheadPercent(alg)
+		}
+	}
+	printFirst(b, "area", runner.FormatAreaOverhead())
+	_ = pct
+}
+
+// ---------------------------------------------------------------------------
+// Ablations beyond the paper (design choices DESIGN.md calls out).
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationSamplingGeometry sweeps the sampling-phase parameters the
+// paper fixes at 7 samples / 300 transfers.
+func BenchmarkAblationSamplingGeometry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.SamplingAblation("SC", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "ab-sampling", runner.FormatSamplingAblation("SC", rows))
+	}
+}
+
+// BenchmarkAblationSingleCodecOnOff exercises the Sec. V degenerate mode:
+// one codec, adaptively switched on and off.
+func BenchmarkAblationSingleCodecOnOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.OnOffAblation([]string{"AES", "MT"}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "ab-onoff", runner.FormatOnOffAblation(rows))
+	}
+}
+
+// BenchmarkAblationLinkClass recomputes the Fig. 7 saving across the Sec. II
+// fabric integration levels.
+func BenchmarkAblationLinkClass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.LinkClassAblation("MT", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "ab-link", runner.FormatLinkClassAblation("MT", rows))
+	}
+}
+
+// BenchmarkAblationExtensions compares the paper's adaptive controller with
+// the BPC-augmented candidate set and the dynamic-λ controller.
+func BenchmarkAblationExtensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.ExtensionAblation(runner.Benchmarks(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "ab-ext", runner.FormatExtensionAblation(rows))
+	}
+}
+
+// BenchmarkAblationTopology compares compression's speedup on the paper's
+// shared bus against a crossbar.
+func BenchmarkAblationTopology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.TopologyAblation([]string{"BS", "MT", "SC"}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "ab-topo", runner.FormatTopologyAblation(rows))
+	}
+}
+
+// BenchmarkAblationRemoteCache composes the L1.5 remote cache (Arunkumar et
+// al.) with adaptive compression.
+func BenchmarkAblationRemoteCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.RemoteCacheAblation([]string{"SC", "MT", "AES"}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "ab-l15", runner.FormatRemoteCacheAblation(rows))
+	}
+}
+
+// BenchmarkAblationBandwidth sweeps the inter-GPU link width to find the
+// crossover where compression stops buying time.
+func BenchmarkAblationBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.BandwidthAblation("SC", benchOpts(), []int{5, 10, 20, 40, 80, 160})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "ab-bw", runner.FormatBandwidthAblation("SC", rows))
+	}
+}
+
+// BenchmarkAblationScalability sweeps the GPU count.
+func BenchmarkAblationScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := runner.ScalabilityAblation("SC", benchOpts(), []int{2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst(b, "ab-scale", runner.FormatScalabilityAblation(rows))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks of the codecs themselves (throughput per 64 B line).
+// ---------------------------------------------------------------------------
+
+func codecBench(b *testing.B, alg comp.Algorithm, line []byte) {
+	c := comp.NewCompressor(alg)
+	b.SetBytes(comp.LineSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := c.Compress(line)
+		if _, err := c.Decompress(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ldrLine() []byte {
+	line := make([]byte, comp.LineSize)
+	for i := 0; i < 8; i++ {
+		v := uint64(1<<40 + i*3)
+		for by := 0; by < 8; by++ {
+			line[i*8+by] = byte(v >> (8 * by))
+		}
+	}
+	return line
+}
+
+func BenchmarkCodecFPC(b *testing.B)    { codecBench(b, comp.FPC, ldrLine()) }
+func BenchmarkCodecBDI(b *testing.B)    { codecBench(b, comp.BDI, ldrLine()) }
+func BenchmarkCodecCPackZ(b *testing.B) { codecBench(b, comp.CPackZ, ldrLine()) }
+func BenchmarkCodecBPC(b *testing.B)    { codecBench(b, comp.BPC, ldrLine()) }

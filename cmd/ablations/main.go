@@ -1,0 +1,94 @@
+// Command ablations runs the extension and design-choice studies that go
+// beyond the paper's evaluation:
+//
+//	ablations -study sampling   sampling-phase geometry sweep (Sec. V choice)
+//	ablations -study onoff      single-codec on/off mode (Sec. V)
+//	ablations -study link       fabric energy classes (Sec. II)
+//	ablations -study extensions BPC candidate set + dynamic λ
+//	ablations -study topology   shared bus vs crossbar
+//	ablations -study l15        remote cache (Arunkumar et al.) × compression
+//	ablations -study scale      GPU-count sweep
+//	ablations -study all        everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mgpucompress/internal/runner"
+	"mgpucompress/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ablations: ")
+	study := flag.String("study", "all", "sampling|onoff|link|extensions|topology|l15|scale|bandwidth|all")
+	scale := flag.Int("scale", 2, "input scale factor")
+	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
+	bench := flag.String("bench", "SC", "benchmark for single-benchmark studies")
+	flag.Parse()
+
+	o := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus}
+	run := map[string]func(){
+		"sampling": func() {
+			rows, err := runner.SamplingAblation(*bench, o)
+			check(err)
+			fmt.Print(runner.FormatSamplingAblation(*bench, rows))
+		},
+		"onoff": func() {
+			rows, err := runner.OnOffAblation([]string{"AES", "MT"}, o)
+			check(err)
+			fmt.Print(runner.FormatOnOffAblation(rows))
+		},
+		"link": func() {
+			rows, err := runner.LinkClassAblation(*bench, o)
+			check(err)
+			fmt.Print(runner.FormatLinkClassAblation(*bench, rows))
+		},
+		"extensions": func() {
+			rows, err := runner.ExtensionAblation(runner.Benchmarks(), o)
+			check(err)
+			fmt.Print(runner.FormatExtensionAblation(rows))
+		},
+		"topology": func() {
+			rows, err := runner.TopologyAblation([]string{"BS", "MT", "SC"}, o)
+			check(err)
+			fmt.Print(runner.FormatTopologyAblation(rows))
+		},
+		"l15": func() {
+			rows, err := runner.RemoteCacheAblation([]string{"SC", "MT", "AES"}, o)
+			check(err)
+			fmt.Print(runner.FormatRemoteCacheAblation(rows))
+		},
+		"scale": func() {
+			rows, err := runner.ScalabilityAblation(*bench, o, []int{2, 4, 8})
+			check(err)
+			fmt.Print(runner.FormatScalabilityAblation(rows))
+		},
+		"bandwidth": func() {
+			rows, err := runner.BandwidthAblation(*bench, o, []int{5, 10, 20, 40, 80, 160})
+			check(err)
+			fmt.Print(runner.FormatBandwidthAblation(*bench, rows))
+		},
+	}
+	if *study == "all" {
+		for _, name := range []string{"sampling", "onoff", "link", "extensions", "topology", "l15", "scale", "bandwidth"} {
+			fmt.Printf("=== %s ===\n", name)
+			run[name]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*study]
+	if !ok {
+		log.Fatalf("unknown study %q", *study)
+	}
+	f()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

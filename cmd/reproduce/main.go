@@ -1,0 +1,121 @@
+// Command reproduce regenerates every table and figure of the paper in one
+// run and writes each artifact to a results directory:
+//
+//	reproduce -out results -scale 4
+//
+// Produced files: table1.txt, table3.txt, table5.txt, table6.txt,
+// fig1_SC.txt, fig1_FIR.txt, fig5.txt, fig6.txt, fig7.txt, area.txt and a
+// summary.txt index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mgpucompress/internal/comp"
+	"mgpucompress/internal/runner"
+	"mgpucompress/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reproduce: ")
+	out := flag.String("out", "results", "output directory")
+	scale := flag.Int("scale", int(workloads.ScaleSmall), "input scale factor")
+	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	o := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus}
+	var index []string
+	start := time.Now()
+
+	write := func(name, content string) {
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		index = append(index, name)
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+	}
+
+	// Static tables.
+	var t1 strings.Builder
+	fmt.Fprintf(&t1, "TABLE I: Supported data patterns\n")
+	for _, p := range comp.AllDataPatterns() {
+		fmt.Fprintf(&t1, "%-20s FPC=%-8v BDI=%-8v C-Pack+Z=%v\n", p,
+			comp.SupportedPatterns(comp.FPC)[p],
+			comp.SupportedPatterns(comp.BDI)[p],
+			comp.SupportedPatterns(comp.CPackZ)[p])
+	}
+	write("table1.txt", t1.String())
+
+	var t3 strings.Builder
+	fmt.Fprintf(&t3, "TABLE III: codec costs (7nm, 1 GHz)\n")
+	for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
+		c := comp.CostOf(alg)
+		fmt.Fprintf(&t3, "%-9v comp %2d cy, decomp %2d cy, %5.0f µm², %.1f pJ/block\n",
+			alg, c.CompressionCycles, c.DecompressionCycles, c.AreaUM2, c.BlockEnergyPJ())
+	}
+	write("table3.txt", t3.String())
+
+	// Simulated tables.
+	t5, err := runner.TableV(o)
+	must(err)
+	write("table5.txt", runner.FormatTableV(t5))
+
+	t6, err := runner.TableVI(o)
+	must(err)
+	write("table6.txt", runner.FormatTableVI(t6))
+
+	// Figures.
+	for _, bench := range []string{"SC", "FIR"} {
+		s, err := runner.Fig1(bench, 500, o)
+		must(err)
+		body := runner.FormatFig1(bench, s)
+		phases := runner.SummarizeFig1Phases(s)
+		body += "\nphase summary (mean compressed bytes, halves):\n"
+		for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
+			p := phases[alg]
+			body += fmt.Sprintf("  %-9v %6.1f B -> %6.1f B\n", alg, p[0], p[1])
+		}
+		write("fig1_"+bench+".txt", body)
+	}
+
+	f5, err := runner.Fig5(o)
+	must(err)
+	write("fig5.txt", runner.FormatNormalized("Fig. 5: Static Compression", "traffic", f5)+
+		"\n"+runner.FormatNormalized("Fig. 5: Static Compression", "time", f5))
+
+	f6, err := runner.Fig6(o)
+	must(err)
+	write("fig6.txt", runner.FormatNormalized("Fig. 6: Adaptive Compression", "traffic", f6)+
+		"\n"+runner.FormatNormalized("Fig. 6: Adaptive Compression", "time", f6))
+
+	f7, err := runner.Fig7(o)
+	must(err)
+	write("fig7.txt", runner.FormatNormalized("Fig. 7: Energy Consumption", "energy", f7))
+
+	write("area.txt", runner.FormatAreaOverhead())
+
+	var sum strings.Builder
+	fmt.Fprintf(&sum, "reproduction artifacts (scale %d, %s)\n", *scale,
+		time.Since(start).Round(time.Millisecond))
+	for _, n := range index {
+		fmt.Fprintf(&sum, "  %s\n", n)
+	}
+	write("summary.txt", sum.String())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

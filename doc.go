@@ -1,0 +1,11 @@
+// Package mgpucompress reproduces "Exploiting Adaptive Data Compression to
+// Improve Performance and Energy-Efficiency of Compute Workloads in
+// Multi-GPU Systems" (Khavari Tavana, Sun, Bohm Agostini, Kaeli — IPDPS
+// Workshops 2019) as a self-contained Go library: an event-driven 4-GPU
+// simulator, bit-accurate FPC/BDI/C-Pack+Z codecs, the adaptive inter-GPU
+// compression controller, the seven Table IV workloads, and a harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package mgpucompress

@@ -1,0 +1,54 @@
+// Adaptive tuning: sweep the penalty-function λ (Eq. 1 of the paper) on one
+// benchmark and print the bandwidth/performance trade-off, reproducing the
+// reasoning behind the paper's choice of λ=6.
+//
+//	go run ./examples/adaptive_tuning -bench SC -scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"mgpucompress/internal/runner"
+	"mgpucompress/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	bench := flag.String("bench", "SC", "benchmark: AES|BS|FIR|GD|KM|MT|SC")
+	scale := flag.Int("scale", 2, "input scale")
+	flag.Parse()
+	name := strings.ToUpper(*bench)
+
+	base, err := runner.Run(name, runner.Options{
+		Scale: workloads.Scale(*scale),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s without compression: %d cycles, %d fabric bytes\n\n",
+		name, base.ExecCycles, base.FabricBytes)
+
+	fmt.Printf("%8s %16s %16s %16s %12s\n",
+		"λ", "traffic (norm)", "exec (norm)", "energy (norm)", "ratio")
+	for _, lambda := range []float64{0, 1, 2, 4, 6, 8, 12, 16, 24, 32, 64} {
+		m, err := runner.Run(name, runner.Options{
+			Scale:  workloads.Scale(*scale),
+			Policy: "adaptive",
+			Lambda: lambda,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8g %16.3f %16.3f %16.3f %12.2f\n",
+			lambda,
+			float64(m.FabricBytes)/float64(base.FabricBytes),
+			float64(m.ExecCycles)/float64(base.ExecCycles),
+			m.TotalEnergyPJ()/base.TotalEnergyPJ(),
+			m.CompressionRatio())
+	}
+	fmt.Println("\nsmall λ chases compression ratio; large λ chases codec latency.")
+	fmt.Println("The paper selects λ=6 as the balance point (Sec. VII-A2).")
+}

@@ -1,0 +1,3 @@
+module mgpucompress
+
+go 1.22

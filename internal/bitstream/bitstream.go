@@ -1,0 +1,132 @@
+// Package bitstream provides MSB-first bit-level writers and readers used by
+// the hardware compression codecs to produce bit-accurate encodings: the
+// compressed size the paper reports for each pattern (Table II) is exactly
+// the number of bits written here.
+package bitstream
+
+import "fmt"
+
+// Writer accumulates bits MSB-first into a byte slice.
+type Writer struct {
+	buf  []byte
+	bits int // total bits written
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBits appends the low n bits of v, most significant bit first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d out of range", n))
+	}
+	if n < 64 {
+		v &= (uint64(1) << uint(n)) - 1
+	}
+	for n > 0 {
+		bitPos := w.bits % 8
+		if bitPos == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		space := 8 - bitPos
+		take := space
+		if n < take {
+			take = n
+		}
+		chunk := byte(v >> uint(n-take))
+		w.buf[len(w.buf)-1] |= chunk << uint(space-take)
+		w.bits += take
+		n -= take
+	}
+}
+
+// WriteBytes appends whole bytes (8 bits each, in order).
+func (w *Writer) WriteBytes(p []byte) {
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.bits }
+
+// Bytes returns the packed buffer. The final byte is zero-padded on the
+// right. The returned slice aliases the writer's storage.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewReader reads from buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits reads n bits (MSB-first) and returns them in the low bits of the
+// result. It returns an error if the stream is exhausted.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bitstream: ReadBits n=%d out of range", n)
+	}
+	if r.pos+n > len(r.buf)*8 {
+		return 0, fmt.Errorf("bitstream: read of %d bits at position %d overruns %d-bit stream",
+			n, r.pos, len(r.buf)*8)
+	}
+	var v uint64
+	for n > 0 {
+		byteIdx := r.pos / 8
+		bitPos := r.pos % 8
+		avail := 8 - bitPos
+		take := avail
+		if n < take {
+			take = n
+		}
+		chunk := (r.buf[byteIdx] >> uint(avail-take)) & byte((uint(1)<<uint(take))-1)
+		v = v<<uint(take) | uint64(chunk)
+		r.pos += take
+		n -= take
+	}
+	return v, nil
+}
+
+// ReadBytes reads n whole bytes.
+func (r *Reader) ReadBytes(n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+// SignExtend interprets the low n bits of v as a two's-complement signed
+// number and returns it widened to int64.
+func SignExtend(v uint64, n int) int64 {
+	if n <= 0 || n >= 64 {
+		return int64(v)
+	}
+	shift := uint(64 - n)
+	return int64(v<<shift) >> shift
+}
+
+// FitsSigned reports whether x is representable as an n-bit two's-complement
+// integer.
+func FitsSigned(x int64, n int) bool {
+	if n >= 64 {
+		return true
+	}
+	min := int64(-1) << uint(n-1)
+	max := -min - 1
+	return x >= min && x <= max
+}

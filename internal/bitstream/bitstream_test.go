@@ -1,0 +1,196 @@
+package bitstream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTripSimple(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xABCD, 16)
+	w.WriteBits(1, 1)
+	w.WriteBits(0, 4)
+	if w.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	checks := []struct {
+		n    int
+		want uint64
+	}{{3, 0b101}, {16, 0xABCD}, {1, 1}, {4, 0}}
+	for i, c := range checks {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Errorf("read %d: got %#x, want %#x", i, got, c.want)
+		}
+	}
+}
+
+func TestWriterMSBFirstLayout(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(1, 1)    // 1.......
+	w.WriteBits(0, 2)    // 100.....
+	w.WriteBits(0b11, 2) // 10011...
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0b10011000 {
+		t.Fatalf("layout = %08b, want 10011000", got[0])
+	}
+}
+
+func TestWriteBytesReadBytes(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1, 1) // force unaligned
+	payload := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	w.WriteBytes(payload)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadBytes(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("ReadBytes = %x, want %x", got, payload)
+	}
+}
+
+func TestReaderOverrunErrors(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); err == nil {
+		t.Error("reading past end did not error")
+	}
+}
+
+func TestReadBitsRangeErrors(t *testing.T) {
+	r := NewReader(make([]byte, 16))
+	if _, err := r.ReadBits(-1); err == nil {
+		t.Error("ReadBits(-1) did not error")
+	}
+	if _, err := r.ReadBits(65); err == nil {
+		t.Error("ReadBits(65) did not error")
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%64) + 1
+		type field struct {
+			v uint64
+			n int
+		}
+		fields := make([]field, n)
+		w := NewWriter()
+		for i := range fields {
+			width := rng.Intn(64) + 1
+			v := rng.Uint64()
+			if width < 64 {
+				v &= (1 << uint(width)) - 1
+			}
+			fields[i] = field{v, width}
+			w.WriteBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for _, f := range fields {
+			got, err := r.ReadBits(f.n)
+			if err != nil || got != f.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		n    int
+		want int64
+	}{
+		{0xF, 4, -1},
+		{0x7, 4, 7},
+		{0x8, 4, -8},
+		{0xFF, 8, -1},
+		{0x7F, 8, 127},
+		{0x80, 8, -128},
+		{0xFFFF, 16, -1},
+		{0, 16, 0},
+		{0xFFFFFFFF, 32, -1},
+	}
+	for _, c := range cases {
+		if got := SignExtend(c.v, c.n); got != c.want {
+			t.Errorf("SignExtend(%#x, %d) = %d, want %d", c.v, c.n, got, c.want)
+		}
+	}
+}
+
+func TestFitsSigned(t *testing.T) {
+	cases := []struct {
+		x    int64
+		n    int
+		want bool
+	}{
+		{7, 4, true},
+		{8, 4, false},
+		{-8, 4, true},
+		{-9, 4, false},
+		{127, 8, true},
+		{128, 8, false},
+		{-128, 8, true},
+		{-129, 8, false},
+		{0, 1, true},
+		{1, 1, false},
+		{-1, 1, true},
+		{1 << 40, 64, true},
+	}
+	for _, c := range cases {
+		if got := FitsSigned(c.x, c.n); got != c.want {
+			t.Errorf("FitsSigned(%d, %d) = %v, want %v", c.x, c.n, got, c.want)
+		}
+	}
+}
+
+// Property: SignExtend is the inverse of truncation for values that fit.
+func TestSignExtendInverseProperty(t *testing.T) {
+	f := func(x int32, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		if !FitsSigned(int64(x), n) {
+			return true // vacuous
+		}
+		truncated := uint64(x) & ((1 << uint(n)) - 1)
+		if n == 64 {
+			truncated = uint64(x)
+		}
+		return SignExtend(truncated, n) == int64(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderPosAndRemaining(t *testing.T) {
+	r := NewReader([]byte{0xFF, 0x00})
+	if r.Pos() != 0 || r.Remaining() != 16 {
+		t.Errorf("fresh reader pos/remaining = %d/%d", r.Pos(), r.Remaining())
+	}
+	if _, err := r.ReadBits(5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pos() != 5 || r.Remaining() != 11 {
+		t.Errorf("after 5 bits: pos/remaining = %d/%d", r.Pos(), r.Remaining())
+	}
+}

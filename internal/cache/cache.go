@@ -1,0 +1,384 @@
+// Package cache implements the set-associative caches of the simulated GPU
+// (L1 vector/scalar/instruction caches and the L2 banks of Table VII).
+//
+// Caches are timing models: data always lives in the mem.Space backing
+// store (the platform is write-through end to end), so a cache holds tags
+// and LRU state only. Hits respond after the hit latency with data read
+// from the space; misses allocate an MSHR, fetch the line from the next
+// level, and coalesce duplicate requests. Requests that the cacheable
+// predicate rejects (remote addresses at L1, which the paper routes to the
+// RDMA engine instead of caching) are forwarded without allocation.
+package cache
+
+import (
+	"fmt"
+
+	"mgpucompress/internal/mem"
+	"mgpucompress/internal/sim"
+)
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes  int
+	Ways       int
+	LineSize   int
+	HitLatency sim.Time
+	// IssueWidth is the number of requests the cache can start per cycle.
+	IssueWidth int
+	// MaxMSHR bounds outstanding misses; when full the cache stops
+	// dequeuing, which back-pressures the upper level.
+	MaxMSHR         int
+	PortBufferBytes int
+	// Cacheable decides whether an address may allocate in this cache.
+	// Nil means everything is cacheable. Non-cacheable requests are
+	// forwarded to the bottom router untouched.
+	Cacheable func(addr uint64) bool
+}
+
+// L1Config returns the Table VII L1 vector cache: 16 KB, 4-way.
+func L1Config() Config {
+	return Config{
+		SizeBytes:       16 * 1024,
+		Ways:            4,
+		LineSize:        mem.LineSize,
+		HitLatency:      1,
+		IssueWidth:      4,
+		MaxMSHR:         16,
+		PortBufferBytes: 4 * 1024,
+	}
+}
+
+// L2Config returns one Table VII L2 bank: 256 KB, 16-way.
+func L2Config() Config {
+	return Config{
+		SizeBytes:       256 * 1024,
+		Ways:            16,
+		LineSize:        mem.LineSize,
+		HitLatency:      20,
+		IssueWidth:      4,
+		MaxMSHR:         32,
+		PortBufferBytes: 8 * 1024,
+	}
+}
+
+type set struct {
+	tags []uint64 // line-aligned addresses; LRU order, front = most recent
+}
+
+type mshrEntry struct {
+	lineAddr uint64
+	waiters  []*mem.ReadReq
+}
+
+type pendingWrite struct {
+	orig *mem.WriteReq
+}
+
+// Cache is a set-associative, write-through, no-write-allocate cache.
+type Cache struct {
+	sim.ComponentBase
+	engine *sim.Engine
+	ticker *sim.Ticker
+	cfg    Config
+	space  *mem.Space
+
+	// Top receives requests from the level above; Bottom talks to the
+	// level below through the router.
+	Top    *sim.Port
+	Bottom *sim.Port
+
+	// Router maps an address to the bottom-level destination port (L2
+	// bank, DRAM channel, or the RDMA engine).
+	Router func(addr uint64) *sim.Port
+
+	sets     []set
+	numSets  int
+	mshr     map[uint64]*mshrEntry // keyed by bottom ReadReq ID
+	mshrLine map[uint64]*mshrEntry // keyed by line address
+	writes   map[uint64]pendingWrite
+	// passthrough tracks forwarded non-cacheable reads by bottom ID.
+	passthrough map[uint64]*mem.ReadReq
+
+	// Stats
+	Hits, Misses, Coalesced uint64
+	WritesSeen              uint64
+	Bypassed                uint64
+}
+
+// New builds a cache bound to the functional space.
+func New(name string, engine *sim.Engine, space *mem.Space, cfg Config) *Cache {
+	if cfg.LineSize == 0 {
+		cfg.LineSize = mem.LineSize
+	}
+	if cfg.IssueWidth <= 0 {
+		cfg.IssueWidth = 4
+	}
+	numSets := cfg.SizeBytes / cfg.Ways / cfg.LineSize
+	if numSets <= 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry %d/%d/%d", name, cfg.SizeBytes, cfg.Ways, cfg.LineSize))
+	}
+	c := &Cache{
+		ComponentBase: sim.NewComponentBase(name),
+		engine:        engine,
+		cfg:           cfg,
+		space:         space,
+		numSets:       numSets,
+		sets:          make([]set, numSets),
+		mshr:          make(map[uint64]*mshrEntry),
+		mshrLine:      make(map[uint64]*mshrEntry),
+		writes:        make(map[uint64]pendingWrite),
+		passthrough:   make(map[uint64]*mem.ReadReq),
+	}
+	c.Top = sim.NewPort(c, name+".Top", cfg.PortBufferBytes)
+	c.Bottom = sim.NewPort(c, name+".Bottom", cfg.PortBufferBytes)
+	c.ticker = sim.NewTicker(engine, c)
+	return c
+}
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineSize-1) }
+
+func (c *Cache) setOf(lineAddr uint64) *set {
+	return &c.sets[(lineAddr/uint64(c.cfg.LineSize))%uint64(c.numSets)]
+}
+
+// lookup reports whether the line is present and refreshes LRU order.
+func (c *Cache) lookup(lineAddr uint64) bool {
+	s := c.setOf(lineAddr)
+	for i, t := range s.tags {
+		if t == lineAddr {
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = lineAddr
+			return true
+		}
+	}
+	return false
+}
+
+// install inserts the line, evicting the LRU victim if needed (write-through
+// caches discard victims silently).
+func (c *Cache) install(lineAddr uint64) {
+	s := c.setOf(lineAddr)
+	for i, t := range s.tags {
+		if t == lineAddr {
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = lineAddr
+			return
+		}
+	}
+	if len(s.tags) < c.cfg.Ways {
+		s.tags = append(s.tags, 0)
+	}
+	copy(s.tags[1:], s.tags)
+	s.tags[0] = lineAddr
+}
+
+// Invalidate drops every tag. The platform invalidates L1 caches at kernel
+// boundaries, the GCN behavior that keeps non-coherent L1s correct.
+func (c *Cache) Invalidate() {
+	for i := range c.sets {
+		c.sets[i].tags = c.sets[i].tags[:0]
+	}
+}
+
+// Contains reports whether the line holding addr is cached (for tests).
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.lineAddr(addr)
+	s := c.setOf(la)
+	for _, t := range s.tags {
+		if t == la {
+			return true
+		}
+	}
+	return false
+}
+
+// NotifyRecv implements sim.Component.
+func (c *Cache) NotifyRecv(now sim.Time, _ *sim.Port) { c.ticker.TickNow(now) }
+
+// NotifyPortFree implements sim.Component.
+func (c *Cache) NotifyPortFree(now sim.Time, _ *sim.Port) { c.ticker.TickNow(now) }
+
+// hitRspEvent delivers a hit response after the hit latency.
+type hitRspEvent struct {
+	sim.EventBase
+	rsp sim.Msg
+}
+
+// Handle implements sim.Handler.
+func (c *Cache) Handle(e sim.Event) error {
+	switch evt := e.(type) {
+	case sim.TickEvent:
+		c.tick(e.Time())
+		return nil
+	case hitRspEvent:
+		if !c.Top.Send(e.Time(), evt.rsp) {
+			return fmt.Errorf("%s: hit response rejected", c.Name())
+		}
+		return nil
+	default:
+		return fmt.Errorf("%s: unexpected event %T", c.Name(), e)
+	}
+}
+
+func (c *Cache) tick(now sim.Time) {
+	progress := false
+	// Responses from below first: they free MSHRs.
+	for i := 0; i < c.cfg.IssueWidth; i++ {
+		if !c.processBottom(now) {
+			break
+		}
+		progress = true
+	}
+	for i := 0; i < c.cfg.IssueWidth; i++ {
+		if !c.processTop(now) {
+			break
+		}
+		progress = true
+	}
+	if progress {
+		c.ticker.TickLater(now)
+	}
+}
+
+func (c *Cache) processTop(now sim.Time) bool {
+	msg := c.Top.Peek()
+	if msg == nil {
+		return false
+	}
+	switch req := msg.(type) {
+	case *mem.ReadReq:
+		return c.handleRead(now, req)
+	case *mem.WriteReq:
+		return c.handleWrite(now, req)
+	default:
+		panic(fmt.Sprintf("%s: unexpected top message %T", c.Name(), msg))
+	}
+}
+
+func (c *Cache) handleRead(now sim.Time, req *mem.ReadReq) bool {
+	if c.cfg.Cacheable != nil && !c.cfg.Cacheable(req.Addr) {
+		// Forward without allocation (e.g. remote address at L1 → RDMA).
+		dst := c.Router(req.Addr)
+		fwd := mem.NewReadReq(c.Bottom, dst, req.Addr, req.N)
+		sim.AssignMsgID(fwd)
+		if !c.Bottom.Send(now, fwd) {
+			return false
+		}
+		c.Top.Retrieve(now)
+		c.Bypassed++
+		c.passthrough[fwd.ID] = req
+		return true
+	}
+
+	la := c.lineAddr(req.Addr)
+	if c.lookup(la) {
+		c.Hits++
+		c.Top.Retrieve(now)
+		data := c.space.Read(req.Addr, req.N)
+		rsp := mem.NewDataReady(c.Top, req.Src, req.ID, req.Addr, data)
+		sim.AssignMsgID(rsp)
+		c.engine.Schedule(hitRspEvent{
+			EventBase: sim.NewEventBase(now+c.cfg.HitLatency, c),
+			rsp:       rsp,
+		})
+		return true
+	}
+
+	if entry, ok := c.mshrLine[la]; ok {
+		// Coalesce with the outstanding fetch.
+		c.Coalesced++
+		c.Top.Retrieve(now)
+		entry.waiters = append(entry.waiters, req)
+		return true
+	}
+
+	if len(c.mshrLine) >= c.cfg.MaxMSHR {
+		return false // back-pressure
+	}
+	dst := c.Router(la)
+	fetch := mem.NewReadReq(c.Bottom, dst, la, c.cfg.LineSize)
+	sim.AssignMsgID(fetch)
+	if !c.Bottom.Send(now, fetch) {
+		return false
+	}
+	c.Misses++
+	c.Top.Retrieve(now)
+	entry := &mshrEntry{lineAddr: la, waiters: []*mem.ReadReq{req}}
+	c.mshr[fetch.ID] = entry
+	c.mshrLine[la] = entry
+	return true
+}
+
+func (c *Cache) handleWrite(now sim.Time, req *mem.WriteReq) bool {
+	// Write-through, no-write-allocate: always forward; keep the tag if
+	// present (the line stays valid because data lives in the space).
+	dst := c.Router(req.Addr)
+	fwd := mem.NewWriteReq(c.Bottom, dst, req.Addr, req.Data)
+	sim.AssignMsgID(fwd)
+	if !c.Bottom.Send(now, fwd) {
+		return false
+	}
+	c.WritesSeen++
+	c.Top.Retrieve(now)
+	c.writes[fwd.ID] = pendingWrite{orig: req}
+	return true
+}
+
+func (c *Cache) processBottom(now sim.Time) bool {
+	msg := c.Bottom.Peek()
+	if msg == nil {
+		return false
+	}
+	switch rsp := msg.(type) {
+	case *mem.DataReady:
+		if orig, ok := c.passthrough[rsp.RspTo]; ok {
+			up := mem.NewDataReady(c.Top, orig.Src, orig.ID, orig.Addr, rsp.Data)
+			sim.AssignMsgID(up)
+			if !c.Top.Send(now, up) {
+				return false
+			}
+			c.Bottom.Retrieve(now)
+			delete(c.passthrough, rsp.RspTo)
+			return true
+		}
+		entry, ok := c.mshr[rsp.RspTo]
+		if !ok {
+			panic(fmt.Sprintf("%s: fill for unknown request %d", c.Name(), rsp.RspTo))
+		}
+		// Deliver to the first waiter; requeue the rest as hits next tick.
+		// All waiters must receive a response before the MSHR retires.
+		if len(entry.waiters) > 0 {
+			w := entry.waiters[0]
+			data := c.space.Read(w.Addr, w.N)
+			up := mem.NewDataReady(c.Top, w.Src, w.ID, w.Addr, data)
+			sim.AssignMsgID(up)
+			if !c.Top.Send(now, up) {
+				return false
+			}
+			entry.waiters = entry.waiters[1:]
+		}
+		if len(entry.waiters) > 0 {
+			return true // stay on this fill next iteration
+		}
+		c.install(entry.lineAddr)
+		c.Bottom.Retrieve(now)
+		delete(c.mshr, rsp.RspTo)
+		delete(c.mshrLine, entry.lineAddr)
+		return true
+	case *mem.WriteACK:
+		pw, ok := c.writes[rsp.RspTo]
+		if !ok {
+			panic(fmt.Sprintf("%s: ack for unknown write %d", c.Name(), rsp.RspTo))
+		}
+		up := mem.NewWriteACK(c.Top, pw.orig.Src, pw.orig.ID, pw.orig.Addr)
+		sim.AssignMsgID(up)
+		if !c.Top.Send(now, up) {
+			return false
+		}
+		c.Bottom.Retrieve(now)
+		delete(c.writes, rsp.RspTo)
+		return true
+	default:
+		panic(fmt.Sprintf("%s: unexpected bottom message %T", c.Name(), msg))
+	}
+}

@@ -1,0 +1,165 @@
+package comp
+
+// Cost captures the hardware cost of a codec at 7 nm / 1 GHz, reproducing
+// Table III of the paper. Energies are derived as power × latency (at 1 GHz
+// a cycle is 1 ns, so mW × cycles = pJ), which reconstructs the paper's
+// combined per-block energy column to within rounding.
+type Cost struct {
+	CompressionCycles   int
+	DecompressionCycles int
+	AreaUM2             float64 // total compressor+decompressor area, µm²
+	CompressorMW        float64
+	DecompressorMW      float64
+}
+
+// CompressionEnergyPJ is the energy to compress one 512-bit block, in pJ.
+func (c Cost) CompressionEnergyPJ() float64 {
+	return c.CompressorMW * float64(c.CompressionCycles)
+}
+
+// DecompressionEnergyPJ is the energy to decompress one 512-bit block.
+func (c Cost) DecompressionEnergyPJ() float64 {
+	return c.DecompressorMW * float64(c.DecompressionCycles)
+}
+
+// BlockEnergyPJ is the combined compression+decompression energy per block
+// (the last column of Table III).
+func (c Cost) BlockEnergyPJ() float64 {
+	return c.CompressionEnergyPJ() + c.DecompressionEnergyPJ()
+}
+
+// Table III of the paper.
+var (
+	fpcCost = Cost{
+		CompressionCycles:   3,
+		DecompressionCycles: 5,
+		AreaUM2:             4428,
+		CompressorMW:        4.6, // Das et al. report combined power; split equally
+		DecompressorMW:      4.6,
+	}
+	bdiCost = Cost{
+		CompressionCycles:   2,
+		DecompressionCycles: 1,
+		AreaUM2:             162,
+		CompressorMW:        0.6,
+		DecompressorMW:      0.2,
+	}
+	cpackCost = Cost{
+		CompressionCycles:   16,
+		DecompressionCycles: 9,
+		AreaUM2:             766,
+		CompressorMW:        1.8,
+		DecompressorMW:      1.3,
+	}
+)
+
+// CostOf returns the Table III cost for alg. None has zero cost.
+func CostOf(alg Algorithm) Cost {
+	switch alg {
+	case FPC:
+		return fpcCost
+	case BDI:
+		return bdiCost
+	case CPackZ:
+		return cpackCost
+	case BPC:
+		return bpcCost
+	default:
+		return Cost{}
+	}
+}
+
+// DataPattern names the common data patterns of Sec. III-A.
+type DataPattern int
+
+// The five pattern classes discussed in Sec. III-A.
+const (
+	ZeroWordBlock DataPattern = iota
+	RepeatedWord
+	NarrowWord
+	LowDynamicRange
+	SpatialSimilarity
+	numDataPatterns
+)
+
+// String returns the paper's name for the data pattern.
+func (p DataPattern) String() string {
+	switch p {
+	case ZeroWordBlock:
+		return "Zero Word/Block"
+	case RepeatedWord:
+		return "Repeated Word"
+	case NarrowWord:
+		return "Narrow Word"
+	case LowDynamicRange:
+		return "Low Dynamic Range"
+	case SpatialSimilarity:
+		return "Spatial Similarity"
+	default:
+		return "Unknown"
+	}
+}
+
+// Support describes how well a codec exploits a data pattern (Table I).
+type Support int
+
+// Support levels used in Table I.
+const (
+	No Support = iota
+	Partial
+	Yes
+)
+
+// String renders the Table I cell text.
+func (s Support) String() string {
+	switch s {
+	case Yes:
+		return "Yes"
+	case Partial:
+		return "Partial"
+	default:
+		return "No"
+	}
+}
+
+// SupportedPatterns reproduces Table I: which data patterns each algorithm
+// exploits.
+func SupportedPatterns(alg Algorithm) map[DataPattern]Support {
+	switch alg {
+	case FPC:
+		return map[DataPattern]Support{
+			ZeroWordBlock:     Yes,
+			RepeatedWord:      Yes,
+			NarrowWord:        Yes,
+			LowDynamicRange:   No,
+			SpatialSimilarity: No,
+		}
+	case BDI:
+		return map[DataPattern]Support{
+			ZeroWordBlock:     Yes,
+			RepeatedWord:      Yes,
+			NarrowWord:        Partial,
+			LowDynamicRange:   Yes,
+			SpatialSimilarity: No,
+		}
+	case CPackZ:
+		return map[DataPattern]Support{
+			ZeroWordBlock:     Yes,
+			RepeatedWord:      Yes,
+			NarrowWord:        Partial,
+			LowDynamicRange:   No,
+			SpatialSimilarity: Yes,
+		}
+	default:
+		return map[DataPattern]Support{}
+	}
+}
+
+// AllDataPatterns lists the Sec. III-A pattern classes in table order.
+func AllDataPatterns() []DataPattern {
+	out := make([]DataPattern, 0, int(numDataPatterns))
+	for p := ZeroWordBlock; p < numDataPatterns; p++ {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package comp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets. Run as regular tests with the seed corpus under
+// `go test`, or explore with `go test -fuzz=FuzzCodecRoundTrip ./internal/comp`.
+
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	f.Add(make([]byte, LineSize))
+	ramp := make([]byte, LineSize)
+	for i := range ramp {
+		ramp[i] = byte(i)
+	}
+	f.Add(ramp)
+	rep := bytes.Repeat([]byte{0xDE, 0xAD, 0xBE, 0xEF}, LineSize/4)
+	f.Add(rep)
+	narrow := make([]byte, LineSize)
+	for i := 0; i < LineSize; i += 4 {
+		narrow[i] = byte(i)
+	}
+	f.Add(narrow)
+	ones := bytes.Repeat([]byte{0xFF}, LineSize)
+	f.Add(ones)
+}
+
+// FuzzCodecRoundTrip: any 64-byte line round-trips through every codec.
+func FuzzCodecRoundTrip(f *testing.F) {
+	seedCorpus(f)
+	codecs := ExtendedCompressors()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < LineSize {
+			return
+		}
+		line := data[:LineSize]
+		for _, c := range codecs {
+			enc := c.Compress(line)
+			if enc.Bits <= 0 || enc.Bits > LineBits {
+				t.Fatalf("%v: Bits = %d", c.Algorithm(), enc.Bits)
+			}
+			got, err := c.Decompress(enc)
+			if err != nil {
+				t.Fatalf("%v: %v", c.Algorithm(), err)
+			}
+			if !bytes.Equal(got, line) {
+				t.Fatalf("%v: round trip mismatch", c.Algorithm())
+			}
+		}
+	})
+}
+
+// FuzzDecompressGarbage: arbitrary bitstreams never panic any decoder and
+// never yield a wrong-sized line.
+func FuzzDecompressGarbage(f *testing.F) {
+	seedCorpus(f)
+	codecs := ExtendedCompressors()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, c := range codecs {
+			for _, bits := range []int{1, 7, len(data) * 8, 512} {
+				enc := Encoded{Alg: c.Algorithm(), Bits: bits, Data: data}
+				out, err := c.Decompress(enc)
+				if err == nil && len(out) != LineSize {
+					t.Fatalf("%v: garbage decoded to %d bytes", c.Algorithm(), len(out))
+				}
+			}
+		}
+	})
+}

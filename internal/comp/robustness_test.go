@@ -1,0 +1,298 @@
+package comp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Decompressors face bitstreams produced by a remote GPU; a link error or a
+// protocol bug must surface as an error, never a panic or a silent wrong
+// answer of the wrong shape. These tests attack the decoders directly.
+
+func TestDecompressTruncatedStreamErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, c := range AllCompressors() {
+		c := c
+		t.Run(c.Algorithm().String(), func(t *testing.T) {
+			for i := 0; i < 300; i++ {
+				line := patternedLine(rng)
+				enc := c.Compress(line)
+				if enc.Uncompressed || len(enc.Data) < 2 {
+					continue
+				}
+				trunc := enc
+				trunc.Data = enc.Data[:len(enc.Data)/2]
+				if out, err := c.Decompress(trunc); err == nil {
+					// A truncated stream may still decode if the tail was
+					// padding; then it must decode to the original.
+					if !bytes.Equal(out, line) {
+						t.Fatalf("truncated stream decoded to wrong data")
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDecompressRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, c := range AllCompressors() {
+		for i := 0; i < 2000; i++ {
+			n := rng.Intn(70)
+			garbage := make([]byte, n)
+			rng.Read(garbage)
+			enc := Encoded{
+				Alg:  c.Algorithm(),
+				Bits: rng.Intn(520),
+				Data: garbage,
+			}
+			out, err := c.Decompress(enc) // must not panic
+			if err == nil && len(out) != LineSize {
+				t.Fatalf("%v: garbage decoded to %d bytes", c.Algorithm(), len(out))
+			}
+		}
+	}
+}
+
+func TestDecompressBitFlippedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, c := range AllCompressors() {
+		for i := 0; i < 500; i++ {
+			line := patternedLine(rng)
+			enc := c.Compress(line)
+			if enc.Uncompressed || len(enc.Data) == 0 {
+				continue
+			}
+			flipped := enc
+			flipped.Data = append([]byte(nil), enc.Data...)
+			bit := rng.Intn(enc.Bits)
+			flipped.Data[bit/8] ^= 1 << uint(7-bit%8)
+			out, err := c.Decompress(flipped) // error or wrong data, never panic
+			if err == nil && len(out) != LineSize {
+				t.Fatalf("%v: flipped stream produced %d bytes", c.Algorithm(), len(out))
+			}
+		}
+	}
+}
+
+func TestDecompressBitsFieldMismatchErrors(t *testing.T) {
+	line := lineOf32(7)
+	for _, c := range AllCompressors() {
+		enc := c.Compress(line)
+		if enc.Uncompressed {
+			continue
+		}
+		bad := enc
+		bad.Bits = enc.Bits + 8
+		if _, err := c.Decompress(bad); err == nil {
+			t.Errorf("%v: inflated Bits field accepted", c.Algorithm())
+		}
+	}
+}
+
+// Differential property: the encoded size always equals the sum of the
+// per-pattern sizes from Table II.
+func TestEncodedSizeMatchesPatternAccounting(t *testing.T) {
+	fpcBits := map[int]int{2: 3, 3: 11, 4: 7, 5: 11, 6: 19, 7: 19, 8: 19}
+	cpackBits := map[int]int{2: 2, 3: 34, 4: 8, 5: 24, 6: 12, 7: 16}
+	bdiBits := map[int]int{1: 4, 2: 68, 3: 140, 4: 204, 5: 332, 6: 180, 7: 308, 8: 308, 9: 512}
+
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 3000; i++ {
+		line := patternedLine(rng)
+
+		if enc := NewFPC().Compress(line); !enc.Uncompressed {
+			want := 0
+			if enc.Patterns[1] == 1 {
+				want = 3
+			} else {
+				for p, bits := range fpcBits {
+					want += int(enc.Patterns[p]) * bits
+				}
+			}
+			if enc.Bits != want {
+				t.Fatalf("FPC size %d != pattern accounting %d (hist %v)", enc.Bits, want, enc.Patterns)
+			}
+		}
+
+		if enc := NewCPackZ().Compress(line); !enc.Uncompressed {
+			want := 0
+			if enc.Patterns[1] == 1 {
+				want = 2
+			} else {
+				for p, bits := range cpackBits {
+					want += int(enc.Patterns[p]) * bits
+				}
+			}
+			if enc.Bits != want {
+				t.Fatalf("C-Pack+Z size %d != pattern accounting %d (hist %v)", enc.Bits, want, enc.Patterns)
+			}
+		}
+
+		if enc := NewBDI().Compress(line); !enc.Uncompressed {
+			want := 0
+			for p, bits := range bdiBits {
+				want += int(enc.Patterns[p]) * bits
+			}
+			if enc.Bits != want {
+				t.Fatalf("BDI size %d != pattern accounting %d (hist %v)", enc.Bits, want, enc.Patterns)
+			}
+		}
+	}
+}
+
+// Property: compression never inflates beyond the raw line, for any input.
+func TestNeverInflatesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		line := patternedLine(rng)
+		for _, c := range AllCompressors() {
+			if c.Compress(line).Bits > LineBits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compression is deterministic — same line, same bitstream.
+func TestDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		line := patternedLine(rng)
+		for _, c := range AllCompressors() {
+			a := c.Compress(line)
+			b := c.Compress(line)
+			if a.Bits != b.Bits || !bytes.Equal(a.Data, b.Data) || a.Patterns != b.Patterns {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compressing a line must not mutate it.
+func TestCompressDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for i := 0; i < 500; i++ {
+		line := patternedLine(rng)
+		orig := append([]byte(nil), line...)
+		for _, c := range AllCompressors() {
+			c.Compress(line)
+			if !bytes.Equal(line, orig) {
+				t.Fatalf("%v mutated its input", c.Algorithm())
+			}
+		}
+	}
+}
+
+// Exhaustive-ish FPC word classification: every classified word must decode
+// back to itself through a single-word line round trip, across boundary
+// values of every pattern.
+func TestFPCWordClassificationBoundaries(t *testing.T) {
+	words := []uint32{
+		0, 1, 7, 8, 0xF, 0x10, 0x7F, 0x80, 0xFF, 0x100,
+		0x7FFF, 0x8000, 0xFFFF, 0x10000, 0x12340000, 0xFFFF0000, 0x00010000,
+		0xFFFFFFF8, 0xFFFFFFF7, 0xFFFFFF80, 0xFFFFFF7F, 0xFFFF8000, 0xFFFF7FFF,
+		0xFFFFFFFF, 0xAAAAAAAA, 0x55555555, 0x7F7F7F7F, 0x80808080,
+		0x00110022, 0x007F0080, 0xDEADBEEF, 0x7F800000,
+	}
+	f := NewFPC()
+	for _, w := range words {
+		p := classifyFPCWord(w)
+		if p < 2 || p > 9 {
+			t.Fatalf("classifyFPCWord(%#x) = %d out of range", w, p)
+		}
+		if p == 9 {
+			continue
+		}
+		// Build a line whose first word is w and the rest are zeros.
+		line := make([]byte, LineSize)
+		binary.LittleEndian.PutUint32(line, w)
+		enc := f.Compress(line)
+		got, err := f.Decompress(enc)
+		if err != nil {
+			t.Fatalf("word %#x (pattern %d): %v", w, p, err)
+		}
+		if binary.LittleEndian.Uint32(got) != w {
+			t.Fatalf("word %#x (pattern %d) round trip -> %#x", w, p, binary.LittleEndian.Uint32(got))
+		}
+	}
+}
+
+// Exhaustive 16-bit FPC sweep: every word in [0, 65536) classifies and, when
+// compressible, round-trips.
+func TestFPCExhaustiveLow16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	f := NewFPC()
+	line := make([]byte, LineSize)
+	for w := uint32(0); w < 1<<16; w += 1 {
+		binary.LittleEndian.PutUint32(line, w)
+		enc := f.Compress(line)
+		got, err := f.Decompress(enc)
+		if err != nil {
+			t.Fatalf("word %#x: %v", w, err)
+		}
+		if binary.LittleEndian.Uint32(got) != w {
+			t.Fatalf("word %#x round trip failed", w)
+		}
+	}
+}
+
+// BDI must produce the same result regardless of where the explicit base
+// value appears in the line (the base is data-derived, not positional).
+func TestBDIBasePositionInvariance(t *testing.T) {
+	b := NewBDI()
+	base := uint64(0x7000000000000000)
+	for pos := 0; pos < 8; pos++ {
+		line := make([]byte, LineSize)
+		for i := 0; i < 8; i++ {
+			v := uint64(i) // small immediates
+			if i == pos {
+				v = base // the single large value
+			}
+			binary.LittleEndian.PutUint64(line[i*8:], v)
+		}
+		enc := b.Compress(line)
+		if enc.Uncompressed {
+			t.Fatalf("pos %d: line not compressed", pos)
+		}
+		if enc.Patterns[3] != 1 {
+			t.Errorf("pos %d: expected base8-delta1, hist %v", pos, enc.Patterns)
+		}
+		got, err := b.Decompress(enc)
+		if err != nil || !bytes.Equal(got, line) {
+			t.Fatalf("pos %d: round trip failed: %v", pos, err)
+		}
+	}
+}
+
+// C-Pack+Z dictionary is bounded at 16 entries even on adversarial input.
+func TestCPackZDictionaryBound(t *testing.T) {
+	// All 16 words distinct and non-matching: dictionary exactly fills.
+	line := make([]byte, LineSize)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], 0x01000000*uint32(i+1)+0x00BEEF00)
+	}
+	c := NewCPackZ()
+	enc := c.Compress(line)
+	// 16 distinct new words cost 544 bits -> raw fallback.
+	if !enc.Uncompressed {
+		t.Fatalf("16 distinct words should overflow to raw (got %d bits)", enc.Bits)
+	}
+	got, err := c.Decompress(enc)
+	if err != nil || !bytes.Equal(got, line) {
+		t.Fatal("raw round trip failed")
+	}
+}

@@ -1,0 +1,349 @@
+// Package core implements the paper's primary contribution: the adaptive
+// inter-GPU compression scheme (Sec. V). The controller alternates between a
+// short sampling phase — every candidate codec compresses the same transfers
+// and a penalty function picks a winner by outcome voting — and a long
+// running phase during which only the selected codec (or no codec at all)
+// touches the data.
+//
+// The penalty function is Eq. (1) of the paper:
+//
+//	P = N + λ(Lc + Ld)
+//
+// where N is the compressed size in bits and Lc/Ld are the compression and
+// decompression latencies in cycles. λ trades bandwidth for latency: λ=0
+// always maximizes compression ratio, large λ prefers fast codecs (BDI), and
+// the paper finds λ=6 the best balance.
+package core
+
+import (
+	"fmt"
+
+	"mgpucompress/internal/comp"
+)
+
+// Defaults from Sec. V / Sec. VII-A2 of the paper.
+const (
+	DefaultSampleCount = 7
+	DefaultRunLength   = 300
+	DefaultLambda      = 6.0
+)
+
+// Decision describes how the policy handled one cache-line transfer.
+type Decision struct {
+	// Alg is the wire algorithm: the value of the message Comp Alg field.
+	// None means the payload ships raw and the receiver bypasses the
+	// decompressor.
+	Alg comp.Algorithm
+	// Enc is the encoding actually shipped. For Alg == None, Enc.Bits is
+	// comp.LineBits and Enc.Data holds the raw line.
+	Enc comp.Encoded
+	// CompressionCycles is the latency added at the sender before the
+	// payload can enter the fabric.
+	CompressionCycles int
+	// DecompressionCycles is the latency added at the receiver before the
+	// data is usable.
+	DecompressionCycles int
+	// CodecEnergyPJ is the compressor+decompressor energy spent on this
+	// transfer, including codecs that ran but lost (sampling phase).
+	CodecEnergyPJ float64
+	// Sampling reports whether the transfer was part of a sampling phase.
+	Sampling bool
+}
+
+// WireBytes returns the payload size on the fabric for this decision.
+func (d Decision) WireBytes() int { return d.Enc.WireBytes() }
+
+// Policy decides, per transfer, how to compress a cache line.
+type Policy interface {
+	// Name identifies the policy in reports (e.g. "BDI", "Adaptive λ=6").
+	Name() string
+	// Process handles one 64-byte line transfer.
+	Process(line []byte) Decision
+}
+
+// Uncompressed is the baseline policy: every line ships raw.
+type Uncompressed struct{}
+
+// Name implements Policy.
+func (Uncompressed) Name() string { return "None" }
+
+// Process implements Policy.
+func (Uncompressed) Process(line []byte) Decision {
+	return Decision{Alg: comp.None, Enc: rawLine(line)}
+}
+
+func rawLine(line []byte) comp.Encoded {
+	return comp.Encoded{
+		Alg:          comp.None,
+		Bits:         comp.LineBits,
+		Data:         append([]byte(nil), line...),
+		Uncompressed: true,
+	}
+}
+
+// Static always runs a single codec (Sec. VII-A1). If the codec cannot
+// shrink a line, the line ships raw — the compression latency and energy
+// were still spent, but the receiver skips decompression (Comp Alg = 0).
+type Static struct {
+	c comp.Compressor
+}
+
+// NewStatic builds a static policy around the codec for alg.
+func NewStatic(alg comp.Algorithm) *Static {
+	c := comp.NewCompressor(alg)
+	if c == nil {
+		panic(fmt.Sprintf("core: no compressor for %v", alg))
+	}
+	return &Static{c: c}
+}
+
+// Name implements Policy.
+func (s *Static) Name() string { return s.c.Algorithm().String() }
+
+// Process implements Policy.
+func (s *Static) Process(line []byte) Decision {
+	enc := s.c.Compress(line)
+	cost := s.c.Cost()
+	d := Decision{
+		CompressionCycles: cost.CompressionCycles,
+		CodecEnergyPJ:     cost.CompressionEnergyPJ(),
+	}
+	if enc.Uncompressed {
+		// No space saved: ship raw, receiver bypasses the decompressor.
+		d.Alg = comp.None
+		d.Enc = enc
+		return d
+	}
+	d.Alg = s.c.Algorithm()
+	d.Enc = enc
+	d.DecompressionCycles = cost.DecompressionCycles
+	d.CodecEnergyPJ += cost.DecompressionEnergyPJ()
+	return d
+}
+
+// Config parameterizes the adaptive policy.
+type Config struct {
+	// Lambda is λ in Eq. (1). Default 6.
+	Lambda float64
+	// SampleCount is the number of sampled transfers per phase (default 7).
+	SampleCount int
+	// RunLength is the number of transfers in the running phase (default
+	// 300).
+	RunLength int
+	// Candidates are the codecs to choose from. Default: FPC, BDI,
+	// C-Pack+Z. The paper notes the scheme also works with a single codec,
+	// degenerating into an on/off decision; that is supported by passing
+	// one candidate.
+	Candidates []comp.Compressor
+}
+
+func (c *Config) fillDefaults() {
+	if c.Lambda < 0 {
+		c.Lambda = 0
+	}
+	if c.SampleCount <= 0 {
+		c.SampleCount = DefaultSampleCount
+	}
+	if c.RunLength <= 0 {
+		c.RunLength = DefaultRunLength
+	}
+	if len(c.Candidates) == 0 {
+		c.Candidates = comp.AllCompressors()
+	}
+}
+
+// Adaptive is the paper's adaptive compression controller.
+type Adaptive struct {
+	cfg Config
+
+	// phase state
+	sampling   bool
+	phasePos   int
+	votes      []int     // per candidate index; last slot = bypass (None)
+	votePen    []float64 // cumulative penalty, used to break ties
+	selected   int       // candidate index, len(candidates) = bypass
+	selections []comp.Algorithm
+
+	// maxCompressionCycles is the sampling-phase latency: the paper notes
+	// that running all codecs concurrently costs the slowest codec's
+	// latency.
+	maxCompressionCycles int
+}
+
+// NewAdaptive builds an adaptive policy. A zero Config selects the paper's
+// defaults (λ=6, 7 samples, 300-transfer running phase, all three codecs).
+func NewAdaptive(cfg Config) *Adaptive {
+	cfg.fillDefaults()
+	a := &Adaptive{
+		cfg:      cfg,
+		sampling: true,
+		votes:    make([]int, len(cfg.Candidates)+1),
+		votePen:  make([]float64, len(cfg.Candidates)+1),
+		selected: len(cfg.Candidates),
+	}
+	for _, c := range cfg.Candidates {
+		if l := c.Cost().CompressionCycles; l > a.maxCompressionCycles {
+			a.maxCompressionCycles = l
+		}
+	}
+	return a
+}
+
+// Name implements Policy.
+func (a *Adaptive) Name() string {
+	return fmt.Sprintf("Adaptive λ=%g", a.cfg.Lambda)
+}
+
+// Penalty evaluates Eq. (1) for a compressed size in bits and codec
+// latencies in cycles.
+func Penalty(lambda float64, bits, compCycles, decompCycles int) float64 {
+	return float64(bits) + lambda*float64(compCycles+decompCycles)
+}
+
+// Selected returns the algorithm currently chosen for the running phase
+// (comp.None when bypassing), and whether the controller is sampling.
+func (a *Adaptive) Selected() (comp.Algorithm, bool) {
+	if a.selected == len(a.cfg.Candidates) {
+		return comp.None, a.sampling
+	}
+	return a.cfg.Candidates[a.selected].Algorithm(), a.sampling
+}
+
+// SelectionHistory returns the algorithm chosen after each completed
+// sampling phase, in order.
+func (a *Adaptive) SelectionHistory() []comp.Algorithm {
+	return append([]comp.Algorithm(nil), a.selections...)
+}
+
+// Process implements Policy.
+func (a *Adaptive) Process(line []byte) Decision {
+	if a.sampling {
+		return a.processSample(line)
+	}
+	return a.processRunning(line)
+}
+
+func (a *Adaptive) processSample(line []byte) Decision {
+	nCand := len(a.cfg.Candidates)
+
+	// Run every candidate on this transfer; all compressors run
+	// concurrently in hardware, so the added latency is the slowest
+	// compressor, and every compressor burns its compression energy.
+	encs := make([]comp.Encoded, nCand)
+	energy := 0.0
+	bestIdx := nCand // bypass
+	bestPen := Penalty(a.cfg.Lambda, comp.LineBits, 0, 0)
+	for i, c := range a.cfg.Candidates {
+		encs[i] = c.Compress(line)
+		cost := c.Cost()
+		energy += cost.CompressionEnergyPJ()
+		bits := encs[i].Bits
+		if encs[i].Uncompressed {
+			bits = comp.LineBits
+		}
+		pen := Penalty(a.cfg.Lambda, bits, cost.CompressionCycles, cost.DecompressionCycles)
+		if pen < bestPen {
+			bestPen, bestIdx = pen, i
+		}
+		a.votePen[i] += pen
+	}
+	a.votePen[nCand] += Penalty(a.cfg.Lambda, comp.LineBits, 0, 0)
+	a.votes[bestIdx]++
+
+	// The sampled transfer itself ships with the per-sample winner.
+	d := Decision{Sampling: true, CompressionCycles: a.maxCompressionCycles, CodecEnergyPJ: energy}
+	if bestIdx == nCand || encs[bestIdx].Uncompressed {
+		d.Alg = comp.None
+		d.Enc = rawLine(line)
+	} else {
+		winner := a.cfg.Candidates[bestIdx]
+		d.Alg = winner.Algorithm()
+		d.Enc = encs[bestIdx]
+		d.DecompressionCycles = winner.Cost().DecompressionCycles
+		d.CodecEnergyPJ += winner.Cost().DecompressionEnergyPJ()
+	}
+
+	a.phasePos++
+	if a.phasePos >= a.cfg.SampleCount {
+		a.closeSamplingPhase()
+	}
+	return d
+}
+
+// closeSamplingPhase tallies the outcome votes (Sec. V: the codec that wins
+// the most samples is selected; cumulative penalty breaks ties) and enters
+// the running phase.
+func (a *Adaptive) closeSamplingPhase() {
+	best := 0
+	for i := 1; i < len(a.votes); i++ {
+		if a.votes[i] > a.votes[best] ||
+			(a.votes[i] == a.votes[best] && a.votePen[i] < a.votePen[best]) {
+			best = i
+		}
+	}
+	a.selected = best
+	if best == len(a.cfg.Candidates) {
+		a.selections = append(a.selections, comp.None)
+	} else {
+		a.selections = append(a.selections, a.cfg.Candidates[best].Algorithm())
+	}
+	a.sampling = false
+	a.phasePos = 0
+	for i := range a.votes {
+		a.votes[i] = 0
+		a.votePen[i] = 0
+	}
+}
+
+func (a *Adaptive) processRunning(line []byte) Decision {
+	var d Decision
+	if a.selected == len(a.cfg.Candidates) {
+		// Bypass: the compression circuitry is off for this phase.
+		d = Decision{Alg: comp.None, Enc: rawLine(line)}
+	} else {
+		c := a.cfg.Candidates[a.selected]
+		cost := c.Cost()
+		enc := c.Compress(line)
+		d = Decision{
+			CompressionCycles: cost.CompressionCycles,
+			CodecEnergyPJ:     cost.CompressionEnergyPJ(),
+		}
+		if enc.Uncompressed {
+			d.Alg = comp.None
+			d.Enc = enc
+		} else {
+			d.Alg = c.Algorithm()
+			d.Enc = enc
+			d.DecompressionCycles = cost.DecompressionCycles
+			d.CodecEnergyPJ += cost.DecompressionEnergyPJ()
+		}
+	}
+	a.phasePos++
+	if a.phasePos >= a.cfg.RunLength {
+		a.sampling = true
+		a.phasePos = 0
+	}
+	return d
+}
+
+// PolicyFor builds the policy named by spec: "none", "fpc", "bdi", "cpackz",
+// or "adaptive" (with the given λ). It is the single entry point used by the
+// command-line tools.
+func PolicyFor(spec string, lambda float64) (Policy, error) {
+	switch spec {
+	case "none":
+		return Uncompressed{}, nil
+	case "fpc":
+		return NewStatic(comp.FPC), nil
+	case "bdi":
+		return NewStatic(comp.BDI), nil
+	case "cpackz":
+		return NewStatic(comp.CPackZ), nil
+	case "adaptive":
+		return NewAdaptive(Config{Lambda: lambda}), nil
+	case "dynamic":
+		return NewDynamicAdaptive(DynamicConfig{}), nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q (want none|fpc|bdi|cpackz|adaptive|dynamic)", spec)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the extension the paper leaves on the table in
+// Sec. V: "We select the lambda value statically ... thereby avoiding the
+// additional complexity of dynamic selection." DynamicAdaptive supplies
+// that dynamic selection.
+//
+// Eq. (1)'s λ is an exchange rate between codec cycles and payload bits: if
+// codec latency is fully exposed, one cycle costs the fabric's full
+// bandwidth (160 bits at 20 B/cycle); if the link is congested, latency
+// hides behind queueing and compression ratio is all that matters. The
+// controller therefore observes its RDMA engine's output-queue depth — a
+// purely local congestion signal — and recomputes λ at every sampling
+// phase:
+//
+//	λ = λmax / (1 + k·avgQueueDepth)
+//
+// deep queues → λ→0 (chase ratio), idle link → λ→λmax (chase latency).
+
+// CongestionObserver is implemented by policies that want a congestion
+// signal from the transport. The RDMA engine calls it before each transfer
+// with the number of messages waiting in its fabric output queue.
+type CongestionObserver interface {
+	ObserveCongestion(queuedMessages int)
+}
+
+// DynamicConfig parameterizes DynamicAdaptive.
+type DynamicConfig struct {
+	// MaxLambda is λ when the link is completely idle. Default 32 (the
+	// largest value the paper sweeps).
+	MaxLambda float64
+	// Sensitivity is k in the formula above. Default 1.
+	Sensitivity float64
+	// SampleCount and RunLength follow the adaptive defaults.
+	SampleCount int
+	RunLength   int
+}
+
+func (c *DynamicConfig) fillDefaults() {
+	if c.MaxLambda <= 0 {
+		c.MaxLambda = 32
+	}
+	if c.Sensitivity <= 0 {
+		c.Sensitivity = 1
+	}
+	if c.SampleCount <= 0 {
+		c.SampleCount = DefaultSampleCount
+	}
+	if c.RunLength <= 0 {
+		c.RunLength = DefaultRunLength
+	}
+}
+
+// DynamicAdaptive is an adaptive policy whose λ follows link congestion.
+type DynamicAdaptive struct {
+	cfg   DynamicConfig
+	inner *Adaptive
+
+	queueSum   float64
+	queueObs   uint64
+	transfers  int
+	lambdaHist []float64
+}
+
+// NewDynamicAdaptive builds the dynamic-λ policy.
+func NewDynamicAdaptive(cfg DynamicConfig) *DynamicAdaptive {
+	cfg.fillDefaults()
+	d := &DynamicAdaptive{cfg: cfg}
+	d.inner = NewAdaptive(Config{
+		Lambda:      cfg.MaxLambda, // idle until told otherwise
+		SampleCount: cfg.SampleCount,
+		RunLength:   cfg.RunLength,
+	})
+	d.lambdaHist = append(d.lambdaHist, cfg.MaxLambda)
+	return d
+}
+
+// Name implements Policy.
+func (d *DynamicAdaptive) Name() string { return "Adaptive λ=dynamic" }
+
+// ObserveCongestion implements CongestionObserver.
+func (d *DynamicAdaptive) ObserveCongestion(queued int) {
+	d.queueSum += float64(queued)
+	d.queueObs++
+}
+
+// Lambda returns the λ currently in force.
+func (d *DynamicAdaptive) Lambda() float64 { return d.inner.cfg.Lambda }
+
+// LambdaHistory returns λ at each completed recalibration, oldest first.
+func (d *DynamicAdaptive) LambdaHistory() []float64 {
+	return append([]float64(nil), d.lambdaHist...)
+}
+
+// Process implements Policy.
+func (d *DynamicAdaptive) Process(line []byte) Decision {
+	// Recalibrate λ at the boundary into each sampling phase.
+	period := d.cfg.SampleCount + d.cfg.RunLength
+	if d.transfers%period == 0 && d.transfers > 0 {
+		d.recalibrate()
+	}
+	d.transfers++
+	return d.inner.Process(line)
+}
+
+func (d *DynamicAdaptive) recalibrate() {
+	avg := 0.0
+	if d.queueObs > 0 {
+		avg = d.queueSum / float64(d.queueObs)
+	}
+	lambda := d.cfg.MaxLambda / (1 + d.cfg.Sensitivity*avg)
+	if math.IsNaN(lambda) || lambda < 0 {
+		lambda = 0
+	}
+	d.inner.cfg.Lambda = lambda
+	d.lambdaHist = append(d.lambdaHist, lambda)
+	d.queueSum, d.queueObs = 0, 0
+}
+
+// Selected exposes the inner controller's choice.
+func (d *DynamicAdaptive) Selected() (alg fmt.Stringer, sampling bool) {
+	a, s := d.inner.Selected()
+	return a, s
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mgpucompress/internal/comp"
+)
+
+func TestDynamicAdaptiveDefaults(t *testing.T) {
+	d := NewDynamicAdaptive(DynamicConfig{})
+	if d.Lambda() != 32 {
+		t.Errorf("initial λ = %v, want MaxLambda 32", d.Lambda())
+	}
+	if d.Name() == "" {
+		t.Error("no name")
+	}
+}
+
+func TestDynamicLambdaDropsUnderCongestion(t *testing.T) {
+	d := NewDynamicAdaptive(DynamicConfig{SampleCount: 3, RunLength: 7})
+	line := ldrLine(1<<50, 3)
+	// Phase 1: no congestion observed -> λ stays at max after recalibration.
+	for i := 0; i < 10; i++ {
+		d.ObserveCongestion(0)
+		d.Process(line)
+	}
+	d.Process(line) // crosses the period boundary, triggers recalibration
+	if d.Lambda() != 32 {
+		t.Errorf("idle link λ = %v, want 32", d.Lambda())
+	}
+	// Phase 2: deep queues -> λ collapses toward 0.
+	for i := 0; i < 10; i++ {
+		d.ObserveCongestion(20)
+		d.Process(line)
+	}
+	d.Process(line)
+	if d.Lambda() > 3 {
+		t.Errorf("congested link λ = %v, want ≈32/21", d.Lambda())
+	}
+	if h := d.LambdaHistory(); len(h) < 3 {
+		t.Errorf("λ history too short: %v", h)
+	}
+}
+
+func TestDynamicLambdaRecovers(t *testing.T) {
+	d := NewDynamicAdaptive(DynamicConfig{SampleCount: 3, RunLength: 7})
+	line := zeroLine()
+	for i := 0; i < 11; i++ {
+		d.ObserveCongestion(50)
+		d.Process(line)
+	}
+	low := d.Lambda()
+	for i := 0; i < 10; i++ {
+		d.ObserveCongestion(0)
+		d.Process(line)
+	}
+	d.Process(line)
+	if d.Lambda() <= low {
+		t.Errorf("λ did not recover: %v -> %v", low, d.Lambda())
+	}
+}
+
+func TestDynamicAdaptiveDecisionsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := NewDynamicAdaptive(DynamicConfig{SampleCount: 3, RunLength: 5})
+	for i := 0; i < 500; i++ {
+		var line []byte
+		switch i % 3 {
+		case 0:
+			line = randLine(rng)
+		case 1:
+			line = ldrLine(rng.Uint64(), 5)
+		default:
+			line = zeroLine()
+		}
+		d.ObserveCongestion(rng.Intn(10))
+		dec := d.Process(line)
+		var got []byte
+		if dec.Alg == comp.None {
+			got = dec.Enc.Data
+		} else {
+			var err error
+			got, err = comp.NewCompressor(dec.Alg).Decompress(dec.Enc)
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+		}
+		if !bytes.Equal(got, line) {
+			t.Fatalf("iteration %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestPolicyForDynamic(t *testing.T) {
+	p, err := PolicyFor("dynamic", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(CongestionObserver); !ok {
+		t.Error("dynamic policy does not observe congestion")
+	}
+}

@@ -1,0 +1,88 @@
+// Package energy models the energy consumption of the inter-GPU
+// communication fabric and the compression hardware (Sec. VII-B), plus the
+// 7 nm area-overhead arithmetic of Sec. VII-C.
+package energy
+
+import "mgpucompress/internal/comp"
+
+// LinkClass categorizes the fabric by integration level (Sec. II).
+type LinkClass int
+
+// The four integration levels the paper discusses.
+const (
+	OnChip LinkClass = iota
+	MCM              // inter-die, on-package
+	Board            // inter-package / board / socket (NVLink, PCIe)
+	Node             // inter-system (InfiniBand)
+)
+
+// String names the link class.
+func (c LinkClass) String() string {
+	switch c {
+	case OnChip:
+		return "on-chip"
+	case MCM:
+		return "MCM (inter-die)"
+	case Board:
+		return "board (inter-package)"
+	case Node:
+		return "node (inter-system)"
+	default:
+		return "unknown"
+	}
+}
+
+// PJPerBit returns the transfer energy per bit for the link class, using
+// the midpoints of the ranges quoted in Sec. II: MCM 1-2 pJ/b, board
+// 10-12 pJ/b, node ≈250 pJ/b. The paper's Fig. 7 uses the MCM class.
+func (c LinkClass) PJPerBit() float64 {
+	switch c {
+	case OnChip:
+		return 0.1
+	case MCM:
+		return 1.5
+	case Board:
+		return 11
+	case Node:
+		return 250
+	default:
+		return 0
+	}
+}
+
+// Meter accumulates the two energy components of Fig. 7: fabric transfer
+// energy (signal toggles, proportional to bits moved) and the energy of the
+// compressor/decompressor circuits.
+type Meter struct {
+	Link LinkClass
+	// FabricPJ is the accumulated link transfer energy in pJ.
+	FabricPJ float64
+	// CodecPJ is the accumulated compression hardware energy in pJ.
+	CodecPJ float64
+}
+
+// NewMeter creates a meter for the given link class.
+func NewMeter(link LinkClass) *Meter { return &Meter{Link: link} }
+
+// AddTransfer charges the fabric energy for n bytes on the wire.
+func (m *Meter) AddTransfer(n int) {
+	m.FabricPJ += float64(n*8) * m.Link.PJPerBit()
+}
+
+// AddCodec charges compression-hardware energy in pJ.
+func (m *Meter) AddCodec(pj float64) { m.CodecPJ += pj }
+
+// TotalPJ is the combined fabric + codec energy.
+func (m *Meter) TotalPJ() float64 { return m.FabricPJ + m.CodecPJ }
+
+// R9Nano7nmAreaMM2 is the paper's estimate of an R9 Nano die shrunk to
+// 7 nm (Sec. VII-C).
+const R9Nano7nmAreaMM2 = 37.25
+
+// AreaOverheadPercent reproduces the Sec. VII-C calculation: the
+// compressor+decompressor area of alg as a percentage of the 7 nm R9 Nano
+// die.
+func AreaOverheadPercent(alg comp.Algorithm) float64 {
+	areaMM2 := comp.CostOf(alg).AreaUM2 / 1e6
+	return areaMM2 / R9Nano7nmAreaMM2 * 100
+}

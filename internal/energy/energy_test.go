@@ -1,0 +1,80 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"mgpucompress/internal/comp"
+)
+
+func TestLinkClassPJPerBitOrdering(t *testing.T) {
+	// Sec. II: energy per bit rises with integration distance.
+	classes := []LinkClass{OnChip, MCM, Board, Node}
+	for i := 1; i < len(classes); i++ {
+		if classes[i].PJPerBit() <= classes[i-1].PJPerBit() {
+			t.Errorf("%v (%v pJ/b) should cost more than %v (%v pJ/b)",
+				classes[i], classes[i].PJPerBit(), classes[i-1], classes[i-1].PJPerBit())
+		}
+	}
+	if MCM.PJPerBit() < 1 || MCM.PJPerBit() > 2 {
+		t.Errorf("MCM pJ/b = %v, want within the paper's 1-2 range", MCM.PJPerBit())
+	}
+	if Node.PJPerBit() != 250 {
+		t.Errorf("Node pJ/b = %v, want 250", Node.PJPerBit())
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter(MCM)
+	m.AddTransfer(64) // 512 bits × 1.5 pJ/b = 768 pJ
+	if math.Abs(m.FabricPJ-768) > 1e-9 {
+		t.Errorf("FabricPJ = %v, want 768", m.FabricPJ)
+	}
+	m.AddCodec(36.9)
+	m.AddCodec(1.3)
+	if math.Abs(m.CodecPJ-38.2) > 1e-9 {
+		t.Errorf("CodecPJ = %v, want 38.2", m.CodecPJ)
+	}
+	if math.Abs(m.TotalPJ()-(768+38.2)) > 1e-9 {
+		t.Errorf("TotalPJ = %v", m.TotalPJ())
+	}
+}
+
+func TestCodecEnergyNegligibleVsBoardTransfer(t *testing.T) {
+	// Sec. VII-B: 1.3-40 pJ per block is negligible against the ~10 pJ/b
+	// board-level transfer cost of a 512-bit block (≈5120 pJ).
+	transfer := 512 * Board.PJPerBit()
+	for _, c := range comp.AllCompressors() {
+		if e := c.Cost().BlockEnergyPJ(); e > transfer/100 {
+			t.Errorf("%v block energy %v pJ not negligible vs %v pJ transfer",
+				c.Algorithm(), e, transfer)
+		}
+	}
+}
+
+func TestAreaOverheadPercentSecVIIC(t *testing.T) {
+	// Sec. VII-C: BDI 4.35e-4 %, C-Pack+Z 2.06e-3 %, FPC 1.19e-2 %.
+	cases := []struct {
+		alg  comp.Algorithm
+		want float64
+	}{
+		{comp.BDI, 4.35e-4},
+		{comp.CPackZ, 2.06e-3},
+		{comp.FPC, 1.19e-2},
+	}
+	for _, c := range cases {
+		got := AreaOverheadPercent(c.alg)
+		if math.Abs(got-c.want)/c.want > 0.02 { // within 2 %
+			t.Errorf("AreaOverheadPercent(%v) = %.3e, want %.3e", c.alg, got, c.want)
+		}
+	}
+}
+
+func TestLinkClassString(t *testing.T) {
+	if OnChip.String() == "" || MCM.String() == "" || Board.String() == "" || Node.String() == "" {
+		t.Error("link classes must have names")
+	}
+	if LinkClass(99).String() != "unknown" {
+		t.Error("unknown link class")
+	}
+}

@@ -1,0 +1,225 @@
+package fabric
+
+import (
+	"fmt"
+
+	"mgpucompress/internal/sim"
+	"mgpucompress/internal/trace"
+)
+
+// Fabric abstracts the inter-GPU interconnect so the platform can swap the
+// paper's shared bus for richer topologies. The crossbar below exists for
+// the topology ablation: the paper's intro notes that "the design of the
+// inter-GPU network can impact performance significantly", and comparing
+// compression gains across topologies quantifies how much of the benefit
+// comes from relieving bus contention.
+type Fabric interface {
+	sim.Connection
+	// TotalBytes is everything delivered, headers and control included.
+	TotalBytes() uint64
+	// TotalMessages is the number of messages delivered.
+	TotalMessages() uint64
+	// Utilization is busy time over elapsed time (for a crossbar, averaged
+	// over the output links).
+	Utilization(now sim.Time) float64
+}
+
+// Topology names a fabric implementation.
+type Topology string
+
+// Supported topologies.
+const (
+	TopologyBus      Topology = "bus"      // the paper's shared bus
+	TopologyCrossbar Topology = "crossbar" // extension: full crossbar
+)
+
+// New builds the fabric selected by cfg.Topology (default: the paper's bus).
+func New(name string, engine *sim.Engine, cfg Config) Fabric {
+	switch cfg.Topology {
+	case TopologyCrossbar:
+		return NewCrossbar(name, engine, cfg)
+	case TopologyBus, "":
+		return NewBus(name, engine, cfg)
+	default:
+		panic(fmt.Sprintf("fabric: unknown topology %q", cfg.Topology))
+	}
+}
+
+// Crossbar is a non-blocking switch: every endpoint owns an input and an
+// output link of BytesPerCycle each, and transfers between disjoint
+// endpoint pairs proceed concurrently. A message occupies its source's
+// output link and its destination's input link for the same integral
+// number of cycles the bus would charge.
+type Crossbar struct {
+	sim.ComponentBase
+	engine *sim.Engine
+	ticker *sim.Ticker
+	cfg    Config
+
+	endpoints []*endpoint
+	byPort    map[*sim.Port]*endpoint
+	outBusy   map[*endpoint]sim.Time
+	inBusy    map[*sim.Port]sim.Time
+	nextRR    int
+
+	messagesSent uint64
+	bytesSent    uint64
+	busyCycles   uint64 // summed over output links
+}
+
+// NewCrossbar creates the switch.
+func NewCrossbar(name string, engine *sim.Engine, cfg Config) *Crossbar {
+	if cfg.BytesPerCycle <= 0 {
+		panic("fabric: BytesPerCycle must be positive")
+	}
+	c := &Crossbar{
+		ComponentBase: sim.NewComponentBase(name),
+		engine:        engine,
+		cfg:           cfg,
+		byPort:        make(map[*sim.Port]*endpoint),
+		outBusy:       make(map[*endpoint]sim.Time),
+		inBusy:        make(map[*sim.Port]sim.Time),
+	}
+	c.ticker = sim.NewTicker(engine, c)
+	return c
+}
+
+// Plug attaches an endpoint port.
+func (c *Crossbar) Plug(p *sim.Port) {
+	ep := &endpoint{port: p}
+	c.endpoints = append(c.endpoints, ep)
+	c.byPort[p] = ep
+	p.SetConnection(c)
+}
+
+// Send implements sim.Connection.
+func (c *Crossbar) Send(now sim.Time, m sim.Msg) bool {
+	src := m.Meta().Src
+	ep, ok := c.byPort[src]
+	if !ok {
+		panic(fmt.Sprintf("fabric %s: source port %s not plugged in", c.Name(), src.Name()))
+	}
+	if _, ok := c.byPort[m.Meta().Dst]; !ok {
+		panic(fmt.Sprintf("fabric %s: destination port %s not plugged in", c.Name(), m.Meta().Dst.Name()))
+	}
+	n := m.Meta().Bytes
+	if n <= 0 {
+		panic(fmt.Sprintf("fabric %s: message %d has no size", c.Name(), m.Meta().ID))
+	}
+	if ep.usedBytes+n > c.cfg.OutBufferBytes {
+		return false
+	}
+	m.Meta().SendTime = now
+	ep.queue = append(ep.queue, m)
+	ep.usedBytes += n
+	c.ticker.TickNow(now)
+	return true
+}
+
+// NotifyBufferFree implements sim.Connection.
+func (c *Crossbar) NotifyBufferFree(now sim.Time, _ *sim.Port) {
+	c.ticker.TickNow(now)
+}
+
+// xbarDeliverEvent completes one transfer.
+type xbarDeliverEvent struct {
+	sim.EventBase
+	msg   sim.Msg
+	start sim.Time
+}
+
+// Handle implements sim.Handler.
+func (c *Crossbar) Handle(e sim.Event) error {
+	switch evt := e.(type) {
+	case sim.TickEvent:
+		c.schedule(e.Time())
+		return nil
+	case xbarDeliverEvent:
+		c.messagesSent++
+		c.bytesSent += uint64(evt.msg.Meta().Bytes)
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.Record(trace.Transfer{
+				Start: evt.start,
+				End:   e.Time(),
+				Src:   evt.msg.Meta().Src.Name(),
+				Dst:   evt.msg.Meta().Dst.Name(),
+				Bytes: evt.msg.Meta().Bytes,
+				Kind:  fmt.Sprintf("%T", evt.msg),
+			})
+		}
+		evt.msg.Meta().Dst.Deliver(e.Time(), evt.msg)
+		c.schedule(e.Time())
+		return nil
+	default:
+		return fmt.Errorf("fabric %s: unexpected event %T", c.Name(), e)
+	}
+}
+
+// schedule starts every transfer whose source output link and destination
+// input link are both free, scanning sources round-robin.
+func (c *Crossbar) schedule(now sim.Time) {
+	n := len(c.endpoints)
+	if n == 0 {
+		return
+	}
+	started := true
+	for started {
+		started = false
+		for i := 0; i < n; i++ {
+			ep := c.endpoints[(c.nextRR+i)%n]
+			if len(ep.queue) == 0 {
+				continue
+			}
+			msg := ep.queue[0]
+			dst := msg.Meta().Dst
+			if c.outBusy[ep] > now || c.inBusy[dst] > now {
+				continue
+			}
+			if !dst.CanAccept(msg.Meta().Bytes) {
+				continue
+			}
+			ep.queue = ep.queue[1:]
+			ep.usedBytes -= msg.Meta().Bytes
+			cycles := sim.Time((msg.Meta().Bytes + c.cfg.BytesPerCycle - 1) / c.cfg.BytesPerCycle)
+			if cycles == 0 {
+				cycles = 1
+			}
+			done := now + cycles
+			c.outBusy[ep] = done
+			c.inBusy[dst] = done
+			c.busyCycles += uint64(cycles)
+			c.engine.Schedule(xbarDeliverEvent{
+				EventBase: sim.NewEventBase(done, c),
+				msg:       msg,
+				start:     now,
+			})
+			ep.port.Component().NotifyPortFree(now, ep.port)
+			c.nextRR = (c.nextRR + i + 1) % n
+			started = true
+			break
+		}
+	}
+}
+
+// TotalBytes implements Fabric.
+func (c *Crossbar) TotalBytes() uint64 { return c.bytesSent }
+
+// TotalMessages implements Fabric.
+func (c *Crossbar) TotalMessages() uint64 { return c.messagesSent }
+
+// Utilization implements Fabric: mean output-link utilization.
+func (c *Crossbar) Utilization(now sim.Time) float64 {
+	if now == 0 || len(c.endpoints) == 0 {
+		return 0
+	}
+	return float64(c.busyCycles) / float64(now) / float64(len(c.endpoints))
+}
+
+// QueuedMessages returns pending messages across endpoints (tests).
+func (c *Crossbar) QueuedMessages() int {
+	n := 0
+	for _, ep := range c.endpoints {
+		n += len(ep.queue)
+	}
+	return n
+}

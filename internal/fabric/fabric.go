@@ -1,0 +1,216 @@
+// Package fabric models the PCIe-like inter-GPU communication fabric of
+// Sec. VI-B: a shared bus moving 20 bytes per cycle at 1 GHz (160 Gb/s,
+// Table VII) on which only one message transmits at a time, each message
+// occupying an integral number of cycles. Endpoints (the CPU and the four
+// GPUs) arbitrate round-robin and own 4 KB output and input buffers so a
+// stalled endpoint does not block the bus.
+package fabric
+
+import (
+	"fmt"
+
+	"mgpucompress/internal/sim"
+	"mgpucompress/internal/trace"
+)
+
+// Config parameterizes the fabric.
+type Config struct {
+	// BytesPerCycle is the link width (paper: 20 B/cycle at 1 GHz).
+	BytesPerCycle int
+	// OutBufferBytes bounds each endpoint's output queue (paper: 4 KB).
+	OutBufferBytes int
+	// Topology selects the implementation: TopologyBus (paper, default)
+	// or TopologyCrossbar (extension).
+	Topology Topology
+	// Trace, when non-nil, records every completed transfer for offline
+	// timeline analysis.
+	Trace *trace.Log
+}
+
+// DefaultConfig returns the Table VII fabric (shared bus).
+func DefaultConfig() Config {
+	return Config{BytesPerCycle: 20, OutBufferBytes: 4 * 1024, Topology: TopologyBus}
+}
+
+type endpoint struct {
+	port      *sim.Port
+	queue     []sim.Msg
+	usedBytes int
+}
+
+// Bus is the shared fabric. It implements sim.Connection for the plugged
+// endpoint ports.
+type Bus struct {
+	sim.ComponentBase
+	engine *sim.Engine
+	ticker *sim.Ticker
+	cfg    Config
+
+	endpoints     []*endpoint
+	byPort        map[*sim.Port]*endpoint
+	nextRR        int
+	busyUntil     sim.Time
+	inFlight      sim.Msg
+	inFlightStart sim.Time
+
+	// Stats
+	MessagesSent uint64
+	BytesSent    uint64
+	BusyCycles   uint64
+}
+
+// NewBus creates the fabric.
+func NewBus(name string, engine *sim.Engine, cfg Config) *Bus {
+	if cfg.BytesPerCycle <= 0 {
+		panic("fabric: BytesPerCycle must be positive")
+	}
+	b := &Bus{
+		ComponentBase: sim.NewComponentBase(name),
+		engine:        engine,
+		cfg:           cfg,
+		byPort:        make(map[*sim.Port]*endpoint),
+	}
+	b.ticker = sim.NewTicker(engine, b)
+	return b
+}
+
+// Plug attaches an endpoint port to the bus.
+func (b *Bus) Plug(p *sim.Port) {
+	ep := &endpoint{port: p}
+	b.endpoints = append(b.endpoints, ep)
+	b.byPort[p] = ep
+	p.SetConnection(b)
+}
+
+// Send implements sim.Connection: enqueue into the source endpoint's output
+// buffer, or report false when the buffer is full (the sender retries after
+// NotifyPortFree).
+func (b *Bus) Send(now sim.Time, m sim.Msg) bool {
+	src := m.Meta().Src
+	ep, ok := b.byPort[src]
+	if !ok {
+		panic(fmt.Sprintf("fabric %s: source port %s not plugged in", b.Name(), src.Name()))
+	}
+	if _, ok := b.byPort[m.Meta().Dst]; !ok {
+		panic(fmt.Sprintf("fabric %s: destination port %s not plugged in", b.Name(), m.Meta().Dst.Name()))
+	}
+	n := m.Meta().Bytes
+	if n <= 0 {
+		panic(fmt.Sprintf("fabric %s: message %d has no size", b.Name(), m.Meta().ID))
+	}
+	if ep.usedBytes+n > b.cfg.OutBufferBytes {
+		return false
+	}
+	m.Meta().SendTime = now
+	ep.queue = append(ep.queue, m)
+	ep.usedBytes += n
+	b.ticker.TickNow(now)
+	return true
+}
+
+// NotifyBufferFree implements sim.Connection: a destination input buffer
+// freed up, so a head-of-line-blocked transfer may now proceed.
+func (b *Bus) NotifyBufferFree(now sim.Time, _ *sim.Port) {
+	b.ticker.TickNow(now)
+}
+
+// transferDoneEvent completes an in-flight transmission.
+type transferDoneEvent struct {
+	sim.EventBase
+}
+
+// Handle implements sim.Handler.
+func (b *Bus) Handle(e sim.Event) error {
+	switch e.(type) {
+	case sim.TickEvent:
+		b.arbitrate(e.Time())
+		return nil
+	case transferDoneEvent:
+		b.completeTransfer(e.Time())
+		return nil
+	default:
+		return fmt.Errorf("fabric %s: unexpected event %T", b.Name(), e)
+	}
+}
+
+// arbitrate starts the next transmission if the bus is idle: scan endpoints
+// round-robin and pick the first whose head message fits in its
+// destination's input buffer.
+func (b *Bus) arbitrate(now sim.Time) {
+	if b.inFlight != nil || len(b.endpoints) == 0 {
+		return
+	}
+	n := len(b.endpoints)
+	for i := 0; i < n; i++ {
+		ep := b.endpoints[(b.nextRR+i)%n]
+		if len(ep.queue) == 0 {
+			continue
+		}
+		msg := ep.queue[0]
+		if !msg.Meta().Dst.CanAccept(msg.Meta().Bytes) {
+			continue // head-of-line blocked; try another endpoint
+		}
+		// Claim the bus.
+		ep.queue = ep.queue[1:]
+		ep.usedBytes -= msg.Meta().Bytes
+		b.nextRR = (b.nextRR + i + 1) % n
+		b.inFlight = msg
+		b.inFlightStart = now
+		cycles := sim.Time((msg.Meta().Bytes + b.cfg.BytesPerCycle - 1) / b.cfg.BytesPerCycle)
+		if cycles == 0 {
+			cycles = 1
+		}
+		b.busyUntil = now + cycles
+		b.BusyCycles += uint64(cycles)
+		b.engine.Schedule(transferDoneEvent{EventBase: sim.NewEventBase(b.busyUntil, b)})
+		// Wake the sender: output space freed.
+		ep.port.Component().NotifyPortFree(now, ep.port)
+		return
+	}
+}
+
+func (b *Bus) completeTransfer(now sim.Time) {
+	msg := b.inFlight
+	b.inFlight = nil
+	b.MessagesSent++
+	b.BytesSent += uint64(msg.Meta().Bytes)
+	if b.cfg.Trace != nil {
+		b.cfg.Trace.Record(trace.Transfer{
+			Start: b.inFlightStart,
+			End:   now,
+			Src:   msg.Meta().Src.Name(),
+			Dst:   msg.Meta().Dst.Name(),
+			Bytes: msg.Meta().Bytes,
+			Kind:  fmt.Sprintf("%T", msg),
+		})
+	}
+	msg.Meta().Dst.Deliver(now, msg)
+	b.arbitrate(now)
+}
+
+// Utilization returns busy cycles divided by total elapsed cycles.
+func (b *Bus) Utilization(now sim.Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(b.BusyCycles) / float64(now)
+}
+
+// TotalBytes implements Fabric.
+func (b *Bus) TotalBytes() uint64 { return b.BytesSent }
+
+// TotalMessages implements Fabric.
+func (b *Bus) TotalMessages() uint64 { return b.MessagesSent }
+
+// QueuedMessages returns the number of messages waiting across all
+// endpoints (for tests and debugging).
+func (b *Bus) QueuedMessages() int {
+	n := 0
+	for _, ep := range b.endpoints {
+		n += len(ep.queue)
+	}
+	if b.inFlight != nil {
+		n++
+	}
+	return n
+}

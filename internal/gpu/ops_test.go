@@ -1,0 +1,25 @@
+package gpu
+
+import "testing"
+
+func TestKernelValidate(t *testing.T) {
+	ok := &Kernel{Name: "k", NumWorkgroups: 1, Program: func(int) [][]Op { return nil }}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid kernel rejected: %v", err)
+	}
+	noWG := &Kernel{Name: "k", NumWorkgroups: 0, Program: func(int) [][]Op { return nil }}
+	if err := noWG.Validate(); err == nil {
+		t.Error("kernel with zero workgroups accepted")
+	}
+	noProg := &Kernel{Name: "k", NumWorkgroups: 1}
+	if err := noProg.Validate(); err == nil {
+		t.Error("kernel without program accepted")
+	}
+}
+
+func TestOpTypesImplementOp(t *testing.T) {
+	var _ Op = ComputeOp{}
+	var _ Op = ReadOp{}
+	var _ Op = WriteOp{}
+	var _ Op = BarrierOp{}
+}

@@ -1,0 +1,144 @@
+package mem
+
+import (
+	"fmt"
+
+	"mgpucompress/internal/sim"
+)
+
+// DRAMConfig sets the channel timing. The defaults approximate one HBM
+// channel of the R9 Nano: 512 GB/s aggregate over 32 channels at 1 GHz is
+// 16 B/cycle/channel, i.e. a 64 B line every 4 cycles, with ~120 cycles of
+// access latency.
+type DRAMConfig struct {
+	AccessLatency    sim.Time // cycles from dequeue to data
+	CyclesPerLine    sim.Time // minimum spacing between line services
+	MaxPendingWrites int      // writes buffered before back-pressure
+	MaxPendingReads  int
+	PortBufferBytes  int
+}
+
+// DefaultDRAMConfig returns the R9 Nano-like defaults.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		AccessLatency:    120,
+		CyclesPerLine:    4,
+		MaxPendingWrites: 64,
+		MaxPendingReads:  64,
+		PortBufferBytes:  16 * 1024,
+	}
+}
+
+// DRAM models one memory channel. It services requests in order at a fixed
+// line rate and applies the functional read/write on the Space when each
+// request completes, so the data a response carries is exact.
+type DRAM struct {
+	sim.ComponentBase
+	engine *sim.Engine
+	ticker *sim.Ticker
+	cfg    DRAMConfig
+	space  *Space
+
+	// Top is the single request/response port.
+	Top *sim.Port
+
+	busyUntil sim.Time
+	inflight  int
+
+	// Stats
+	Reads  uint64
+	Writes uint64
+}
+
+// NewDRAM builds a channel controller bound to space.
+func NewDRAM(name string, engine *sim.Engine, space *Space, cfg DRAMConfig) *DRAM {
+	d := &DRAM{
+		ComponentBase: sim.NewComponentBase(name),
+		engine:        engine,
+		cfg:           cfg,
+		space:         space,
+	}
+	d.Top = sim.NewPort(d, name+".Top", cfg.PortBufferBytes)
+	d.ticker = sim.NewTicker(engine, d)
+	return d
+}
+
+// NotifyRecv implements sim.Component.
+func (d *DRAM) NotifyRecv(now sim.Time, _ *sim.Port) { d.ticker.TickNow(now) }
+
+// NotifyPortFree implements sim.Component.
+func (d *DRAM) NotifyPortFree(now sim.Time, _ *sim.Port) { d.ticker.TickNow(now) }
+
+// dramDoneEvent fires when an access completes and its response can be sent.
+type dramDoneEvent struct {
+	sim.EventBase
+	req sim.Msg
+}
+
+// Handle implements sim.Handler: ticks dequeue requests, done events send
+// responses.
+func (d *DRAM) Handle(e sim.Event) error {
+	switch evt := e.(type) {
+	case sim.TickEvent:
+		d.tick(e.Time())
+		return nil
+	case dramDoneEvent:
+		return d.complete(e.Time(), evt.req)
+	default:
+		return fmt.Errorf("%s: unexpected event %T", d.Name(), e)
+	}
+}
+
+func (d *DRAM) tick(now sim.Time) {
+	for {
+		if now < d.busyUntil {
+			d.ticker.TickAt(d.busyUntil)
+			return
+		}
+		msg := d.Top.Peek()
+		if msg == nil {
+			return
+		}
+		switch msg.(type) {
+		case *ReadReq:
+			if d.inflight >= d.cfg.MaxPendingReads {
+				return
+			}
+		case *WriteReq:
+			if d.inflight >= d.cfg.MaxPendingWrites {
+				return
+			}
+		default:
+			panic(fmt.Sprintf("%s: unexpected message %T", d.Name(), msg))
+		}
+		d.Top.Retrieve(now)
+		d.inflight++
+		d.busyUntil = now + d.cfg.CyclesPerLine
+		d.engine.Schedule(dramDoneEvent{
+			EventBase: sim.NewEventBase(now+d.cfg.AccessLatency, d),
+			req:       msg,
+		})
+	}
+}
+
+func (d *DRAM) complete(now sim.Time, msg sim.Msg) error {
+	d.inflight--
+	switch req := msg.(type) {
+	case *ReadReq:
+		d.Reads++
+		data := d.space.Read(req.Addr, req.N)
+		rsp := NewDataReady(d.Top, req.Src, req.ID, req.Addr, data)
+		if !d.Top.Send(now, rsp) {
+			return fmt.Errorf("%s: response rejected by connection", d.Name())
+		}
+	case *WriteReq:
+		d.Writes++
+		d.space.Write(req.Addr, req.Data)
+		ack := NewWriteACK(d.Top, req.Src, req.ID, req.Addr)
+		if !d.Top.Send(now, ack) {
+			return fmt.Errorf("%s: ack rejected by connection", d.Name())
+		}
+	}
+	d.ticker.TickNow(now)
+	return nil
+}

@@ -1,0 +1,299 @@
+// Package platform assembles the full simulated system of Fig. 3: four
+// R9 Nano-class GPUs (compute units, private L1 vector caches, eight L2
+// banks and eight DRAM channels each, and an RDMA engine) around a shared
+// PCIe-like bus fabric, plus the host driver and its own RDMA engine for
+// kernel argument traffic.
+package platform
+
+import (
+	"fmt"
+
+	"mgpucompress/internal/cache"
+	"mgpucompress/internal/core"
+	"mgpucompress/internal/fabric"
+	"mgpucompress/internal/gpu"
+	"mgpucompress/internal/mem"
+	"mgpucompress/internal/rdma"
+	"mgpucompress/internal/sim"
+)
+
+// Config parameterizes the platform. Zero fields take Table VII defaults at
+// a reduced test scale (4 CUs per GPU); set CUsPerGPU to 64 for the paper's
+// full R9 Nano scale.
+type Config struct {
+	NumGPUs   int
+	CUsPerGPU int
+	// L2Banks is the number of L2 banks and DRAM channels per GPU.
+	L2Banks int
+	CU      gpu.CUConfig
+	L1      cache.Config
+	L2      cache.Config
+	DRAM    mem.DRAMConfig
+	Fabric  fabric.Config
+	// NewPolicy builds the compression policy for each compressing
+	// endpoint: GPUs 0..NumGPUs-1 and the host (index NumGPUs). Nil means
+	// no compression anywhere.
+	NewPolicy func(unit int) core.Policy
+	// Recorder observes all RDMA traffic (may be nil).
+	Recorder rdma.Recorder
+	// ArgBufferBytes sizes the per-GPU kernel-argument buffer.
+	ArgBufferBytes uint64
+	// RemoteCache, when non-nil, inserts a per-GPU cache for REMOTE data
+	// between the L1s and the RDMA engine — the "new cache level for
+	// remote data" of Arunkumar et al.'s MCM-GPU design, which the paper
+	// discusses as related work. It is invalidated at kernel boundaries
+	// like the L1s. Nil (the default) reproduces the paper's system,
+	// which does not cache remote data.
+	RemoteCache *cache.Config
+}
+
+// RemoteCacheConfig returns a reasonable L1.5 geometry for the extension:
+// 128 KB, 8-way per GPU.
+func RemoteCacheConfig() cache.Config {
+	return cache.Config{
+		SizeBytes:       128 * 1024,
+		Ways:            8,
+		LineSize:        mem.LineSize,
+		HitLatency:      8,
+		IssueWidth:      4,
+		MaxMSHR:         32,
+		PortBufferBytes: 8 * 1024,
+	}
+}
+
+// DefaultConfig returns the test-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumGPUs:        4,
+		CUsPerGPU:      4,
+		L2Banks:        mem.ChannelsPerPU,
+		CU:             gpu.DefaultCUConfig(),
+		L1:             cache.L1Config(),
+		L2:             cache.L2Config(),
+		DRAM:           mem.DefaultDRAMConfig(),
+		Fabric:         fabric.DefaultConfig(),
+		ArgBufferBytes: 4096,
+	}
+}
+
+// FullConfig returns the paper-scale configuration (64 CUs per GPU).
+func FullConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CUsPerGPU = 64
+	return cfg
+}
+
+// Device groups one GPU's components.
+type Device struct {
+	Index int
+	CUs   []*gpu.CU
+	L1s   []*cache.Cache
+	L2s   []*cache.Cache
+	DRAMs []*mem.DRAM
+	RDMA  *rdma.Engine
+	CP    *gpu.CommandProcessor
+	// RemoteCache is the optional L1.5 for remote data (nil when the
+	// platform reproduces the paper's configuration).
+	RemoteCache *cache.Cache
+}
+
+// Platform is the assembled multi-GPU system.
+type Platform struct {
+	Engine   *sim.Engine
+	Space    *mem.Space
+	Bus      fabric.Fabric
+	Driver   *gpu.Driver
+	HostRDMA *rdma.Engine
+	GPUs     []*Device
+	cfg      Config
+}
+
+// New builds and wires the platform.
+func New(cfg Config) *Platform {
+	base := DefaultConfig()
+	if cfg.NumGPUs == 0 {
+		cfg.NumGPUs = base.NumGPUs
+	}
+	if cfg.CUsPerGPU == 0 {
+		cfg.CUsPerGPU = base.CUsPerGPU
+	}
+	if cfg.L2Banks == 0 {
+		cfg.L2Banks = base.L2Banks
+	}
+	if cfg.CU.IssueWidth == 0 {
+		cfg.CU = base.CU
+	}
+	if cfg.L1.SizeBytes == 0 {
+		cfg.L1 = base.L1
+	}
+	if cfg.L2.SizeBytes == 0 {
+		cfg.L2 = base.L2
+	}
+	if cfg.DRAM.AccessLatency == 0 {
+		cfg.DRAM = base.DRAM
+	}
+	if cfg.Fabric.BytesPerCycle == 0 {
+		cfg.Fabric = base.Fabric
+	}
+	if cfg.ArgBufferBytes == 0 {
+		cfg.ArgBufferBytes = base.ArgBufferBytes
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = rdma.NopRecorder{}
+	}
+
+	p := &Platform{
+		Engine: sim.NewEngine(),
+		cfg:    cfg,
+	}
+	p.Space = mem.NewSpace(cfg.NumGPUs)
+	p.Bus = fabric.New("Fabric", p.Engine, cfg.Fabric)
+	p.Driver = gpu.NewDriver("Driver", p.Engine, p.Space)
+
+	policy := func(unit int) core.Policy {
+		if cfg.NewPolicy == nil {
+			return core.Uncompressed{}
+		}
+		return cfg.NewPolicy(unit)
+	}
+
+	// Host RDMA: carries the driver's kernel-argument writes.
+	p.HostRDMA = rdma.New("Host.RDMA", p.Engine, cfg.NumGPUs, policy(cfg.NumGPUs), cfg.Recorder)
+	p.HostRDMA.OwnerOf = p.Space.GPUOf
+	p.HostRDMA.L2Router = func(addr uint64) *sim.Port {
+		panic(fmt.Sprintf("platform: request for address %#x routed into the host", addr))
+	}
+
+	for g := 0; g < cfg.NumGPUs; g++ {
+		p.GPUs = append(p.GPUs, p.buildGPU(g, policy(g)))
+	}
+
+	// RemotePort directories.
+	remote := func(unit int) *sim.Port {
+		if unit == cfg.NumGPUs {
+			return p.HostRDMA.ToFabric
+		}
+		return p.GPUs[unit].RDMA.ToFabric
+	}
+	p.HostRDMA.RemotePort = remote
+	for _, dev := range p.GPUs {
+		dev.RDMA.RemotePort = remote
+	}
+
+	// Bus endpoints: per paper, the CPU and GPUs arbitrate round-robin.
+	p.Bus.Plug(p.HostRDMA.ToFabric)
+	p.Bus.Plug(p.Driver.Ctrl)
+	for _, dev := range p.GPUs {
+		p.Bus.Plug(dev.RDMA.ToFabric)
+		p.Bus.Plug(dev.CP.ToFabric)
+	}
+
+	// Driver wiring.
+	hostConn := sim.NewDirectConnection("Host.conn", p.Engine, 1)
+	hostConn.Plug(p.Driver.ToRDMA)
+	hostConn.Plug(p.HostRDMA.ToL1)
+	p.Driver.RDMAPort = p.HostRDMA.ToL1
+	for _, dev := range p.GPUs {
+		p.Driver.CPPorts = append(p.Driver.CPPorts, dev.CP.ToFabric)
+		p.Driver.ArgBuffers = append(p.Driver.ArgBuffers,
+			p.Space.AllocOnGPU(dev.Index, cfg.ArgBufferBytes))
+	}
+	p.Driver.InvalidateL1s = func() {
+		for _, dev := range p.GPUs {
+			for _, l1 := range dev.L1s {
+				l1.Invalidate()
+			}
+			if dev.RemoteCache != nil {
+				dev.RemoteCache.Invalidate()
+			}
+		}
+	}
+	return p
+}
+
+func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
+	cfg := p.cfg
+	name := fmt.Sprintf("GPU%d", g)
+	dev := &Device{Index: g}
+
+	dev.RDMA = rdma.New(name+".RDMA", p.Engine, g, policy, cfg.Recorder)
+	dev.RDMA.OwnerOf = p.Space.GPUOf
+
+	// DRAM channels and L2 banks.
+	dramConn := sim.NewDirectConnection(name+".dram", p.Engine, 2)
+	for ch := 0; ch < cfg.L2Banks; ch++ {
+		d := mem.NewDRAM(fmt.Sprintf("%s.DRAM%d", name, ch), p.Engine, p.Space, cfg.DRAM)
+		dev.DRAMs = append(dev.DRAMs, d)
+		l2 := cache.New(fmt.Sprintf("%s.L2_%d", name, ch), p.Engine, p.Space, cfg.L2)
+		dev.L2s = append(dev.L2s, l2)
+		dramConn.Plug(l2.Bottom)
+		dramConn.Plug(d.Top)
+		dramTop := d.Top
+		l2.Router = func(uint64) *sim.Port { return dramTop }
+	}
+
+	// Intra-GPU crossbar: L1 bottoms, L2 tops, and the RDMA's two local
+	// ports.
+	xbar := sim.NewDirectConnection(name+".xbar", p.Engine, 3)
+	for _, l2 := range dev.L2s {
+		xbar.Plug(l2.Top)
+	}
+	xbar.Plug(dev.RDMA.ToL1)
+	xbar.Plug(dev.RDMA.ToL2)
+	dev.RDMA.L2Router = func(addr uint64) *sim.Port {
+		return dev.L2s[p.Space.ChannelOf(addr)].Top
+	}
+
+	// Optional remote cache (L1.5) between the L1s and the RDMA engine.
+	// Its top and bottom ports both live on the intra-GPU crossbar: L1s
+	// route remote addresses to rc.Top, and rc misses go to the RDMA.
+	remotePort := dev.RDMA.ToL1
+	if cfg.RemoteCache != nil {
+		rcCfg := *cfg.RemoteCache
+		rcCfg.Cacheable = func(addr uint64) bool { return p.Space.GPUOf(addr) != g }
+		rc := cache.New(name+".L1_5", p.Engine, p.Space, rcCfg)
+		rc.Router = func(uint64) *sim.Port { return dev.RDMA.ToL1 }
+		xbar.Plug(rc.Top)
+		xbar.Plug(rc.Bottom)
+		dev.RemoteCache = rc
+		remotePort = rc.Top
+	}
+
+	// CUs and their private L1 vector caches.
+	cuConn := sim.NewDirectConnection(name+".cu", p.Engine, 1)
+	l1cfg := cfg.L1
+	l1cfg.Cacheable = func(addr uint64) bool { return p.Space.GPUOf(addr) == g }
+	for i := 0; i < cfg.CUsPerGPU; i++ {
+		l1 := cache.New(fmt.Sprintf("%s.L1_%d", name, i), p.Engine, p.Space, l1cfg)
+		l1.Router = func(addr uint64) *sim.Port {
+			if p.Space.GPUOf(addr) == g {
+				return dev.L2s[p.Space.ChannelOf(addr)].Top
+			}
+			return remotePort
+		}
+		xbar.Plug(l1.Bottom)
+		cu := gpu.NewCU(fmt.Sprintf("%s.CU%d", name, i), p.Engine, cfg.CU)
+		cuConn.Plug(cu.ToL1)
+		cuConn.Plug(l1.Top)
+		cu.SetL1(l1.Top)
+		dev.CUs = append(dev.CUs, cu)
+		dev.L1s = append(dev.L1s, l1)
+	}
+
+	dev.CP = gpu.NewCommandProcessor(name+".CP", p.Engine, g)
+	dev.CP.CUs = dev.CUs
+	return dev
+}
+
+// TotalCUs returns the number of CUs across all GPUs.
+func (p *Platform) TotalCUs() int {
+	n := 0
+	for _, dev := range p.GPUs {
+		n += len(dev.CUs)
+	}
+	return n
+}
+
+// ExecCycles returns the current simulated time, i.e. the execution time in
+// cycles at 1 GHz.
+func (p *Platform) ExecCycles() sim.Time { return p.Engine.Now() }

@@ -1,0 +1,107 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats aggregates the platform's hardware counters after a run — the
+// hit rates, access counts and utilizations a simulator user reaches for
+// first when a number looks off.
+type Stats struct {
+	ExecCycles uint64
+
+	L1Hits, L1Misses, L1Coalesced, L1Bypassed uint64
+	L2Hits, L2Misses                          uint64
+	DRAMReads, DRAMWrites                     uint64
+
+	RDMAReadsSent, RDMAWritesSent     uint64
+	RDMAReadsServed, RDMAWritesServed uint64
+
+	WGsRetired     uint64
+	MemOpsIssued   uint64
+	FabricBytes    uint64
+	FabricMessages uint64
+	FabricUtil     float64
+
+	RemoteCacheHits, RemoteCacheMisses uint64
+	HasRemoteCache                     bool
+}
+
+// CollectStats gathers counters from every component.
+func (p *Platform) CollectStats() Stats {
+	s := Stats{
+		ExecCycles:     uint64(p.ExecCycles()),
+		FabricBytes:    p.Bus.TotalBytes(),
+		FabricMessages: p.Bus.TotalMessages(),
+		FabricUtil:     p.Bus.Utilization(p.ExecCycles()),
+	}
+	for _, dev := range p.GPUs {
+		for _, l1 := range dev.L1s {
+			s.L1Hits += l1.Hits
+			s.L1Misses += l1.Misses
+			s.L1Coalesced += l1.Coalesced
+			s.L1Bypassed += l1.Bypassed
+		}
+		for _, l2 := range dev.L2s {
+			s.L2Hits += l2.Hits
+			s.L2Misses += l2.Misses
+		}
+		for _, d := range dev.DRAMs {
+			s.DRAMReads += d.Reads
+			s.DRAMWrites += d.Writes
+		}
+		for _, cu := range dev.CUs {
+			s.WGsRetired += cu.WGsRetired
+			s.MemOpsIssued += cu.MemReadsIssued + cu.MemWritesIssued
+		}
+		s.RDMAReadsSent += dev.RDMA.ReadsSent
+		s.RDMAWritesSent += dev.RDMA.WritesSent
+		s.RDMAReadsServed += dev.RDMA.ReadsServed
+		s.RDMAWritesServed += dev.RDMA.WritesServed
+		if dev.RemoteCache != nil {
+			s.HasRemoteCache = true
+			s.RemoteCacheHits += dev.RemoteCache.Hits
+			s.RemoteCacheMisses += dev.RemoteCache.Misses
+		}
+	}
+	// The host RDMA's kernel-argument writes are served by GPU RDMAs too.
+	s.RDMAReadsSent += p.HostRDMA.ReadsSent
+	s.RDMAWritesSent += p.HostRDMA.WritesSent
+	s.RDMAReadsServed += p.HostRDMA.ReadsServed
+	s.RDMAWritesServed += p.HostRDMA.WritesServed
+	return s
+}
+
+func rate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// L1HitRate is hits over lookups (bypassed remote accesses excluded).
+func (s Stats) L1HitRate() float64 { return rate(s.L1Hits, s.L1Misses) }
+
+// L2HitRate is hits over lookups.
+func (s Stats) L2HitRate() float64 { return rate(s.L2Hits, s.L2Misses) }
+
+// String renders the counter report.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "exec cycles        %d\n", s.ExecCycles)
+	fmt.Fprintf(&sb, "workgroups retired %d   CU memory ops %d\n", s.WGsRetired, s.MemOpsIssued)
+	fmt.Fprintf(&sb, "L1: %d hits / %d misses (%.1f%%), %d coalesced, %d remote bypasses\n",
+		s.L1Hits, s.L1Misses, 100*s.L1HitRate(), s.L1Coalesced, s.L1Bypassed)
+	if s.HasRemoteCache {
+		fmt.Fprintf(&sb, "L1.5 (remote): %d hits / %d misses (%.1f%%)\n",
+			s.RemoteCacheHits, s.RemoteCacheMisses, 100*rate(s.RemoteCacheHits, s.RemoteCacheMisses))
+	}
+	fmt.Fprintf(&sb, "L2: %d hits / %d misses (%.1f%%)\n", s.L2Hits, s.L2Misses, 100*s.L2HitRate())
+	fmt.Fprintf(&sb, "DRAM: %d reads, %d writes\n", s.DRAMReads, s.DRAMWrites)
+	fmt.Fprintf(&sb, "RDMA: sent %d reads / %d writes, served %d reads / %d writes\n",
+		s.RDMAReadsSent, s.RDMAWritesSent, s.RDMAReadsServed, s.RDMAWritesServed)
+	fmt.Fprintf(&sb, "fabric: %d messages, %d bytes, %.0f%% busy\n",
+		s.FabricMessages, s.FabricBytes, 100*s.FabricUtil)
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+// Package rdma implements the per-GPU Remote Direct Memory Access engine
+// (Fig. 3) and the inter-GPU wire protocol of Fig. 4. The RDMA engine is
+// where the paper's compression happens: outgoing payloads (Data-Ready and
+// Write messages) pass through a core.Policy, the chosen algorithm is
+// carried in the 4-bit Comp Alg header field, and receivers either
+// decompress or — when Comp Alg is 0 — bypass the decompressor entirely.
+package rdma
+
+import (
+	"mgpucompress/internal/comp"
+	"mgpucompress/internal/sim"
+)
+
+// Header sizes in bytes, from Fig. 4. Only the payload is ever compressed;
+// headers always travel in full.
+const (
+	ReadReqHeaderBytes   = 16 // MsgType(4) MsgID(16) PhyAddr(48) Length(32) Reserved(28)
+	DataReadyHeaderBytes = 4  // MsgType(4) RspID(16) CompAlg(4) Reserved(8)
+	WriteReqHeaderBytes  = 16 // MsgType(4) MsgID(16) PhyAddr(48) CompAlg(4) Length(32) Reserved(24)
+	WriteACKHeaderBytes  = 4  // MsgType(4) RspID(16) Reserved(12)
+)
+
+// ReadReq asks the owner GPU for N bytes at Addr.
+type ReadReq struct {
+	sim.MsgMeta
+	Addr uint64
+	N    int
+}
+
+// Meta implements sim.Msg.
+func (m *ReadReq) Meta() *sim.MsgMeta { return &m.MsgMeta }
+
+// Payload is a possibly-compressed line carried by DataReady and WriteReq
+// messages.
+type Payload struct {
+	// Alg is the Comp Alg field: comp.None means Raw holds the bytes and
+	// the receiver bypasses the decompressor.
+	Alg comp.Algorithm
+	// Enc is the compressed encoding (valid when Alg != comp.None).
+	Enc comp.Encoded
+	// Raw holds the uncompressed bytes (valid when Alg == comp.None).
+	Raw []byte
+	// RawLen is the original payload length in bytes.
+	RawLen int
+}
+
+// WireBytes is the payload's size on the fabric.
+func (p Payload) WireBytes() int {
+	if p.Alg == comp.None {
+		return len(p.Raw)
+	}
+	return p.Enc.WireBytes()
+}
+
+// Decode returns the original bytes, decompressing if needed.
+func (p Payload) Decode() ([]byte, error) {
+	if p.Alg == comp.None {
+		return p.Raw, nil
+	}
+	return comp.NewCompressor(p.Alg).Decompress(p.Enc)
+}
+
+// DataReady answers a ReadReq.
+type DataReady struct {
+	sim.MsgMeta
+	RspTo   uint64
+	Addr    uint64
+	Payload Payload
+}
+
+// Meta implements sim.Msg.
+func (m *DataReady) Meta() *sim.MsgMeta { return &m.MsgMeta }
+
+// WriteReq carries data to store at Addr on the owner GPU.
+type WriteReq struct {
+	sim.MsgMeta
+	Addr    uint64
+	Payload Payload
+}
+
+// Meta implements sim.Msg.
+func (m *WriteReq) Meta() *sim.MsgMeta { return &m.MsgMeta }
+
+// WriteACK acknowledges a WriteReq.
+type WriteACK struct {
+	sim.MsgMeta
+	RspTo uint64
+}
+
+// Meta implements sim.Msg.
+func (m *WriteACK) Meta() *sim.MsgMeta { return &m.MsgMeta }

@@ -1,0 +1,398 @@
+package rdma
+
+import (
+	"fmt"
+
+	"mgpucompress/internal/comp"
+	"mgpucompress/internal/core"
+	"mgpucompress/internal/mem"
+	"mgpucompress/internal/sim"
+	"mgpucompress/internal/stats"
+)
+
+// Recorder observes traffic at the compression points. The experiment
+// runner implements it to build Tables V/VI and Figures 1/5/6/7.
+type Recorder interface {
+	// RemoteRead is called when a read request leaves gpu for a remote
+	// owner.
+	RemoteRead(gpu int)
+	// RemoteWrite is called when a write request leaves gpu.
+	RemoteWrite(gpu int)
+	// Payload is called for every payload-bearing transfer entering the
+	// fabric, with the original bytes and the policy's decision.
+	Payload(line []byte, d core.Decision)
+	// Header is called with the header bytes of every wire message.
+	Header(bytes int)
+}
+
+// NopRecorder discards all observations.
+type NopRecorder struct{}
+
+// RemoteRead implements Recorder.
+func (NopRecorder) RemoteRead(int) {}
+
+// RemoteWrite implements Recorder.
+func (NopRecorder) RemoteWrite(int) {}
+
+// Payload implements Recorder.
+func (NopRecorder) Payload([]byte, core.Decision) {}
+
+// Header implements Recorder.
+func (NopRecorder) Header(int) {}
+
+// Engine is the per-GPU RDMA engine. It faces three ways:
+//
+//   - ToL1 receives remote-destined mem.ReadReq/mem.WriteReq from the GPU's
+//     L1 caches and returns their responses;
+//   - ToFabric is plugged into the inter-GPU bus;
+//   - ToL2 issues incoming remote requests into the GPU's own L2 banks.
+//
+// Outgoing payloads are compressed by the policy; incoming payloads are
+// decompressed (with the codec's latency) unless Comp Alg is 0.
+type Engine struct {
+	sim.ComponentBase
+	engine *sim.Engine
+	ticker *sim.Ticker
+
+	GPU    int
+	Policy core.Policy
+	Rec    Recorder
+
+	ToL1     *sim.Port
+	ToFabric *sim.Port
+	ToL2     *sim.Port
+
+	// OwnerOf maps an address to its owning GPU.
+	OwnerOf func(addr uint64) int
+	// RemotePort maps a GPU ID to its RDMA fabric port.
+	RemotePort func(gpu int) *sim.Port
+	// L2Router maps a local address to the L2 bank port serving it.
+	L2Router func(addr uint64) *sim.Port
+
+	// outQueue holds wire messages that did not fit in the fabric's 4 KB
+	// per-endpoint output buffer. The fabric enforces the paper's buffer
+	// bound; this queue models the engine's internal pipeline registers
+	// upstream of it and is drained strictly in order.
+	outQueue []sim.Msg
+
+	// request tracking
+	pendingReads  map[uint64]pendingRead   // wire ReadReq ID -> original local request
+	pendingWrites map[uint64]*mem.WriteReq // wire WriteReq ID -> original
+	// incoming remote requests forwarded into local L2
+	serviceReads  map[uint64]*ReadReq  // local L2 ReadReq ID -> wire request
+	serviceWrites map[uint64]*WriteReq // local L2 WriteReq ID -> wire request
+
+	// Stats
+	ReadsSent    uint64
+	WritesSent   uint64
+	ReadsServed  uint64
+	WritesServed uint64
+	// ReadLatency records, per completed remote read, the cycles from the
+	// request leaving this engine to the decompressed data reaching the
+	// requesting L1 — the end-to-end remote access latency.
+	ReadLatency stats.Histogram
+}
+
+type pendingRead struct {
+	req    *mem.ReadReq
+	issued sim.Time
+}
+
+// New creates an RDMA engine for the given GPU index.
+func New(name string, engine *sim.Engine, gpu int, policy core.Policy, rec Recorder) *Engine {
+	if rec == nil {
+		rec = NopRecorder{}
+	}
+	e := &Engine{
+		ComponentBase: sim.NewComponentBase(name),
+		engine:        engine,
+		GPU:           gpu,
+		Policy:        policy,
+		Rec:           rec,
+		pendingReads:  make(map[uint64]pendingRead),
+		pendingWrites: make(map[uint64]*mem.WriteReq),
+		serviceReads:  make(map[uint64]*ReadReq),
+		serviceWrites: make(map[uint64]*WriteReq),
+	}
+	e.ToL1 = sim.NewPort(e, name+".ToL1", 8*1024)
+	e.ToFabric = sim.NewPort(e, name+".ToFabric", 4*1024) // paper: 4 KB input buffer
+	e.ToL2 = sim.NewPort(e, name+".ToL2", 8*1024)
+	e.ticker = sim.NewTicker(engine, e)
+	return e
+}
+
+// NotifyRecv implements sim.Component.
+func (e *Engine) NotifyRecv(now sim.Time, _ *sim.Port) { e.ticker.TickNow(now) }
+
+// NotifyPortFree implements sim.Component.
+func (e *Engine) NotifyPortFree(now sim.Time, _ *sim.Port) { e.ticker.TickNow(now) }
+
+// delayedSendEvent enqueues a wire message for the fabric after the
+// compression latency has elapsed.
+type delayedSendEvent struct {
+	sim.EventBase
+	msg sim.Msg
+}
+
+// delayedDeliverEvent finishes decompression of an incoming payload.
+type delayedDeliverEvent struct {
+	sim.EventBase
+	deliver func(now sim.Time) error
+}
+
+// Handle implements sim.Handler.
+func (e *Engine) Handle(ev sim.Event) error {
+	switch evt := ev.(type) {
+	case sim.TickEvent:
+		return e.tick(ev.Time())
+	case delayedSendEvent:
+		e.outQueue = append(e.outQueue, evt.msg)
+		e.drainOutQueue(ev.Time())
+		return nil
+	case delayedDeliverEvent:
+		return evt.deliver(ev.Time())
+	default:
+		return fmt.Errorf("%s: unexpected event %T", e.Name(), ev)
+	}
+}
+
+func (e *Engine) tick(now sim.Time) error {
+	e.drainOutQueue(now)
+	for i := 0; i < 8; i++ {
+		progress := false
+		if msg := e.ToL1.Retrieve(now); msg != nil {
+			if err := e.handleLocal(now, msg); err != nil {
+				return err
+			}
+			progress = true
+		}
+		if msg := e.ToFabric.Retrieve(now); msg != nil {
+			if err := e.handleWire(now, msg); err != nil {
+				return err
+			}
+			progress = true
+		}
+		if msg := e.ToL2.Retrieve(now); msg != nil {
+			if err := e.handleL2Response(now, msg); err != nil {
+				return err
+			}
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	if e.ToL1.Buffered() > 0 || e.ToFabric.Buffered() > 0 || e.ToL2.Buffered() > 0 {
+		e.ticker.TickLater(now)
+	}
+	return nil
+}
+
+func (e *Engine) drainOutQueue(now sim.Time) {
+	for len(e.outQueue) > 0 {
+		msg := e.outQueue[0]
+		if !e.ToFabric.Send(now, msg) {
+			return // fabric output buffer full; retry on NotifyPortFree
+		}
+		e.outQueue = e.outQueue[1:]
+	}
+}
+
+// handleLocal processes a request from this GPU's L1s destined for a remote
+// GPU.
+func (e *Engine) handleLocal(now sim.Time, msg sim.Msg) error {
+	switch req := msg.(type) {
+	case *mem.ReadReq:
+		owner := e.OwnerOf(req.Addr)
+		wire := &ReadReq{Addr: req.Addr, N: req.N}
+		wire.Src, wire.Dst = e.ToFabric, e.RemotePort(owner)
+		wire.Bytes = ReadReqHeaderBytes
+		sim.AssignMsgID(wire)
+		e.pendingReads[wire.ID] = pendingRead{req: req, issued: now}
+		e.ReadsSent++
+		e.Rec.RemoteRead(e.GPU)
+		e.Rec.Header(ReadReqHeaderBytes)
+		e.outQueue = append(e.outQueue, wire)
+		e.drainOutQueue(now)
+		return nil
+	case *mem.WriteReq:
+		owner := e.OwnerOf(req.Addr)
+		payload, d := e.compress(req.Data)
+		wire := &WriteReq{Addr: req.Addr, Payload: payload}
+		wire.Src, wire.Dst = e.ToFabric, e.RemotePort(owner)
+		wire.Bytes = WriteReqHeaderBytes + payload.WireBytes()
+		sim.AssignMsgID(wire)
+		e.pendingWrites[wire.ID] = req
+		e.WritesSent++
+		e.Rec.RemoteWrite(e.GPU)
+		e.Rec.Header(WriteReqHeaderBytes)
+		e.scheduleSend(now, wire, d.CompressionCycles)
+		return nil
+	default:
+		return fmt.Errorf("%s: unexpected local message %T", e.Name(), msg)
+	}
+}
+
+// compress runs the policy over a payload. Payloads that are not a whole
+// cache line bypass the codecs (they cannot be encoded by the line-based
+// algorithms) and ship raw.
+func (e *Engine) compress(data []byte) (Payload, core.Decision) {
+	if len(data) != comp.LineSize || e.Policy == nil {
+		d := core.Decision{Alg: comp.None}
+		p := Payload{Alg: comp.None, Raw: data, RawLen: len(data)}
+		if e.Policy != nil {
+			// Still record the transfer so traffic accounting is complete.
+			e.Rec.Payload(data, core.Decision{Alg: comp.None, Enc: comp.Encoded{
+				Alg: comp.None, Bits: len(data) * 8, Data: data, Uncompressed: true,
+			}})
+		}
+		return p, d
+	}
+	if obs, ok := e.Policy.(core.CongestionObserver); ok {
+		// Feed the dynamic-λ extension its local congestion signal: the
+		// depth of this engine's fabric output queue.
+		obs.ObserveCongestion(len(e.outQueue))
+	}
+	d := e.Policy.Process(data)
+	e.Rec.Payload(data, d)
+	if d.Alg == comp.None {
+		return Payload{Alg: comp.None, Raw: d.Enc.Data, RawLen: len(data)}, d
+	}
+	return Payload{Alg: d.Alg, Enc: d.Enc, RawLen: len(data)}, d
+}
+
+// scheduleSend queues the wire message after the compression latency.
+func (e *Engine) scheduleSend(now sim.Time, msg sim.Msg, compressionCycles int) {
+	if compressionCycles <= 0 {
+		e.outQueue = append(e.outQueue, msg)
+		e.drainOutQueue(now)
+		return
+	}
+	e.engine.Schedule(delayedSendEvent{
+		EventBase: sim.NewEventBase(now+sim.Time(compressionCycles), e),
+		msg:       msg,
+	})
+}
+
+// handleWire processes a message arriving from the fabric.
+func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
+	switch wire := msg.(type) {
+	case *ReadReq:
+		// A remote GPU wants our data: forward into the local L2.
+		e.ReadsServed++
+		local := mem.NewReadReq(e.ToL2, e.L2Router(wire.Addr), wire.Addr, wire.N)
+		sim.AssignMsgID(local)
+		e.serviceReads[local.ID] = wire
+		if !e.ToL2.Send(now, local) {
+			return fmt.Errorf("%s: L2 rejected forwarded read", e.Name())
+		}
+		return nil
+	case *WriteReq:
+		// Decompress (if needed), then forward the write into local L2.
+		e.WritesServed++
+		latency := decompressionCycles(wire.Payload.Alg)
+		deliver := func(now sim.Time) error {
+			data, err := wire.Payload.Decode()
+			if err != nil {
+				return fmt.Errorf("%s: write payload: %w", e.Name(), err)
+			}
+			local := mem.NewWriteReq(e.ToL2, e.L2Router(wire.Addr), wire.Addr, data)
+			sim.AssignMsgID(local)
+			e.serviceWrites[local.ID] = wire
+			if !e.ToL2.Send(now, local) {
+				return fmt.Errorf("%s: L2 rejected forwarded write", e.Name())
+			}
+			return nil
+		}
+		return e.afterDecompression(now, latency, deliver)
+	case *DataReady:
+		// Response to one of our outgoing reads.
+		pr, ok := e.pendingReads[wire.RspTo]
+		if !ok {
+			return fmt.Errorf("%s: DataReady for unknown request %d", e.Name(), wire.RspTo)
+		}
+		orig := pr.req
+		delete(e.pendingReads, wire.RspTo)
+		latency := decompressionCycles(wire.Payload.Alg)
+		deliver := func(now sim.Time) error {
+			data, err := wire.Payload.Decode()
+			if err != nil {
+				return fmt.Errorf("%s: read payload: %w", e.Name(), err)
+			}
+			e.ReadLatency.Add(float64(now - pr.issued))
+			rsp := mem.NewDataReady(e.ToL1, orig.Src, orig.ID, orig.Addr, data)
+			sim.AssignMsgID(rsp)
+			if !e.ToL1.Send(now, rsp) {
+				return fmt.Errorf("%s: L1 rejected response", e.Name())
+			}
+			return nil
+		}
+		return e.afterDecompression(now, latency, deliver)
+	case *WriteACK:
+		orig, ok := e.pendingWrites[wire.RspTo]
+		if !ok {
+			return fmt.Errorf("%s: WriteACK for unknown request %d", e.Name(), wire.RspTo)
+		}
+		delete(e.pendingWrites, wire.RspTo)
+		ack := mem.NewWriteACK(e.ToL1, orig.Src, orig.ID, orig.Addr)
+		sim.AssignMsgID(ack)
+		if !e.ToL1.Send(now, ack) {
+			return fmt.Errorf("%s: L1 rejected ack", e.Name())
+		}
+		return nil
+	default:
+		return fmt.Errorf("%s: unexpected wire message %T", e.Name(), msg)
+	}
+}
+
+func (e *Engine) afterDecompression(now sim.Time, cycles int, deliver func(sim.Time) error) error {
+	if cycles <= 0 {
+		return deliver(now)
+	}
+	e.engine.Schedule(delayedDeliverEvent{
+		EventBase: sim.NewEventBase(now+sim.Time(cycles), e),
+		deliver:   deliver,
+	})
+	return nil
+}
+
+func decompressionCycles(alg comp.Algorithm) int {
+	return comp.CostOf(alg).DecompressionCycles
+}
+
+// handleL2Response turns local L2 responses into wire responses for the
+// requesting GPU.
+func (e *Engine) handleL2Response(now sim.Time, msg sim.Msg) error {
+	switch rsp := msg.(type) {
+	case *mem.DataReady:
+		wireReq, ok := e.serviceReads[rsp.RspTo]
+		if !ok {
+			return fmt.Errorf("%s: L2 data for unknown request %d", e.Name(), rsp.RspTo)
+		}
+		delete(e.serviceReads, rsp.RspTo)
+		payload, d := e.compress(rsp.Data)
+		out := &DataReady{RspTo: wireReq.ID, Addr: rsp.Addr, Payload: payload}
+		out.Src, out.Dst = e.ToFabric, wireReq.Src
+		out.Bytes = DataReadyHeaderBytes + payload.WireBytes()
+		sim.AssignMsgID(out)
+		e.Rec.Header(DataReadyHeaderBytes)
+		e.scheduleSend(now, out, d.CompressionCycles)
+		return nil
+	case *mem.WriteACK:
+		wireReq, ok := e.serviceWrites[rsp.RspTo]
+		if !ok {
+			return fmt.Errorf("%s: L2 ack for unknown request %d", e.Name(), rsp.RspTo)
+		}
+		delete(e.serviceWrites, rsp.RspTo)
+		out := &WriteACK{RspTo: wireReq.ID}
+		out.Src, out.Dst = e.ToFabric, wireReq.Src
+		out.Bytes = WriteACKHeaderBytes
+		sim.AssignMsgID(out)
+		e.Rec.Header(WriteACKHeaderBytes)
+		e.outQueue = append(e.outQueue, out)
+		e.drainOutQueue(now)
+		return nil
+	default:
+		return fmt.Errorf("%s: unexpected L2 message %T", e.Name(), msg)
+	}
+}

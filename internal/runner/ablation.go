@@ -1,0 +1,525 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"mgpucompress/internal/comp"
+	"mgpucompress/internal/core"
+	"mgpucompress/internal/energy"
+	"mgpucompress/internal/fabric"
+	"mgpucompress/internal/platform"
+	"mgpucompress/internal/workloads"
+)
+
+// This file holds ablation studies for the design choices the paper makes
+// but does not sweep: the sampling-phase geometry (7 samples / 300-transfer
+// running phase), the single-codec on/off degenerate mode of Sec. V, and
+// the fabric integration level of Sec. II.
+
+// SamplingAblationRow measures one (sampleCount, runLength) configuration.
+type SamplingAblationRow struct {
+	SampleCount int
+	RunLength   int
+	Traffic     float64 // normalized to no compression
+	ExecTime    float64
+}
+
+// runCustomAdaptive runs a benchmark with a fully custom adaptive config on
+// every compressing endpoint.
+func runCustomAdaptive(bench string, o ExpOptions, cfg core.Config) (*Metrics, error) {
+	w, err := workloads.ByAbbrev(bench, o.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecorder(Options{})
+	pcfg := platform.DefaultConfig()
+	if o.CUsPerGPU > 0 {
+		pcfg.CUsPerGPU = o.CUsPerGPU
+	}
+	pcfg.Recorder = rec
+	pcfg.NewPolicy = func(int) core.Policy { return core.NewAdaptive(cfg) }
+	p := platform.New(pcfg)
+	if err := w.Setup(p); err != nil {
+		return nil, err
+	}
+	if err := w.Run(p); err != nil {
+		return nil, err
+	}
+	if err := w.Verify(p); err != nil {
+		return nil, err
+	}
+	return &Metrics{
+		Workload:      bench,
+		Policy:        "adaptive(custom)",
+		ExecCycles:    uint64(p.ExecCycles()),
+		FabricBytes:   p.Bus.TotalBytes(),
+		Traffic:       rec.traffic,
+		CodecEnergyPJ: rec.energy,
+	}, nil
+}
+
+// SamplingAblation sweeps the sampling-phase geometry on one benchmark,
+// normalized to the uncompressed baseline. The paper fixes 7 samples per
+// 300 transfers "achieving a balance between sampling accuracy and
+// efficiency" (Sec. V); this quantifies that balance.
+func SamplingAblation(bench string, o ExpOptions) ([]SamplingAblationRow, error) {
+	base, err := Run(bench, o.base())
+	if err != nil {
+		return nil, err
+	}
+	var rows []SamplingAblationRow
+	for _, sc := range []int{3, 7, 15} {
+		for _, rl := range []int{100, 300, 1000} {
+			m, err := runCustomAdaptive(bench, o, core.Config{
+				Lambda:      core.DefaultLambda,
+				SampleCount: sc,
+				RunLength:   rl,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SamplingAblationRow{
+				SampleCount: sc,
+				RunLength:   rl,
+				Traffic:     float64(m.FabricBytes) / float64(base.FabricBytes),
+				ExecTime:    float64(m.ExecCycles) / float64(base.ExecCycles),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatSamplingAblation renders the sweep.
+func FormatSamplingAblation(bench string, rows []SamplingAblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sampling-phase ablation on %s (normalized to no compression)\n", bench)
+	fmt.Fprintf(&sb, "%8s %8s %10s %10s\n", "samples", "run", "traffic", "time")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%8d %8d %10.3f %10.3f\n", r.SampleCount, r.RunLength, r.Traffic, r.ExecTime)
+	}
+	return sb.String()
+}
+
+// OnOffAblationRow compares one codec used statically versus under the
+// single-candidate adaptive ("on/off") controller of Sec. V.
+type OnOffAblationRow struct {
+	Benchmark      string
+	Alg            comp.Algorithm
+	StaticTime     float64 // normalized exec time
+	OnOffTime      float64
+	StaticEnergyPJ float64 // codec energy, absolute
+	OnOffEnergyPJ  float64
+}
+
+// OnOffAblation shows that even with a single codec integrated, the
+// adaptive scheme pays for itself by switching the circuit off on
+// incompressible phases.
+func OnOffAblation(benches []string, o ExpOptions) ([]OnOffAblationRow, error) {
+	var rows []OnOffAblationRow
+	for _, b := range benches {
+		base, err := Run(b, o.base())
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
+			staticOpts := o.base()
+			staticOpts.Policy = strings.ToLower(strings.ReplaceAll(alg.String(), "-", ""))
+			switch alg {
+			case comp.FPC:
+				staticOpts.Policy = "fpc"
+			case comp.BDI:
+				staticOpts.Policy = "bdi"
+			case comp.CPackZ:
+				staticOpts.Policy = "cpackz"
+			}
+			st, err := Run(b, staticOpts)
+			if err != nil {
+				return nil, err
+			}
+			oo, err := runCustomAdaptive(b, o, core.Config{
+				Lambda:     core.DefaultLambda,
+				Candidates: []comp.Compressor{comp.NewCompressor(alg)},
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, OnOffAblationRow{
+				Benchmark:      b,
+				Alg:            alg,
+				StaticTime:     float64(st.ExecCycles) / float64(base.ExecCycles),
+				OnOffTime:      float64(oo.ExecCycles) / float64(base.ExecCycles),
+				StaticEnergyPJ: st.CodecEnergyPJ,
+				OnOffEnergyPJ:  oo.CodecEnergyPJ,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatOnOffAblation renders the on/off comparison.
+func FormatOnOffAblation(rows []OnOffAblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Single-codec on/off ablation (Sec. V): static vs adaptive single-candidate\n")
+	fmt.Fprintf(&sb, "%-6s %-9s %12s %12s %16s %16s\n",
+		"Bench", "Codec", "static time", "on/off time", "static codec pJ", "on/off codec pJ")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6s %-9s %12.3f %12.3f %16.0f %16.0f\n",
+			r.Benchmark, r.Alg, r.StaticTime, r.OnOffTime, r.StaticEnergyPJ, r.OnOffEnergyPJ)
+	}
+	return sb.String()
+}
+
+// LinkClassRow reports adaptive λ=6 energy savings for one fabric class.
+type LinkClassRow struct {
+	Link          energy.LinkClass
+	BaselinePJ    float64
+	CompressedPJ  float64
+	SavingPercent float64
+}
+
+// LinkClassAblation recomputes Fig. 7's energy saving across the
+// integration levels of Sec. II: the fabric transfer energy scales with
+// pJ/b while the codec overhead stays fixed, so savings grow with distance.
+func LinkClassAblation(bench string, o ExpOptions) ([]LinkClassRow, error) {
+	var rows []LinkClassRow
+	for _, link := range []energy.LinkClass{energy.MCM, energy.Board, energy.Node} {
+		baseOpts := o.base()
+		baseOpts.Link = link
+		base, err := Run(bench, baseOpts)
+		if err != nil {
+			return nil, err
+		}
+		opts := o.base()
+		opts.Link = link
+		opts.Policy = "adaptive"
+		opts.Lambda = core.DefaultLambda
+		m, err := Run(bench, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LinkClassRow{
+			Link:          link,
+			BaselinePJ:    base.TotalEnergyPJ(),
+			CompressedPJ:  m.TotalEnergyPJ(),
+			SavingPercent: 100 * (1 - m.TotalEnergyPJ()/base.TotalEnergyPJ()),
+		})
+	}
+	return rows, nil
+}
+
+// FormatLinkClassAblation renders the link-class sweep.
+func FormatLinkClassAblation(bench string, rows []LinkClassRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fabric-class ablation on %s (adaptive λ=6)\n", bench)
+	fmt.Fprintf(&sb, "%-22s %14s %14s %10s\n", "link", "baseline nJ", "adaptive nJ", "saving")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %14.1f %14.1f %9.1f%%\n",
+			r.Link, r.BaselinePJ/1e3, r.CompressedPJ/1e3, r.SavingPercent)
+	}
+	return sb.String()
+}
+
+// ExtensionRow compares the paper's adaptive controller against the two
+// extensions: the BPC-augmented candidate set (related work, Kim et al.)
+// and congestion-driven dynamic λ (the dynamic selection Sec. V leaves
+// out).
+type ExtensionRow struct {
+	Benchmark       string
+	AdaptiveTraffic float64
+	BPCTraffic      float64
+	DynamicTraffic  float64
+	AdaptiveTime    float64
+	BPCTime         float64
+	DynamicTime     float64
+}
+
+// ExtensionAblation measures the extensions on the given benchmarks.
+func ExtensionAblation(benches []string, o ExpOptions) ([]ExtensionRow, error) {
+	var rows []ExtensionRow
+	for _, b := range benches {
+		base, err := Run(b, o.base())
+		if err != nil {
+			return nil, err
+		}
+		adaptOpts := o.base()
+		adaptOpts.Policy = "adaptive"
+		adaptOpts.Lambda = core.DefaultLambda
+		adapt, err := Run(b, adaptOpts)
+		if err != nil {
+			return nil, err
+		}
+		bpcM, err := runCustomAdaptive(b, o, core.Config{
+			Lambda:     core.DefaultLambda,
+			Candidates: comp.ExtendedCompressors(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		dynOpts := o.base()
+		dynOpts.Policy = "dynamic"
+		dyn, err := Run(b, dynOpts)
+		if err != nil {
+			return nil, err
+		}
+		norm := func(m *Metrics) (float64, float64) {
+			return float64(m.FabricBytes) / float64(base.FabricBytes),
+				float64(m.ExecCycles) / float64(base.ExecCycles)
+		}
+		row := ExtensionRow{Benchmark: b}
+		row.AdaptiveTraffic, row.AdaptiveTime = norm(adapt)
+		row.BPCTraffic, row.BPCTime = norm(bpcM)
+		row.DynamicTraffic, row.DynamicTime = norm(dyn)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatExtensionAblation renders the extension comparison.
+func FormatExtensionAblation(rows []ExtensionRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extension ablation: adaptive λ=6 vs +BPC candidate vs dynamic λ\n")
+	fmt.Fprintf(&sb, "%-6s | %9s %9s %9s | %9s %9s %9s\n",
+		"Bench", "adpt trf", "+BPC trf", "dyn trf", "adpt t", "+BPC t", "dyn t")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6s | %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f\n",
+			r.Benchmark, r.AdaptiveTraffic, r.BPCTraffic, r.DynamicTraffic,
+			r.AdaptiveTime, r.BPCTime, r.DynamicTime)
+	}
+	return sb.String()
+}
+
+// TopologyRow compares the shared bus against the crossbar extension, with
+// and without adaptive compression.
+type TopologyRow struct {
+	Benchmark string
+	Topology  fabric.Topology
+	// Cycles without / with adaptive λ=6 compression.
+	BaseCycles     uint64
+	AdaptiveCycles uint64
+	// Speedup from compression on this topology.
+	CompressionSpeedup float64
+}
+
+// TopologyAblation quantifies how much of compression's win comes from
+// relieving fabric contention: on the richer crossbar, the same traffic
+// reduction buys less time.
+func TopologyAblation(benches []string, o ExpOptions) ([]TopologyRow, error) {
+	var rows []TopologyRow
+	for _, b := range benches {
+		for _, topo := range []fabric.Topology{fabric.TopologyBus, fabric.TopologyCrossbar} {
+			baseOpts := o.base()
+			baseOpts.Topology = topo
+			base, err := Run(b, baseOpts)
+			if err != nil {
+				return nil, err
+			}
+			opts := o.base()
+			opts.Topology = topo
+			opts.Policy = "adaptive"
+			opts.Lambda = core.DefaultLambda
+			m, err := Run(b, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, TopologyRow{
+				Benchmark:          b,
+				Topology:           topo,
+				BaseCycles:         base.ExecCycles,
+				AdaptiveCycles:     m.ExecCycles,
+				CompressionSpeedup: float64(base.ExecCycles) / float64(m.ExecCycles),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTopologyAblation renders the topology comparison.
+func FormatTopologyAblation(rows []TopologyRow) string {
+	var sb strings.Builder
+	sb.WriteString("Topology ablation: compression speedup on bus vs crossbar\n")
+	fmt.Fprintf(&sb, "%-6s %-10s %14s %14s %10s\n",
+		"Bench", "topology", "base cycles", "adaptive cyc", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6s %-10s %14d %14d %9.2fx\n",
+			r.Benchmark, r.Topology, r.BaseCycles, r.AdaptiveCycles, r.CompressionSpeedup)
+	}
+	return sb.String()
+}
+
+// RemoteCacheRow compares four configurations of one benchmark: the paper's
+// baseline, compression alone (adaptive λ=6), the L1.5 remote cache alone
+// (Arunkumar et al.), and both combined.
+type RemoteCacheRow struct {
+	Benchmark string
+	// Normalized execution time (1.00 = neither mechanism).
+	Compression float64
+	RemoteCache float64
+	Both        float64
+	// Normalized fabric traffic.
+	CompressionTraffic float64
+	RemoteCacheTraffic float64
+	BothTraffic        float64
+}
+
+// RemoteCacheAblation quantifies how the two bandwidth mechanisms compose:
+// the remote cache removes repeat transfers, compression shrinks the rest.
+func RemoteCacheAblation(benches []string, o ExpOptions) ([]RemoteCacheRow, error) {
+	var rows []RemoteCacheRow
+	for _, b := range benches {
+		variant := func(policy string, rc bool) (*Metrics, error) {
+			opts := o.base()
+			opts.Policy = policy
+			opts.Lambda = core.DefaultLambda
+			opts.RemoteCache = rc
+			return Run(b, opts)
+		}
+		base, err := variant("none", false)
+		if err != nil {
+			return nil, err
+		}
+		compr, err := variant("adaptive", false)
+		if err != nil {
+			return nil, err
+		}
+		cached, err := variant("none", true)
+		if err != nil {
+			return nil, err
+		}
+		both, err := variant("adaptive", true)
+		if err != nil {
+			return nil, err
+		}
+		norm := func(m *Metrics) (float64, float64) {
+			return float64(m.ExecCycles) / float64(base.ExecCycles),
+				float64(m.FabricBytes) / float64(base.FabricBytes)
+		}
+		row := RemoteCacheRow{Benchmark: b}
+		row.Compression, row.CompressionTraffic = norm(compr)
+		row.RemoteCache, row.RemoteCacheTraffic = norm(cached)
+		row.Both, row.BothTraffic = norm(both)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatRemoteCacheAblation renders the composition study.
+func FormatRemoteCacheAblation(rows []RemoteCacheRow) string {
+	var sb strings.Builder
+	sb.WriteString("Remote-cache (L1.5) × compression ablation (normalized, 1.00 = neither)\n")
+	fmt.Fprintf(&sb, "%-6s | %9s %9s %9s | %9s %9s %9s\n",
+		"Bench", "compr t", "cache t", "both t", "compr trf", "cache trf", "both trf")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6s | %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f\n",
+			r.Benchmark, r.Compression, r.RemoteCache, r.Both,
+			r.CompressionTraffic, r.RemoteCacheTraffic, r.BothTraffic)
+	}
+	return sb.String()
+}
+
+// ScalabilityRow measures one GPU-count configuration.
+type ScalabilityRow struct {
+	Benchmark string
+	NumGPUs   int
+	// Speedup of adaptive λ=6 compression over no compression at this
+	// GPU count.
+	CompressionSpeedup float64
+	// TrafficReduction is 1 − (compressed / baseline fabric bytes).
+	TrafficReduction float64
+}
+
+// ScalabilityAblation sweeps the GPU count: more GPUs mean a larger remote
+// fraction on the same shared bus, so compression's leverage grows.
+func ScalabilityAblation(bench string, o ExpOptions, gpuCounts []int) ([]ScalabilityRow, error) {
+	var rows []ScalabilityRow
+	for _, n := range gpuCounts {
+		baseOpts := o.base()
+		baseOpts.NumGPUs = n
+		base, err := Run(bench, baseOpts)
+		if err != nil {
+			return nil, err
+		}
+		opts := o.base()
+		opts.NumGPUs = n
+		opts.Policy = "adaptive"
+		opts.Lambda = core.DefaultLambda
+		m, err := Run(bench, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalabilityRow{
+			Benchmark:          bench,
+			NumGPUs:            n,
+			CompressionSpeedup: float64(base.ExecCycles) / float64(m.ExecCycles),
+			TrafficReduction:   1 - float64(m.FabricBytes)/float64(base.FabricBytes),
+		})
+	}
+	return rows, nil
+}
+
+// FormatScalabilityAblation renders the GPU-count sweep.
+func FormatScalabilityAblation(rows []ScalabilityRow) string {
+	var sb strings.Builder
+	sb.WriteString("Scalability ablation: adaptive compression vs GPU count\n")
+	fmt.Fprintf(&sb, "%-6s %8s %12s %16s\n", "Bench", "GPUs", "speedup", "traffic saved")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6s %8d %11.2fx %15.1f%%\n",
+			r.Benchmark, r.NumGPUs, r.CompressionSpeedup, 100*r.TrafficReduction)
+	}
+	return sb.String()
+}
+
+// BandwidthRow measures compression's value at one link width.
+type BandwidthRow struct {
+	BytesPerCycle int
+	GbPerSec      float64
+	// Normalized to the uncompressed baseline at the SAME link width.
+	Speedup          float64
+	TrafficReduction float64
+	// BaseBusUtilization shows whether the link was the bottleneck.
+	BaseCycles uint64
+}
+
+// BandwidthAblation sweeps the inter-GPU link width. The Sec. II taxonomy
+// spans 12.5 GB/s InfiniBand to TB/s on-die links; this quantifies where
+// along that range link compression stops buying execution time (it always
+// buys energy).
+func BandwidthAblation(bench string, o ExpOptions, widths []int) ([]BandwidthRow, error) {
+	var rows []BandwidthRow
+	for _, w := range widths {
+		baseOpts := o.base()
+		baseOpts.FabricBytesPerCycle = w
+		base, err := Run(bench, baseOpts)
+		if err != nil {
+			return nil, err
+		}
+		opts := o.base()
+		opts.FabricBytesPerCycle = w
+		opts.Policy = "adaptive"
+		opts.Lambda = core.DefaultLambda
+		m, err := Run(bench, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BandwidthRow{
+			BytesPerCycle:    w,
+			GbPerSec:         float64(w) * 8, // at 1 GHz
+			Speedup:          float64(base.ExecCycles) / float64(m.ExecCycles),
+			TrafficReduction: 1 - float64(m.FabricBytes)/float64(base.FabricBytes),
+			BaseCycles:       base.ExecCycles,
+		})
+	}
+	return rows, nil
+}
+
+// FormatBandwidthAblation renders the link-width sweep.
+func FormatBandwidthAblation(bench string, rows []BandwidthRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Link-bandwidth ablation on %s (adaptive λ=6 vs none at each width)\n", bench)
+	fmt.Fprintf(&sb, "%10s %10s %12s %16s %14s\n", "B/cycle", "Gb/s", "speedup", "traffic saved", "base cycles")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%10d %10.0f %11.2fx %15.1f%% %14d\n",
+			r.BytesPerCycle, r.GbPerSec, r.Speedup, 100*r.TrafficReduction, r.BaseCycles)
+	}
+	return sb.String()
+}

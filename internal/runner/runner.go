@@ -1,0 +1,243 @@
+// Package runner executes (workload, policy) experiments on the simulated
+// platform and collects every measurement the paper reports: remote access
+// counts and entropy (Table V), per-codec compression ratios and pattern
+// mixes (Tables V and VI), transfer time series (Fig. 1), normalized
+// traffic and execution time (Figs. 5 and 6), and energy (Fig. 7).
+package runner
+
+import (
+	"fmt"
+
+	"mgpucompress/internal/comp"
+	"mgpucompress/internal/core"
+	"mgpucompress/internal/energy"
+	"mgpucompress/internal/fabric"
+	"mgpucompress/internal/platform"
+	"mgpucompress/internal/stats"
+	"mgpucompress/internal/trace"
+	"mgpucompress/internal/workloads"
+)
+
+// Options configures one experiment run.
+type Options struct {
+	// Scale is the workload input scale.
+	Scale workloads.Scale
+	// CUsPerGPU overrides the platform CU count (0 = default).
+	CUsPerGPU int
+	// Policy is one of "none", "fpc", "bdi", "cpackz", "adaptive".
+	Policy string
+	// Lambda is the adaptive λ.
+	Lambda float64
+	// Characterize additionally runs every codec on every transferred
+	// line, filling PerCodec ratios and pattern histograms (Tables V/VI).
+	// It does not affect timing: characterization is measurement-only.
+	Characterize bool
+	// SeriesLimit, when positive, collects the first N payload transfers
+	// as a Fig. 1-style time series.
+	SeriesLimit int
+	// Link selects the fabric energy class (default MCM).
+	Link energy.LinkClass
+	// Topology selects the fabric implementation (default: the paper's
+	// shared bus). The crossbar is an extension for the topology ablation.
+	Topology fabric.Topology
+	// RemoteCache enables the L1.5 remote-data cache extension
+	// (Arunkumar et al.), off in the paper's configuration.
+	RemoteCache bool
+	// NumGPUs overrides the GPU count (default 4, the paper's system).
+	NumGPUs int
+	// Trace records every fabric transfer for timeline analysis.
+	Trace bool
+	// FabricBytesPerCycle overrides the link width (0 = the paper's
+	// 20 B/cycle, i.e. 160 Gb/s at 1 GHz).
+	FabricBytesPerCycle int
+}
+
+// CodecStats aggregates one codec's behaviour over all transferred lines.
+type CodecStats struct {
+	CompressedBytes uint64
+	Patterns        comp.PatternHistogram
+}
+
+// Metrics is the result of one run.
+type Metrics struct {
+	Workload string
+	Policy   string
+
+	ExecCycles  uint64
+	FabricBytes uint64 // everything on the bus, headers and control included
+	Traffic     stats.Traffic
+
+	// CodecEnergyPJ is the compression-hardware energy actually spent by
+	// the policy; FabricEnergyPJ is the link transfer energy.
+	CodecEnergyPJ  float64
+	FabricEnergyPJ float64
+
+	// PerCodec holds characterization results (Characterize mode).
+	PerCodec map[comp.Algorithm]*CodecStats
+
+	// Series is the Fig. 1 time series (SeriesLimit mode).
+	Series *stats.Series
+
+	// ReadLatency aggregates the end-to-end remote read latency (cycles)
+	// across every RDMA engine.
+	ReadLatency stats.Histogram
+
+	// TraceLog holds the fabric transfer timeline (Trace mode).
+	TraceLog *trace.Log
+
+	// Platform holds the aggregated hardware counters of the run.
+	Platform platform.Stats
+}
+
+// TotalEnergyPJ is the Fig. 7 quantity: fabric plus codec energy.
+func (m *Metrics) TotalEnergyPJ() float64 { return m.FabricEnergyPJ + m.CodecEnergyPJ }
+
+// CompressionRatio returns the achieved payload compression ratio.
+func (m *Metrics) CompressionRatio() float64 { return m.Traffic.CompressionRatio() }
+
+// CodecRatio returns the characterization compression ratio for one codec
+// (Table V columns).
+func (m *Metrics) CodecRatio(alg comp.Algorithm) float64 {
+	cs, ok := m.PerCodec[alg]
+	if !ok || cs.CompressedBytes == 0 {
+		return 1
+	}
+	return float64(m.Traffic.UncompressedPayloadBytes) / float64(cs.CompressedBytes)
+}
+
+// recorder implements rdma.Recorder.
+type recorder struct {
+	opts    Options
+	codecs  []comp.Compressor
+	traffic stats.Traffic
+	energy  float64
+	per     map[comp.Algorithm]*CodecStats
+	series  *stats.Series
+}
+
+func newRecorder(opts Options) *recorder {
+	r := &recorder{opts: opts, per: make(map[comp.Algorithm]*CodecStats)}
+	if opts.Characterize {
+		r.codecs = comp.AllCompressors()
+		for _, c := range r.codecs {
+			r.per[c.Algorithm()] = &CodecStats{}
+		}
+	}
+	if opts.SeriesLimit > 0 {
+		r.series = stats.NewSeries(opts.SeriesLimit)
+	}
+	return r
+}
+
+func (r *recorder) RemoteRead(int)  { r.traffic.RemoteReads++ }
+func (r *recorder) RemoteWrite(int) { r.traffic.RemoteWrites++ }
+func (r *recorder) Header(n int)    { r.traffic.HeaderBytes += uint64(n) }
+
+func (r *recorder) Payload(line []byte, d core.Decision) {
+	r.traffic.AddLine(line, d.WireBytes(), d.Alg != comp.None)
+	r.energy += d.CodecEnergyPJ
+	if len(line) == comp.LineSize {
+		for _, c := range r.codecs {
+			enc := c.Compress(line)
+			cs := r.per[c.Algorithm()]
+			cs.CompressedBytes += uint64(enc.WireBytes())
+			cs.Patterns.Add(enc.Patterns)
+		}
+		if r.series != nil {
+			r.series.Observe(line)
+		}
+	}
+}
+
+// Run executes the named workload under the options and returns the
+// metrics.
+func Run(abbrev string, opts Options) (*Metrics, error) {
+	if opts.Scale == 0 {
+		opts.Scale = workloads.ScaleSmall
+	}
+	if opts.Policy == "" {
+		opts.Policy = "none"
+	}
+	w, err := workloads.ByAbbrev(abbrev, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := newRecorder(opts)
+	cfg := platform.DefaultConfig()
+	if opts.CUsPerGPU > 0 {
+		cfg.CUsPerGPU = opts.CUsPerGPU
+	}
+	if opts.Topology != "" {
+		cfg.Fabric.Topology = opts.Topology
+	}
+	if opts.RemoteCache {
+		rc := platform.RemoteCacheConfig()
+		cfg.RemoteCache = &rc
+	}
+	if opts.NumGPUs > 0 {
+		cfg.NumGPUs = opts.NumGPUs
+	}
+	if opts.FabricBytesPerCycle > 0 {
+		cfg.Fabric.BytesPerCycle = opts.FabricBytesPerCycle
+	}
+	var traceLog *trace.Log
+	if opts.Trace {
+		traceLog = &trace.Log{Cap: 1 << 20}
+		cfg.Fabric.Trace = traceLog
+	}
+	cfg.Recorder = rec
+	if opts.Policy != "none" {
+		policySpec, lambda := opts.Policy, opts.Lambda
+		cfg.NewPolicy = func(int) core.Policy {
+			p, err := core.PolicyFor(policySpec, lambda)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		}
+	}
+	p := platform.New(cfg)
+
+	if err := w.Setup(p); err != nil {
+		return nil, fmt.Errorf("runner: %s setup: %w", abbrev, err)
+	}
+	if err := w.Run(p); err != nil {
+		return nil, fmt.Errorf("runner: %s run: %w", abbrev, err)
+	}
+	if err := w.Verify(p); err != nil {
+		return nil, fmt.Errorf("runner: %s verify: %w", abbrev, err)
+	}
+
+	m := &Metrics{
+		Workload:      abbrev,
+		Policy:        opts.Policy,
+		ExecCycles:    uint64(p.ExecCycles()),
+		FabricBytes:   p.Bus.TotalBytes(),
+		Traffic:       rec.traffic,
+		CodecEnergyPJ: rec.energy,
+		PerCodec:      rec.per,
+		Series:        rec.series,
+		TraceLog:      traceLog,
+	}
+	link := opts.Link
+	if link == energy.OnChip {
+		// The zero value selects the paper's MCM fabric (Sec. VII-B).
+		link = energy.MCM
+	}
+	m.FabricEnergyPJ = float64(m.FabricBytes*8) * link.PJPerBit()
+	for _, dev := range p.GPUs {
+		m.ReadLatency.Merge(&dev.RDMA.ReadLatency)
+	}
+	m.ReadLatency.Merge(&p.HostRDMA.ReadLatency)
+	m.Platform = p.CollectStats()
+	return m, nil
+}
+
+// PolicyNames lists the policy specs in the order Figs. 5-7 present them.
+func PolicyNames() []string { return []string{"none", "fpc", "bdi", "cpackz"} }
+
+// Benchmarks lists the Table IV abbreviations in paper order.
+func Benchmarks() []string {
+	return []string{"AES", "BS", "FIR", "GD", "KM", "MT", "SC"}
+}

@@ -1,0 +1,21 @@
+package runner
+
+import (
+	"testing"
+
+	"mgpucompress/internal/workloads"
+)
+
+// Every workload must run and verify on 2- and 8-GPU systems, not just the
+// paper's 4 (the platform and workloads are parametric in GPU count).
+func TestWorkloadsAcrossGPUCounts(t *testing.T) {
+	for _, n := range []int{2, 8} {
+		for _, b := range Benchmarks() {
+			opts := Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, NumGPUs: n,
+				Policy: "adaptive", Lambda: 6}
+			if _, err := Run(b, opts); err != nil {
+				t.Errorf("%s at %d GPUs: %v", b, n, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import "fmt"
+
+// Connection moves messages from a source port to a destination port with
+// some timing model. The inter-GPU bus fabric (internal/fabric) implements
+// this interface with shared-bus arbitration; DirectConnection below models
+// the wide on-die links inside a GPU.
+type Connection interface {
+	// Send starts transmitting m from m.Meta().Src toward m.Meta().Dst.
+	// It reports false if the connection cannot take the message now.
+	Send(now Time, m Msg) bool
+	// NotifyBufferFree is called by a destination port when buffer space
+	// frees up, letting the connection resume stalled deliveries.
+	NotifyBufferFree(now Time, port *Port)
+	// Plug attaches a port to this connection.
+	Plug(p *Port)
+}
+
+// deliverEvent delivers a message into its destination port at a scheduled
+// time, used by DirectConnection.
+type deliverEvent struct {
+	EventBase
+	msg Msg
+}
+
+type directDeliverer struct{ c *DirectConnection }
+
+func (d directDeliverer) Handle(e Event) error {
+	evt := e.(deliverEvent)
+	dst := evt.msg.Meta().Dst
+	if !dst.CanAccept(evt.msg.Meta().Bytes) {
+		// Destination full: park the message; resume on NotifyBufferFree.
+		d.c.parked[dst] = append(d.c.parked[dst], evt.msg)
+		return nil
+	}
+	dst.Deliver(d.c.engine.Now(), evt.msg)
+	return nil
+}
+
+// DirectConnection is a point-to-multipoint link with a fixed latency and
+// unlimited bandwidth. It models on-die interconnect inside a GPU, which
+// the paper treats as abundant relative to the inter-GPU fabric.
+type DirectConnection struct {
+	name    string
+	engine  *Engine
+	latency Time
+	ports   map[*Port]bool
+	parked  map[*Port][]Msg
+}
+
+// NewDirectConnection creates a direct connection with the given one-way
+// latency in cycles.
+func NewDirectConnection(name string, engine *Engine, latency Time) *DirectConnection {
+	return &DirectConnection{
+		name:    name,
+		engine:  engine,
+		latency: latency,
+		ports:   make(map[*Port]bool),
+		parked:  make(map[*Port][]Msg),
+	}
+}
+
+// Plug attaches a port.
+func (c *DirectConnection) Plug(p *Port) {
+	c.ports[p] = true
+	p.SetConnection(c)
+}
+
+// Send schedules delivery after the connection latency. A DirectConnection
+// never rejects a send; back-pressure is applied at the destination buffer
+// (messages park until space frees).
+func (c *DirectConnection) Send(now Time, m Msg) bool {
+	dst := m.Meta().Dst
+	if dst == nil {
+		panic(fmt.Sprintf("sim: %s: message %d has no destination", c.name, m.Meta().ID))
+	}
+	if !c.ports[dst] {
+		panic(fmt.Sprintf("sim: %s: destination port %s is not plugged in", c.name, dst.Name()))
+	}
+	m.Meta().SendTime = now
+	c.engine.Schedule(deliverEvent{
+		EventBase: NewEventBase(now+c.latency, directDeliverer{c}),
+		msg:       m,
+	})
+	return true
+}
+
+// NotifyBufferFree drains parked messages for the port in FIFO order. The
+// parked map is re-read every iteration because Deliver can re-enter this
+// method via the receiving component.
+func (c *DirectConnection) NotifyBufferFree(now Time, port *Port) {
+	for {
+		queue := c.parked[port]
+		if len(queue) == 0 {
+			delete(c.parked, port)
+			return
+		}
+		m := queue[0]
+		if !port.CanAccept(m.Meta().Bytes) {
+			return
+		}
+		c.parked[port] = queue[1:]
+		port.Deliver(now, m)
+	}
+}

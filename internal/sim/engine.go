@@ -1,0 +1,159 @@
+// Package sim provides a deterministic discrete-event simulation kernel in
+// the style of MGSim: an event engine, components that handle events, ports
+// with bounded buffers, and connections that move messages between ports
+// with configurable timing.
+//
+// Time is measured in integer cycles. The multi-GPU platform built on top of
+// this package runs everything in a single 1 GHz clock domain, matching the
+// configuration in the paper (Table VII), so one cycle corresponds to 1 ns.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in cycles.
+type Time uint64
+
+// TimeInf is a sentinel for "never".
+const TimeInf Time = math.MaxUint64
+
+// Event is something that happens at a point in simulated time. Events are
+// totally ordered by (time, secondary ID) so simulation runs are
+// deterministic regardless of scheduling order.
+type Event interface {
+	// Time returns when the event happens.
+	Time() Time
+	// Handler returns the handler that should process the event.
+	Handler() Handler
+}
+
+// Handler processes events.
+type Handler interface {
+	Handle(e Event) error
+}
+
+// EventBase provides a canonical Event implementation to embed in concrete
+// event types.
+type EventBase struct {
+	EvtTime    Time
+	EvtHandler Handler
+}
+
+// NewEventBase builds an EventBase for the given time and handler.
+func NewEventBase(t Time, h Handler) EventBase {
+	return EventBase{EvtTime: t, EvtHandler: h}
+}
+
+// Time returns when the event happens.
+func (e EventBase) Time() Time { return e.EvtTime }
+
+// Handler returns the handler that processes the event.
+func (e EventBase) Handler() Handler { return e.EvtHandler }
+
+type queuedEvent struct {
+	evt Event
+	seq uint64 // tie-breaker for determinism
+}
+
+type eventHeap []queuedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	ti, tj := h[i].evt.Time(), h[j].evt.Time()
+	if ti != tj {
+		return ti < tj
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(queuedEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine drives the simulation. It is not safe for concurrent use; the
+// entire simulation runs on one goroutine, which keeps runs deterministic.
+type Engine struct {
+	queue     eventHeap
+	now       Time
+	seq       uint64
+	scheduled uint64
+	handled   uint64
+	paused    bool
+	maxTime   Time
+}
+
+// NewEngine creates an empty engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{maxTime: TimeInf}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventCount returns the number of events handled so far.
+func (e *Engine) EventCount() uint64 { return e.handled }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues an event. Scheduling an event in the past panics: it is
+// always a model bug and silently reordering would corrupt results.
+func (e *Engine) Schedule(evt Event) {
+	if evt.Time() < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", evt.Time(), e.now))
+	}
+	e.seq++
+	e.scheduled++
+	heap.Push(&e.queue, queuedEvent{evt: evt, seq: e.seq})
+}
+
+// Pause stops Run before the next event is dispatched. It may be called from
+// inside an event handler.
+func (e *Engine) Pause() { e.paused = true }
+
+// SetMaxTime makes Run stop once simulated time would exceed the deadline.
+// Events at exactly the deadline still run.
+func (e *Engine) SetMaxTime(t Time) { e.maxTime = t }
+
+// Run processes events in time order until the queue drains, Pause is
+// called, or the max-time deadline passes. It returns the first handler
+// error encountered.
+func (e *Engine) Run() error {
+	e.paused = false
+	for len(e.queue) > 0 && !e.paused {
+		next := heap.Pop(&e.queue).(queuedEvent)
+		t := next.evt.Time()
+		if t > e.maxTime {
+			// Put it back so a later Run with a larger deadline can resume.
+			heap.Push(&e.queue, next)
+			return nil
+		}
+		e.now = t
+		e.handled++
+		if err := next.evt.Handler().Handle(next.evt); err != nil {
+			return fmt.Errorf("sim: event at %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// RunUntil runs events up to and including time t.
+func (e *Engine) RunUntil(t Time) error {
+	saved := e.maxTime
+	e.maxTime = t
+	err := e.Run()
+	e.maxTime = saved
+	return err
+}

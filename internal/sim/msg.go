@@ -1,0 +1,34 @@
+package sim
+
+// Msg is a message exchanged between components through ports. The concrete
+// message types (memory requests, RDMA packets, ...) are defined by the
+// packages that use them; the simulation kernel only needs the metadata.
+type Msg interface {
+	Meta() *MsgMeta
+}
+
+// MsgMeta carries the routing and accounting information shared by all
+// messages.
+type MsgMeta struct {
+	ID  uint64
+	Src *Port
+	Dst *Port
+	// Bytes is the size of the message on the wire, including headers and
+	// (possibly compressed) payload. Connections use it to compute
+	// occupancy and buffering.
+	Bytes int
+	// SendTime is stamped by the connection when transmission starts.
+	SendTime Time
+	// RecvTime is stamped by the connection when the message is delivered
+	// into the destination port buffer.
+	RecvTime Time
+}
+
+var nextMsgID uint64
+
+// AssignMsgID gives the message a unique ID (not safe for concurrent use,
+// like the rest of the kernel).
+func AssignMsgID(m Msg) {
+	nextMsgID++
+	m.Meta().ID = nextMsgID
+}

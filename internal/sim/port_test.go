@@ -1,0 +1,169 @@
+package sim
+
+import "testing"
+
+type testMsg struct {
+	MsgMeta
+	payload int
+}
+
+func (m *testMsg) Meta() *MsgMeta { return &m.MsgMeta }
+
+type stubComponent struct {
+	ComponentBase
+	recvNotified     int
+	portFreeNotified int
+}
+
+func (c *stubComponent) Handle(Event) error         { return nil }
+func (c *stubComponent) NotifyRecv(Time, *Port)     { c.recvNotified++ }
+func (c *stubComponent) NotifyPortFree(Time, *Port) { c.portFreeNotified++ }
+
+func newStubComponent(name string) *stubComponent {
+	return &stubComponent{ComponentBase: NewComponentBase(name)}
+}
+
+func TestPortDeliverRetrieveFIFO(t *testing.T) {
+	c := newStubComponent("c")
+	p := NewPort(c, "c.in", 0)
+	for i := 0; i < 5; i++ {
+		p.Deliver(0, &testMsg{MsgMeta: MsgMeta{Bytes: 8}, payload: i})
+	}
+	if c.recvNotified != 5 {
+		t.Errorf("recvNotified = %d, want 5", c.recvNotified)
+	}
+	for i := 0; i < 5; i++ {
+		m := p.Retrieve(0)
+		if m == nil {
+			t.Fatalf("Retrieve %d returned nil", i)
+		}
+		if m.(*testMsg).payload != i {
+			t.Errorf("Retrieve %d returned payload %d", i, m.(*testMsg).payload)
+		}
+	}
+	if p.Retrieve(0) != nil {
+		t.Error("Retrieve on empty port returned a message")
+	}
+}
+
+func TestPortByteAccountingAndCapacity(t *testing.T) {
+	c := newStubComponent("c")
+	p := NewPort(c, "c.in", 100)
+	if !p.CanAccept(100) {
+		t.Error("empty port rejected a message that exactly fits")
+	}
+	p.Deliver(0, &testMsg{MsgMeta: MsgMeta{Bytes: 60}})
+	if p.CanAccept(41) {
+		t.Error("port accepted overflow")
+	}
+	if !p.CanAccept(40) {
+		t.Error("port rejected a fitting message")
+	}
+	p.Deliver(0, &testMsg{MsgMeta: MsgMeta{Bytes: 40}})
+	if p.UsedBytes() != 100 {
+		t.Errorf("UsedBytes = %d, want 100", p.UsedBytes())
+	}
+	p.Retrieve(0)
+	if p.UsedBytes() != 40 {
+		t.Errorf("UsedBytes after retrieve = %d, want 40", p.UsedBytes())
+	}
+}
+
+func TestPortOverflowPanics(t *testing.T) {
+	c := newStubComponent("c")
+	p := NewPort(c, "c.in", 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("delivering into a full port did not panic")
+		}
+	}()
+	p.Deliver(0, &testMsg{MsgMeta: MsgMeta{Bytes: 11}})
+}
+
+func TestDirectConnectionDeliversAfterLatency(t *testing.T) {
+	e := NewEngine()
+	src := newStubComponent("src")
+	dst := newStubComponent("dst")
+	srcPort := NewPort(src, "src.out", 0)
+	dstPort := NewPort(dst, "dst.in", 0)
+	conn := NewDirectConnection("link", e, 3)
+	conn.Plug(srcPort)
+	conn.Plug(dstPort)
+
+	m := &testMsg{MsgMeta: MsgMeta{Dst: dstPort, Bytes: 64}}
+	if !srcPort.Send(0, m) {
+		t.Fatal("Send rejected")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dstPort.Buffered() != 1 {
+		t.Fatal("message not delivered")
+	}
+	got := dstPort.Retrieve(e.Now())
+	if got.Meta().RecvTime != 3 {
+		t.Errorf("RecvTime = %d, want 3", got.Meta().RecvTime)
+	}
+	if got.Meta().SendTime != 0 {
+		t.Errorf("SendTime = %d, want 0", got.Meta().SendTime)
+	}
+	if got.Meta().ID == 0 {
+		t.Error("message was not assigned an ID")
+	}
+}
+
+func TestDirectConnectionBackpressureParksAndResumes(t *testing.T) {
+	e := NewEngine()
+	src := newStubComponent("src")
+	dst := newStubComponent("dst")
+	srcPort := NewPort(src, "src.out", 0)
+	dstPort := NewPort(dst, "dst.in", 64) // room for exactly one message
+	conn := NewDirectConnection("link", e, 1)
+	conn.Plug(srcPort)
+	conn.Plug(dstPort)
+
+	for i := 0; i < 3; i++ {
+		srcPort.Send(0, &testMsg{MsgMeta: MsgMeta{Dst: dstPort, Bytes: 64}, payload: i})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dstPort.Buffered() != 1 {
+		t.Fatalf("buffered = %d, want 1 (others parked)", dstPort.Buffered())
+	}
+	// Drain one; a parked message should be delivered immediately.
+	first := dstPort.Retrieve(e.Now())
+	if first.(*testMsg).payload != 0 {
+		t.Errorf("first payload = %d, want 0", first.(*testMsg).payload)
+	}
+	if dstPort.Buffered() != 1 {
+		t.Fatalf("parked message not delivered after space freed")
+	}
+	second := dstPort.Retrieve(e.Now())
+	if second.(*testMsg).payload != 1 {
+		t.Errorf("second payload = %d, want 1 (FIFO violated)", second.(*testMsg).payload)
+	}
+	if dstPort.Buffered() != 1 {
+		t.Fatal("third message not delivered")
+	}
+	third := dstPort.Retrieve(e.Now())
+	if third.(*testMsg).payload != 2 {
+		t.Errorf("third payload = %d, want 2", third.(*testMsg).payload)
+	}
+}
+
+func TestDirectConnectionUnpluggedDestinationPanics(t *testing.T) {
+	e := NewEngine()
+	src := newStubComponent("src")
+	dst := newStubComponent("dst")
+	srcPort := NewPort(src, "src.out", 0)
+	dstPort := NewPort(dst, "dst.in", 0)
+	conn := NewDirectConnection("link", e, 1)
+	conn.Plug(srcPort)
+	defer func() {
+		if recover() == nil {
+			t.Error("send to unplugged destination did not panic")
+		}
+	}()
+	srcPort.Send(0, &testMsg{MsgMeta: MsgMeta{Dst: dstPort, Bytes: 1}})
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogRecordAndCap(t *testing.T) {
+	l := &Log{Cap: 2}
+	for i := 0; i < 5; i++ {
+		l.Record(Transfer{Start: 0, End: 1, Src: "a", Dst: "b", Bytes: 10, Kind: "X"})
+	}
+	if len(l.Transfers()) != 2 {
+		t.Errorf("kept %d transfers, want cap 2", len(l.Transfers()))
+	}
+	if l.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", l.Dropped())
+	}
+}
+
+func TestUtilizationTimeline(t *testing.T) {
+	l := &Log{}
+	// Busy 0-10, idle 10-20, busy 20-30.
+	l.Record(Transfer{Start: 0, End: 10, Src: "a", Dst: "b", Bytes: 200})
+	l.Record(Transfer{Start: 20, End: 30, Src: "a", Dst: "b", Bytes: 200})
+	bins := l.UtilizationTimeline(10)
+	if len(bins) != 3 {
+		t.Fatalf("got %d bins: %v", len(bins), bins)
+	}
+	if bins[0] != 1.0 || bins[1] != 0.0 || bins[2] != 1.0 {
+		t.Errorf("bins = %v, want [1 0 1]", bins)
+	}
+}
+
+func TestUtilizationPartialWindows(t *testing.T) {
+	l := &Log{}
+	l.Record(Transfer{Start: 5, End: 15, Src: "a", Dst: "b", Bytes: 200})
+	bins := l.UtilizationTimeline(10)
+	if len(bins) != 2 {
+		t.Fatalf("bins: %v", bins)
+	}
+	if bins[0] != 0.5 || bins[1] != 0.5 {
+		t.Errorf("bins = %v, want [0.5 0.5]", bins)
+	}
+}
+
+func TestPairsSortedByBytes(t *testing.T) {
+	l := &Log{}
+	l.Record(Transfer{Src: "a", Dst: "b", Bytes: 100, End: 1})
+	l.Record(Transfer{Src: "c", Dst: "d", Bytes: 500, End: 1})
+	l.Record(Transfer{Src: "a", Dst: "b", Bytes: 100, End: 1})
+	pairs := l.Pairs()
+	if len(pairs) != 2 {
+		t.Fatalf("pairs: %v", pairs)
+	}
+	if pairs[0].Src != "c" || pairs[0].Bytes != 500 {
+		t.Errorf("top pair = %+v", pairs[0])
+	}
+	if pairs[1].Transfers != 2 || pairs[1].Bytes != 200 {
+		t.Errorf("second pair = %+v", pairs[1])
+	}
+}
+
+func TestKindsAggregation(t *testing.T) {
+	l := &Log{}
+	l.Record(Transfer{Kind: "Read", Bytes: 16, End: 1})
+	l.Record(Transfer{Kind: "DataReady", Bytes: 68, End: 1})
+	l.Record(Transfer{Kind: "Read", Bytes: 16, End: 1})
+	kinds := l.Kinds()
+	if len(kinds) != 2 || kinds[0].Kind != "DataReady" {
+		t.Errorf("kinds = %v", kinds)
+	}
+	if kinds[1].Transfers != 2 || kinds[1].Bytes != 32 {
+		t.Errorf("Read kind = %+v", kinds[1])
+	}
+}
+
+func TestSummaryAndCSV(t *testing.T) {
+	l := &Log{}
+	l.Record(Transfer{Start: 0, End: 4, Src: "GPU0", Dst: "GPU1", Bytes: 80, Kind: "Read"})
+	s := l.Summary(10, 5)
+	for _, want := range []string{"fabric trace: 1 transfers", "GPU0", "Read", "utilization"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	csv := l.CSV()
+	if !strings.Contains(csv, "0,4,GPU0,GPU1,80,Read") {
+		t.Errorf("csv malformed:\n%s", csv)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	l := &Log{}
+	if l.UtilizationTimeline(10) != nil {
+		t.Error("empty timeline not nil")
+	}
+	if len(l.Pairs()) != 0 || len(l.Kinds()) != 0 {
+		t.Error("empty aggregates not empty")
+	}
+	if !strings.Contains(l.Summary(10, 3), "0 transfers") {
+		t.Error("empty summary")
+	}
+}

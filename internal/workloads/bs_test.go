@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// Bitonic sort launches exactly log(n)·(log(n)+1)/2 kernels.
+func TestBSKernelCountFormula(t *testing.T) {
+	bs := NewBS(ScaleTiny)
+	p := testPlatform(nil)
+	if err := bs.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := bs.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	logN := bits.Len(uint(bs.n)) - 1
+	want := logN * (logN + 1) / 2
+	if bs.KernelCount() != want {
+		t.Errorf("kernel count = %d, want %d for n=%d", bs.KernelCount(), want, bs.n)
+	}
+	if got := int(p.Driver.KernelsLaunched); got != want {
+		t.Errorf("driver launches = %d, want %d", got, want)
+	}
+}
+
+// The result must be a permutation of the input (no elements invented or
+// lost), beyond being sorted.
+func TestBSOutputIsPermutation(t *testing.T) {
+	bs := NewBS(ScaleTiny)
+	p := testPlatform(nil)
+	if err := bs.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := map[uint32]int{}
+	for _, v := range bs.initial {
+		wantCounts[v]++
+	}
+	if err := bs.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	raw := bs.data.Read(0, bs.n*4)
+	gotCounts := map[uint32]int{}
+	prev := uint32(0)
+	for i := 0; i < bs.n; i++ {
+		v := readU32(raw[i*4:])
+		gotCounts[v]++
+		if v < prev {
+			t.Fatalf("output not sorted at %d: %d < %d", i, v, prev)
+		}
+		prev = v
+	}
+	for v, n := range wantCounts {
+		if gotCounts[v] != n {
+			t.Fatalf("value %d appears %d times, want %d", v, gotCounts[v], n)
+		}
+	}
+}
+
+// The input must be the sparse zero-heavy distribution the paper describes
+// (entropy 0.02) — most elements zero, nonzeros from a small key set in the
+// upper halfword.
+func TestBSInputDistribution(t *testing.T) {
+	bs := NewBS(ScaleSmall)
+	p := testPlatform(nil)
+	if err := bs.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, v := range bs.initial {
+		if v == 0 {
+			zeros++
+			continue
+		}
+		if v&0xFFFF != 0 {
+			t.Fatalf("key %#x has nonzero low halfword", v)
+		}
+	}
+	frac := float64(zeros) / float64(bs.n)
+	if frac < 0.85 {
+		t.Errorf("zero fraction = %.2f, want ≫ 0.85", frac)
+	}
+}
+
+// The element count is forced to a power of two (bitonic requirement).
+func TestBSPowerOfTwoSize(t *testing.T) {
+	for _, scale := range []Scale{1, 3, 5} {
+		bs := NewBS(scale)
+		p := testPlatform(nil)
+		if err := bs.Setup(p); err != nil {
+			t.Fatal(err)
+		}
+		if bs.n&(bs.n-1) != 0 {
+			t.Errorf("scale %d: n=%d not a power of two", scale, bs.n)
+		}
+	}
+}

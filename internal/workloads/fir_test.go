@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"testing"
+
+	"mgpucompress/internal/mem"
+	"mgpucompress/internal/platform"
+)
+
+// Impulse-response test: replace the FIR input with a unit impulse and the
+// output must reproduce the tap coefficients — the canonical filter
+// identity, checked through the full simulated pipeline.
+func TestFIRImpulseResponse(t *testing.T) {
+	f := NewFIR(ScaleTiny)
+	p := testPlatform(nil)
+	if err := f.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the input with an impulse at sample 0.
+	zero := make([]byte, f.n*8)
+	f.input.Write(0, zero)
+	one := make([]byte, 8)
+	one[0] = 1
+	f.input.Write(0, one)
+
+	if err := f.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	// y[i] = taps[i] for i < numTaps, 0 after.
+	for wg := 0; wg < f.numWGs && wg < 2; wg++ {
+		g, outLine := f.outputSlot(p, wg)
+		got := f.outputs[g].Read(uint64(outLine)*mem.LineSize, f.linesPerWG*mem.LineSize)
+		for s := 0; s < f.linesPerWG; s++ {
+			for e := 0; e < firSamplesPerLine; e++ {
+				i := (wg*f.linesPerWG+s)*firSamplesPerLine + e
+				var want uint64
+				if i < f.numTaps {
+					want = uint64(f.taps[i])
+				}
+				var gotV uint64
+				for b := 0; b < 8; b++ {
+					gotV |= uint64(got[(s*firSamplesPerLine+e)*8+b]) << (8 * b)
+				}
+				if gotV != want {
+					t.Fatalf("impulse response y[%d] = %#x, want %#x (tap)", i, gotV, want)
+				}
+			}
+		}
+	}
+}
+
+// The FIR sensor samples must be the BDI-friendly / FPC-hostile pattern the
+// benchmark is designed around.
+func TestFIRInputPattern(t *testing.T) {
+	f := NewFIR(ScaleTiny)
+	p := testPlatform(nil)
+	if err := f.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	raw := f.input.Read(0, 64)
+	for i := 0; i < 8; i++ {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			v |= uint64(raw[i*8+b]) << (8 * b)
+		}
+		if v>>16 != firDC>>16 {
+			t.Errorf("sample %d = %#x does not share the DC prefix %#x", i, v, firDC)
+		}
+	}
+}
+
+func TestFIRTwoKernelsLaunched(t *testing.T) {
+	f := NewFIR(ScaleTiny)
+	p := testPlatform(nil)
+	if err := f.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Driver.KernelsLaunched; got != 2 {
+		t.Errorf("FIR launched %d kernels, want 2 (setup + filter)", got)
+	}
+}
+
+func testPlatformGPU1() *platform.Platform {
+	cfg := platform.DefaultConfig()
+	cfg.CUsPerGPU = 1
+	return platform.New(cfg)
+}
+
+// FIR must verify even with a single CU per GPU (different workgroup→GPU
+// mapping than the default test platform).
+func TestFIRSingleCUPerGPU(t *testing.T) {
+	f := NewFIR(ScaleTiny)
+	p := testPlatformGPU1()
+	if err := f.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+// GD's block sparsity: a meaningful fraction of batch lines must be
+// entirely zero (the compressible part) and the rest dense floats.
+func TestGDBatchBlockSparsity(t *testing.T) {
+	gd := NewGD(ScaleTiny)
+	p := testPlatform(nil)
+	if err := gd.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	zeroLines, denseLines := 0, 0
+	for _, x := range gd.initX {
+		for i := 0; i < len(x); i += wordsPerLine {
+			allZero := true
+			anyZero := false
+			for e := 0; e < wordsPerLine; e++ {
+				if x[i+e] == 0 {
+					anyZero = true
+				} else {
+					allZero = false
+				}
+			}
+			if allZero {
+				zeroLines++
+			} else {
+				denseLines++
+				if anyZero {
+					t.Fatalf("line %d mixes zeros and values: block sparsity broken", i/wordsPerLine)
+				}
+			}
+		}
+	}
+	frac := float64(zeroLines) / float64(zeroLines+denseLines)
+	if frac < 0.15 || frac > 0.4 {
+		t.Errorf("zero-line fraction = %.2f, want ≈0.25", frac)
+	}
+}
+
+// Weight updates must actually move the weights (the gradient step is not a
+// no-op) while staying finite.
+func TestGDWeightsMoveAndStayFinite(t *testing.T) {
+	gd := NewGD(ScaleTiny)
+	p := testPlatform(nil)
+	if err := gd.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := gd.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	raw := gd.weights.Read(0, gd.m*4)
+	moved := 0
+	for j := 0; j < gd.m; j++ {
+		got := math.Float32frombits(readU32(raw[j*4:]))
+		if math.IsNaN(float64(got)) || math.IsInf(float64(got), 0) {
+			t.Fatalf("w[%d] = %v not finite", j, got)
+		}
+		if got != gd.initW[j] {
+			moved++
+		}
+	}
+	if moved < gd.m/4 {
+		t.Errorf("only %d/%d weights moved", moved, gd.m)
+	}
+}
+
+// Four kernels launch for two iterations (grad + reduce each).
+func TestGDKernelCount(t *testing.T) {
+	gd := NewGD(ScaleTiny)
+	p := testPlatform(nil)
+	if err := gd.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := gd.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(p.Driver.KernelsLaunched); got != 2*gd.iterations {
+		t.Errorf("launched %d kernels, want %d", got, 2*gd.iterations)
+	}
+}

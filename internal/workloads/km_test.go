@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"testing"
+)
+
+// Every assignment written by the device must point at the centroid that is
+// genuinely nearest under the final-iteration centroids.
+func TestKMAssignmentsAreNearest(t *testing.T) {
+	km := NewKM(ScaleTiny)
+	p := testPlatform(nil)
+	if err := km.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := km.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the centroids the last assign kernel saw (after
+	// iterations-1 updates) on the host.
+	cents := make([][]int64, km.k)
+	for c := range cents {
+		cents[c] = make([]int64, km.d)
+		for f := 0; f < km.d; f++ {
+			cents[c][f] = int64(km.initCentroids[c][f])
+		}
+	}
+	for it := 0; it < km.iterations-1; it++ {
+		sums := make([][]int64, km.k)
+		counts := make([]int64, km.k)
+		for c := range sums {
+			sums[c] = make([]int64, km.d)
+		}
+		for i := 0; i < km.n; i++ {
+			best := nearest(km.initPoints[i], cents)
+			for f := 0; f < km.d; f++ {
+				sums[best][f] += int64(km.initPoints[i][f])
+			}
+			counts[best]++
+		}
+		for c := 0; c < km.k; c++ {
+			for f := 0; f < km.d; f++ {
+				if counts[c] > 0 {
+					cents[c][f] = sums[c][f] / counts[c]
+				} else {
+					cents[c][f] = 0
+				}
+			}
+		}
+	}
+	raw := km.assignments.Read(0, km.n*4)
+	for i := 0; i < km.n; i++ {
+		got := int(readU32(raw[i*4:]))
+		want := nearest(km.initPoints[i], cents)
+		if got != want {
+			t.Fatalf("point %d assigned to %d, nearest is %d", i, got, want)
+		}
+	}
+}
+
+func nearest(point []int32, cents [][]int64) int {
+	best, bestDist := 0, int64(1)<<62
+	for c := range cents {
+		var dist int64
+		for f := range point {
+			diff := int64(point[f]) - cents[c][f]
+			dist += diff * diff
+		}
+		if dist < bestDist {
+			best, bestDist = c, dist
+		}
+	}
+	return best
+}
+
+// KM points must be the two-hot sparse layout that produces the Table V
+// ratios: at most two distinct nonzero values per point, all in the
+// halfword range.
+func TestKMPointLayout(t *testing.T) {
+	km := NewKM(ScaleTiny)
+	p := testPlatform(nil)
+	if err := km.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	for i, feats := range km.initPoints {
+		distinct := map[int32]bool{}
+		zeros := 0
+		for _, v := range feats {
+			if v == 0 {
+				zeros++
+				continue
+			}
+			if v < 256 || v > 32767 {
+				t.Fatalf("point %d value %d outside halfword range", i, v)
+			}
+			distinct[v] = true
+		}
+		if len(distinct) > 2 {
+			t.Fatalf("point %d has %d distinct levels, want ≤2", i, len(distinct))
+		}
+		if zeros < km.d/2 {
+			t.Fatalf("point %d has only %d zeros of %d", i, zeros, km.d)
+		}
+	}
+}

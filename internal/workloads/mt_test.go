@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"testing"
+
+	"mgpucompress/internal/mem"
+)
+
+// Transposing twice is the identity: run MT, then transpose the output back
+// with a second platform run and compare against the original input.
+func TestMTDoubleTransposeIsIdentity(t *testing.T) {
+	mt := NewMT(ScaleTiny)
+	p := testPlatform(nil)
+	if err := mt.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	// Second transpose: output -> input roles swapped on the same platform.
+	back := &MT{scale: mt.scale, n: mt.n, input: mt.output, output: mt.input, init: nil}
+	if err := back.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	raw := mt.input.Read(0, mt.n*mt.n*4)
+	for i := 0; i < mt.n*mt.n; i++ {
+		if got := int32(readU32(raw[i*4:])); got != mt.init[i] {
+			t.Fatalf("element %d = %d after double transpose, want %d", i, got, mt.init[i])
+		}
+	}
+}
+
+// Every element must be read exactly once and written exactly once: remote
+// reads ≈ remote writes and DRAM traffic is bounded.
+func TestMTAccessCounts(t *testing.T) {
+	mt := NewMT(ScaleTiny)
+	p := testPlatform(nil)
+	if err := mt.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes uint64
+	for _, dev := range p.GPUs {
+		for _, cu := range dev.CUs {
+			reads += cu.MemReadsIssued
+			writes += cu.MemWritesIssued
+		}
+	}
+	lines := uint64(mt.n * mt.n * 4 / mem.LineSize)
+	if reads != lines {
+		t.Errorf("CU reads = %d, want exactly %d (one per line)", reads, lines)
+	}
+	if writes != lines {
+		t.Errorf("CU writes = %d, want exactly %d", writes, lines)
+	}
+}
+
+// The matrix values must stay in the byte range that produces the paper's
+// Table V MT ratios.
+func TestMTValueRange(t *testing.T) {
+	mt := NewMT(ScaleTiny)
+	p := testPlatform(nil)
+	if err := mt.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range mt.init {
+		if v < 0 || v > 127 {
+			t.Fatalf("matrix value %d outside byte range", v)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `
+# two workgroups copying and transforming data
+R 0
+C 10
+W 1000 deadbeef00112233
+
+G
+R 40
+W 1040 cafebabe
+C 5
+W 1050 0102030405060708
+`
+
+func TestParseTrace(t *testing.T) {
+	rp, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Workgroups() != 2 {
+		t.Fatalf("workgroups = %d, want 2", rp.Workgroups())
+	}
+	if rp.ops[0][0].kind != 'R' || rp.ops[0][1].kind != 'C' || rp.ops[0][2].kind != 'W' {
+		t.Errorf("wg0 ops = %+v", rp.ops[0])
+	}
+	if rp.ops[1][1].offset != 0x1040 {
+		t.Errorf("wg1 write offset = %#x", rp.ops[1][1].offset)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"",                                 // empty
+		"R",                                // missing offset
+		"R zz",                             // bad offset
+		"W 10",                             // missing data
+		"W 10 xyz",                         // bad hex
+		"W 10 " + strings.Repeat("ab", 65), // too long
+		"C -1",                             // bad cycles
+		"Q 10",                             // unknown op
+	}
+	for _, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("trace %q accepted", c)
+		}
+	}
+}
+
+func TestReplayRunsAndVerifies(t *testing.T) {
+	rp, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]byte, 128)
+	for i := range input {
+		input[i] = byte(i + 1)
+	}
+	rp.SetInitial(0, input)
+	p := testPlatform(nil)
+	if err := rp.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the written bytes landed.
+	if got := rp.buf.Read(0x1000, 4); !bytes.Equal(got, []byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Errorf("write at 0x1000 = %x", got)
+	}
+	if got := rp.buf.Read(0x1040, 4); !bytes.Equal(got, []byte{0xca, 0xfe, 0xba, 0xbe}) {
+		t.Errorf("write at 0x1040 = %x", got)
+	}
+	// Initial data must have been readable.
+	if got := rp.buf.Read(0, 4); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("initial data = %x", got)
+	}
+}
+
+func TestReplayOverlappingWritesWithinWG(t *testing.T) {
+	// Sequential overlapping writes in one workgroup must verify against
+	// the in-order result.
+	trace := `
+W 0 1111111111111111
+W 4 22222222
+`
+	rp, err := ParseTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPlatform(nil)
+	if err := rp.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x11, 0x11, 0x11, 0x11, 0x22, 0x22, 0x22, 0x22}
+	if got := rp.buf.Read(0, 8); !bytes.Equal(got, want) {
+		t.Errorf("memory = %x, want %x", got, want)
+	}
+}
+
+func TestReplayUnderCompression(t *testing.T) {
+	// A larger synthetic trace with compressible writes, run under the
+	// adaptive policy.
+	var sb strings.Builder
+	for wg := 0; wg < 8; wg++ {
+		fmt.Fprintf(&sb, "G\n")
+		for i := 0; i < 16; i++ {
+			off := wg*4096 + i*64
+			fmt.Fprintf(&sb, "R %x\n", off)
+			fmt.Fprintf(&sb, "W %x %s\n", 0x40000+off, strings.Repeat("07000000", 16))
+		}
+	}
+	rp, err := ParseTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPlatform(adaptivePolicyFactory())
+	if err := rp.Setup(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Verify(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Bus.TotalBytes() == 0 {
+		t.Error("no traffic")
+	}
+}
