@@ -1,8 +1,18 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test short race cover bench reproduce ablations examples fmt vet
+.PHONY: all ci test short race cover bench reproduce ablations examples fmt vet
 
 all: vet test
+
+# Everything a pre-merge check needs: formatting, vet, and the short test
+# suite under the race detector (the sweep engine is concurrent by design).
+ci:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	go vet ./...
+	go test -race -short ./...
 
 test:
 	go test ./...

@@ -43,6 +43,15 @@ func benchOpts() runner.ExpOptions {
 	return runner.ExpOptions{Scale: workloads.Scale(scale), CUsPerGPU: cus}
 }
 
+// newSweep builds a fresh sweep session so every benchmark iteration
+// simulates its jobs (a shared session would turn iterations 2..N into pure
+// cache hits). Within one iteration the engine still deduplicates: an
+// artifact's shared runs are simulated once and fan out across GOMAXPROCS
+// workers.
+func newSweep() *runner.Sweep {
+	return runner.NewSweep(runner.SweepConfig{})
+}
+
 var printOnce sync.Map
 
 func printFirst(b *testing.B, key, text string) {
@@ -87,7 +96,7 @@ func BenchmarkTable3CodecCosts(b *testing.B) {
 // workloads.
 func BenchmarkTable5InterGPUCharacteristics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.TableV(benchOpts())
+		rows, err := newSweep().TableV(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +108,7 @@ func BenchmarkTable5InterGPUCharacteristics(b *testing.B) {
 // patterns per codec per workload.
 func BenchmarkTable6PatternMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.TableVI(benchOpts())
+		rows, err := newSweep().TableVI(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,8 +121,9 @@ func BenchmarkTable6PatternMix(b *testing.B) {
 // and FIR, summarized per phase.
 func BenchmarkFig1TemporalSeries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, bench := range []string{"SC", "FIR"} {
-			s, err := runner.Fig1(bench, 500, benchOpts())
+		sw := newSweep()
+		for _, bench := range runner.Fig1Benchmarks() {
+			s, err := sw.Fig1(bench, 500, benchOpts())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -133,7 +143,7 @@ func BenchmarkFig1TemporalSeries(b *testing.B) {
 // traffic and execution time under the static codecs.
 func BenchmarkFig5StaticCompression(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.Fig5(benchOpts())
+		rows, err := newSweep().Fig5(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +157,7 @@ func BenchmarkFig5StaticCompression(b *testing.B) {
 // time under the adaptive policy for λ ∈ {0, 6, 32}.
 func BenchmarkFig6Adaptive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.Fig6(benchOpts())
+		rows, err := newSweep().Fig6(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,11 +171,23 @@ func BenchmarkFig6Adaptive(b *testing.B) {
 // static and adaptive policies on the MCM-class fabric.
 func BenchmarkFig7Energy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.Fig7(benchOpts())
+		rows, err := newSweep().Fig7(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
 		printFirst(b, "f7", runner.FormatNormalized("Fig. 7", "energy", rows))
+	}
+}
+
+// BenchmarkReproducePlan runs the full deduplicated cmd/reproduce job plan
+// through the sweep engine at default parallelism: the end-to-end cost of
+// every table and figure with shared runs simulated exactly once.
+func BenchmarkReproducePlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSweep()
+		if err := s.Prefetch(runner.ReproducePlan(benchOpts())); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -189,7 +211,7 @@ func BenchmarkAreaOverhead(b *testing.B) {
 // paper fixes at 7 samples / 300 transfers.
 func BenchmarkAblationSamplingGeometry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.SamplingAblation("SC", benchOpts())
+		rows, err := newSweep().SamplingAblation("SC", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +223,7 @@ func BenchmarkAblationSamplingGeometry(b *testing.B) {
 // one codec, adaptively switched on and off.
 func BenchmarkAblationSingleCodecOnOff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.OnOffAblation([]string{"AES", "MT"}, benchOpts())
+		rows, err := newSweep().OnOffAblation([]string{"AES", "MT"}, benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -213,7 +235,7 @@ func BenchmarkAblationSingleCodecOnOff(b *testing.B) {
 // fabric integration levels.
 func BenchmarkAblationLinkClass(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.LinkClassAblation("MT", benchOpts())
+		rows, err := newSweep().LinkClassAblation("MT", benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -225,7 +247,7 @@ func BenchmarkAblationLinkClass(b *testing.B) {
 // the BPC-augmented candidate set and the dynamic-λ controller.
 func BenchmarkAblationExtensions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.ExtensionAblation(runner.Benchmarks(), benchOpts())
+		rows, err := newSweep().ExtensionAblation(runner.Benchmarks(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,7 +259,7 @@ func BenchmarkAblationExtensions(b *testing.B) {
 // shared bus against a crossbar.
 func BenchmarkAblationTopology(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.TopologyAblation([]string{"BS", "MT", "SC"}, benchOpts())
+		rows, err := newSweep().TopologyAblation([]string{"BS", "MT", "SC"}, benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -249,7 +271,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 // al.) with adaptive compression.
 func BenchmarkAblationRemoteCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.RemoteCacheAblation([]string{"SC", "MT", "AES"}, benchOpts())
+		rows, err := newSweep().RemoteCacheAblation([]string{"SC", "MT", "AES"}, benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -261,7 +283,7 @@ func BenchmarkAblationRemoteCache(b *testing.B) {
 // crossover where compression stops buying time.
 func BenchmarkAblationBandwidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.BandwidthAblation("SC", benchOpts(), []int{5, 10, 20, 40, 80, 160})
+		rows, err := newSweep().BandwidthAblation("SC", benchOpts(), []int{5, 10, 20, 40, 80, 160})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -272,7 +294,7 @@ func BenchmarkAblationBandwidth(b *testing.B) {
 // BenchmarkAblationScalability sweeps the GPU count.
 func BenchmarkAblationScalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := runner.ScalabilityAblation("SC", benchOpts(), []int{2, 4, 8})
+		rows, err := newSweep().ScalabilityAblation("SC", benchOpts(), []int{2, 4, 8})
 		if err != nil {
 			b.Fatal(err)
 		}

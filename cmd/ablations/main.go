@@ -27,47 +27,51 @@ func main() {
 	scale := flag.Int("scale", 2, "input scale factor")
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
 	bench := flag.String("bench", "SC", "benchmark for single-benchmark studies")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	o := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus}
+	// One shared sweep across studies: -study all re-uses baseline and
+	// adaptive runs that several studies have in common.
+	s := runner.NewSweep(runner.SweepConfig{Jobs: *jobs})
 	run := map[string]func(){
 		"sampling": func() {
-			rows, err := runner.SamplingAblation(*bench, o)
+			rows, err := s.SamplingAblation(*bench, o)
 			check(err)
 			fmt.Print(runner.FormatSamplingAblation(*bench, rows))
 		},
 		"onoff": func() {
-			rows, err := runner.OnOffAblation([]string{"AES", "MT"}, o)
+			rows, err := s.OnOffAblation([]string{"AES", "MT"}, o)
 			check(err)
 			fmt.Print(runner.FormatOnOffAblation(rows))
 		},
 		"link": func() {
-			rows, err := runner.LinkClassAblation(*bench, o)
+			rows, err := s.LinkClassAblation(*bench, o)
 			check(err)
 			fmt.Print(runner.FormatLinkClassAblation(*bench, rows))
 		},
 		"extensions": func() {
-			rows, err := runner.ExtensionAblation(runner.Benchmarks(), o)
+			rows, err := s.ExtensionAblation(runner.Benchmarks(), o)
 			check(err)
 			fmt.Print(runner.FormatExtensionAblation(rows))
 		},
 		"topology": func() {
-			rows, err := runner.TopologyAblation([]string{"BS", "MT", "SC"}, o)
+			rows, err := s.TopologyAblation([]string{"BS", "MT", "SC"}, o)
 			check(err)
 			fmt.Print(runner.FormatTopologyAblation(rows))
 		},
 		"l15": func() {
-			rows, err := runner.RemoteCacheAblation([]string{"SC", "MT", "AES"}, o)
+			rows, err := s.RemoteCacheAblation([]string{"SC", "MT", "AES"}, o)
 			check(err)
 			fmt.Print(runner.FormatRemoteCacheAblation(rows))
 		},
 		"scale": func() {
-			rows, err := runner.ScalabilityAblation(*bench, o, []int{2, 4, 8})
+			rows, err := s.ScalabilityAblation(*bench, o, []int{2, 4, 8})
 			check(err)
 			fmt.Print(runner.FormatScalabilityAblation(rows))
 		},
 		"bandwidth": func() {
-			rows, err := runner.BandwidthAblation(*bench, o, []int{5, 10, 20, 40, 80, 160})
+			rows, err := s.BandwidthAblation(*bench, o, []int{5, 10, 20, 40, 80, 160})
 			check(err)
 			fmt.Print(runner.FormatBandwidthAblation(*bench, rows))
 		},

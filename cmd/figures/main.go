@@ -27,14 +27,16 @@ func main() {
 	n := flag.Int("n", 500, "number of consecutive transfers for figure 1")
 	scale := flag.Int("scale", int(workloads.ScaleSmall), "input scale factor")
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	flag.Parse()
 
 	opts := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus}
+	sw := runner.NewSweep(runner.SweepConfig{Jobs: *jobs})
 
 	switch *figure {
 	case 1:
-		s, err := runner.Fig1(strings.ToUpper(*bench), *n, opts)
+		s, err := sw.Fig1(strings.ToUpper(*bench), *n, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +56,7 @@ func main() {
 			fmt.Printf("  %-9s %6.1f B -> %6.1f B\n", alg, p[0], p[1])
 		}
 	case 5:
-		rows, err := runner.Fig5(opts)
+		rows, err := sw.Fig5(opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,7 +68,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(runner.FormatNormalized("Fig. 5: Static Compression", "time", rows))
 	case 6:
-		rows, err := runner.Fig6(opts)
+		rows, err := sw.Fig6(opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +80,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(runner.FormatNormalized("Fig. 6: Adaptive Compression", "time", rows))
 	case 7:
-		rows, err := runner.Fig7(opts)
+		rows, err := sw.Fig7(opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,6 +3,13 @@
 //
 //	reproduce -out results -scale 4
 //
+// All simulations are scheduled through the internal/sweep engine: the full
+// job plan is deduplicated (Tables V/VI share characterization runs; Fig. 7
+// re-uses every Fig. 5 and Fig. 6 run), fanned out across -jobs workers,
+// and streamed to a JSONL journal. An interrupted run restarted with the
+// same -resume file replays the journal and skips every finished job.
+// Artifacts are byte-identical for any -jobs value.
+//
 // Produced files: table1.txt, table3.txt, table5.txt, table6.txt,
 // fig1_SC.txt, fig1_FIR.txt, fig5.txt, fig6.txt, fig7.txt, area.txt and a
 // summary.txt index.
@@ -14,11 +21,13 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"mgpucompress/internal/comp"
 	"mgpucompress/internal/runner"
+	"mgpucompress/internal/sweep"
 	"mgpucompress/internal/workloads"
 )
 
@@ -28,94 +37,216 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	scale := flag.Int("scale", int(workloads.ScaleSmall), "input scale factor")
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	resume := flag.String("resume", "", "JSONL job journal: replayed if it exists, appended to as jobs finish")
+	quiet := flag.Bool("quiet", false, "suppress per-job progress lines")
 	flag.Parse()
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	if err := run(*out, *scale, *cus, *jobs, *resume, *quiet); err != nil {
 		log.Fatal(err)
 	}
-	o := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus}
-	var index []string
+}
+
+func run(out string, scale, cus, jobs int, resume string, quiet bool) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	o := runner.ExpOptions{Scale: workloads.Scale(scale), CUsPerGPU: cus}
 	start := time.Now()
 
-	write := func(name, content string) {
-		path := filepath.Join(*out, name)
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	cfg := runner.SweepConfig{Jobs: jobs}
+
+	// The journal file doubles as resume input (read first) and sink
+	// (appended to as new jobs finish).
+	var journal *os.File
+	if resume != "" {
+		f, err := os.OpenFile(resume, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		journal = f
+		cfg.Journal = f
+	}
+
+	plan := runner.ReproducePlan(o)
+	total := len(plan)
+	if !quiet {
+		cfg.OnProgress = func(p sweep.Progress) {
+			fmt.Printf("  [%d/%d] %d simulated, %d cache hits, %d resumed (%s)\n",
+				p.Completed, total, p.Simulated, p.CacheHits, p.Resumed,
+				p.Elapsed.Round(time.Millisecond))
+		}
+	}
+	s := runner.NewSweep(cfg)
+	if journal != nil {
+		loaded, err := s.Resume(journal)
+		if err != nil {
+			return fmt.Errorf("replaying %s: %w", resume, err)
+		}
+		if loaded > 0 {
+			fmt.Printf("resumed %d finished jobs from %s\n", loaded, resume)
+		}
+		// A journal killed mid-write ends with a partial line and no
+		// newline; terminate it so the first appended record stays intact.
+		if st, err := journal.Stat(); err == nil && st.Size() > 0 {
+			buf := make([]byte, 1)
+			if _, err := journal.ReadAt(buf, st.Size()-1); err == nil && buf[0] != '\n' {
+				if _, err := journal.Write([]byte("\n")); err != nil {
+					return fmt.Errorf("terminating %s: %w", resume, err)
+				}
+			}
+		}
+	}
+
+	// Phase 1: simulate the whole deduplicated plan at full parallelism.
+	// Even if an artifact later fails to assemble, every completed job has
+	// already been streamed to the journal for the next attempt.
+	fmt.Printf("plan: %d unique jobs (scale %d, %d workers)\n", total, scale, jobs)
+	if err := s.Prefetch(plan); err != nil {
+		return err
+	}
+
+	// Phase 2: assemble artifacts — pure cache hits from here on.
+	var index []string
+	write := func(name, content string) error {
+		path := filepath.Join(out, name)
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		index = append(index, name)
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+		return nil
 	}
 
-	// Static tables.
-	var t1 strings.Builder
-	fmt.Fprintf(&t1, "TABLE I: Supported data patterns\n")
+	for _, a := range artifacts(s, o) {
+		content, err := a.render()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		if err := write(a.name, content); err != nil {
+			return err
+		}
+	}
+
+	// The summary must stay byte-identical across -jobs values and reruns,
+	// so it carries job counts but no wall times; timing goes to stdout.
+	stats := s.Stats()
+	var sum strings.Builder
+	fmt.Fprintf(&sum, "reproduction artifacts (scale %d, %d unique jobs)\n", scale, total)
+	for _, n := range index {
+		fmt.Fprintf(&sum, "  %s\n", n)
+	}
+	if err := write("summary.txt", sum.String()); err != nil {
+		return err
+	}
+	fmt.Printf("sweep: %s (total %s)\n", stats, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// artifact names one output file and how to produce it.
+type artifact struct {
+	name   string
+	render func() (string, error)
+}
+
+// artifacts lists every output in writing order. All simulation goes
+// through the shared sweep, so characterization runs (Tables V and VI) and
+// the Fig. 5/6/7 policy runs are simulated once each.
+func artifacts(s *runner.Sweep, o runner.ExpOptions) []artifact {
+	static := func(content string) func() (string, error) {
+		return func() (string, error) { return content, nil }
+	}
+	arts := []artifact{
+		{"table1.txt", static(tableI())},
+		{"table3.txt", static(tableIII())},
+		{"table5.txt", func() (string, error) {
+			rows, err := s.TableV(o)
+			if err != nil {
+				return "", err
+			}
+			return runner.FormatTableV(rows), nil
+		}},
+		{"table6.txt", func() (string, error) {
+			rows, err := s.TableVI(o)
+			if err != nil {
+				return "", err
+			}
+			return runner.FormatTableVI(rows), nil
+		}},
+	}
+	for _, bench := range runner.Fig1Benchmarks() {
+		bench := bench
+		arts = append(arts, artifact{"fig1_" + bench + ".txt", func() (string, error) {
+			return fig1(s, bench, o)
+		}})
+	}
+	arts = append(arts,
+		artifact{"fig5.txt", func() (string, error) {
+			rows, err := s.Fig5(o)
+			if err != nil {
+				return "", err
+			}
+			return runner.FormatNormalized("Fig. 5: Static Compression", "traffic", rows) +
+				"\n" + runner.FormatNormalized("Fig. 5: Static Compression", "time", rows), nil
+		}},
+		artifact{"fig6.txt", func() (string, error) {
+			rows, err := s.Fig6(o)
+			if err != nil {
+				return "", err
+			}
+			return runner.FormatNormalized("Fig. 6: Adaptive Compression", "traffic", rows) +
+				"\n" + runner.FormatNormalized("Fig. 6: Adaptive Compression", "time", rows), nil
+		}},
+		artifact{"fig7.txt", func() (string, error) {
+			rows, err := s.Fig7(o)
+			if err != nil {
+				return "", err
+			}
+			return runner.FormatNormalized("Fig. 7: Energy Consumption", "energy", rows), nil
+		}},
+		artifact{"area.txt", static(runner.FormatAreaOverhead())},
+	)
+	return arts
+}
+
+func fig1(s *runner.Sweep, bench string, o runner.ExpOptions) (string, error) {
+	series, err := s.Fig1(bench, runner.Fig1Samples, o)
+	if err != nil {
+		return "", err
+	}
+	body := runner.FormatFig1(bench, series)
+	phases := runner.SummarizeFig1Phases(series)
+	body += "\nphase summary (mean compressed bytes, halves):\n"
+	for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
+		p := phases[alg]
+		body += fmt.Sprintf("  %-9v %6.1f B -> %6.1f B\n", alg, p[0], p[1])
+	}
+	return body, nil
+}
+
+func tableI() string {
+	var t strings.Builder
+	fmt.Fprintf(&t, "TABLE I: Supported data patterns\n")
 	for _, p := range comp.AllDataPatterns() {
-		fmt.Fprintf(&t1, "%-20s FPC=%-8v BDI=%-8v C-Pack+Z=%v\n", p,
+		fmt.Fprintf(&t, "%-20s FPC=%-8v BDI=%-8v C-Pack+Z=%v\n", p,
 			comp.SupportedPatterns(comp.FPC)[p],
 			comp.SupportedPatterns(comp.BDI)[p],
 			comp.SupportedPatterns(comp.CPackZ)[p])
 	}
-	write("table1.txt", t1.String())
-
-	var t3 strings.Builder
-	fmt.Fprintf(&t3, "TABLE III: codec costs (7nm, 1 GHz)\n")
-	for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
-		c := comp.CostOf(alg)
-		fmt.Fprintf(&t3, "%-9v comp %2d cy, decomp %2d cy, %5.0f µm², %.1f pJ/block\n",
-			alg, c.CompressionCycles, c.DecompressionCycles, c.AreaUM2, c.BlockEnergyPJ())
-	}
-	write("table3.txt", t3.String())
-
-	// Simulated tables.
-	t5, err := runner.TableV(o)
-	must(err)
-	write("table5.txt", runner.FormatTableV(t5))
-
-	t6, err := runner.TableVI(o)
-	must(err)
-	write("table6.txt", runner.FormatTableVI(t6))
-
-	// Figures.
-	for _, bench := range []string{"SC", "FIR"} {
-		s, err := runner.Fig1(bench, 500, o)
-		must(err)
-		body := runner.FormatFig1(bench, s)
-		phases := runner.SummarizeFig1Phases(s)
-		body += "\nphase summary (mean compressed bytes, halves):\n"
-		for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
-			p := phases[alg]
-			body += fmt.Sprintf("  %-9v %6.1f B -> %6.1f B\n", alg, p[0], p[1])
-		}
-		write("fig1_"+bench+".txt", body)
-	}
-
-	f5, err := runner.Fig5(o)
-	must(err)
-	write("fig5.txt", runner.FormatNormalized("Fig. 5: Static Compression", "traffic", f5)+
-		"\n"+runner.FormatNormalized("Fig. 5: Static Compression", "time", f5))
-
-	f6, err := runner.Fig6(o)
-	must(err)
-	write("fig6.txt", runner.FormatNormalized("Fig. 6: Adaptive Compression", "traffic", f6)+
-		"\n"+runner.FormatNormalized("Fig. 6: Adaptive Compression", "time", f6))
-
-	f7, err := runner.Fig7(o)
-	must(err)
-	write("fig7.txt", runner.FormatNormalized("Fig. 7: Energy Consumption", "energy", f7))
-
-	write("area.txt", runner.FormatAreaOverhead())
-
-	var sum strings.Builder
-	fmt.Fprintf(&sum, "reproduction artifacts (scale %d, %s)\n", *scale,
-		time.Since(start).Round(time.Millisecond))
-	for _, n := range index {
-		fmt.Fprintf(&sum, "  %s\n", n)
-	}
-	write("summary.txt", sum.String())
+	return t.String()
 }
 
-func must(err error) {
-	if err != nil {
-		log.Fatal(err)
+func tableIII() string {
+	var t strings.Builder
+	fmt.Fprintf(&t, "TABLE III: codec costs (7nm, 1 GHz)\n")
+	for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
+		c := comp.CostOf(alg)
+		fmt.Fprintf(&t, "%-9v comp %2d cy, decomp %2d cy, %5.0f µm², %.1f pJ/block\n",
+			alg, c.CompressionCycles, c.DecompressionCycles, c.AreaUM2, c.BlockEnergyPJ())
 	}
+	return t.String()
 }

@@ -25,6 +25,7 @@ func main() {
 	area := flag.Bool("area", false, "print the Sec. VII-C area overhead instead")
 	scale := flag.Int("scale", int(workloads.ScaleSmall), "input scale factor")
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *area {
@@ -32,6 +33,7 @@ func main() {
 		return
 	}
 	opts := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus}
+	s := runner.NewSweep(runner.SweepConfig{Jobs: *jobs})
 
 	switch *table {
 	case 1:
@@ -39,13 +41,13 @@ func main() {
 	case 3:
 		printTableIII()
 	case 5:
-		rows, err := runner.TableV(opts)
+		rows, err := s.TableV(opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(runner.FormatTableV(rows))
 	case 6:
-		rows, err := runner.TableVI(opts)
+		rows, err := s.TableVI(opts)
 		if err != nil {
 			log.Fatal(err)
 		}

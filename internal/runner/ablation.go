@@ -8,14 +8,31 @@ import (
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/energy"
 	"mgpucompress/internal/fabric"
-	"mgpucompress/internal/platform"
-	"mgpucompress/internal/workloads"
+	"mgpucompress/internal/sweep"
 )
 
 // This file holds ablation studies for the design choices the paper makes
 // but does not sweep: the sampling-phase geometry (7 samples / 300-transfer
 // running phase), the single-codec on/off degenerate mode of Sec. V, and
-// the fabric integration level of Sec. II.
+// the fabric integration level of Sec. II. Every study runs through the
+// sweep engine: each builds its job keys up front, fans them out across the
+// worker pool in one batch, and assembles rows in canonical order, so
+// studies sharing runs (e.g. the uncompressed baseline) simulate them once
+// per Sweep.
+
+// customAdaptiveKey builds the job key for a custom adaptive configuration.
+func customAdaptiveKey(bench string, o ExpOptions, cfg core.Config) sweep.JobKey {
+	opts := o.base()
+	opts.Adaptive = &cfg
+	return Key(bench, opts)
+}
+
+// adaptiveKey is the paper's adaptive controller at λ=6 under extra options.
+func adaptiveKey(bench string, opts Options) sweep.JobKey {
+	opts.Policy = "adaptive"
+	opts.Lambda = core.DefaultLambda
+	return Key(bench, opts)
+}
 
 // SamplingAblationRow measures one (sampleCount, runLength) configuration.
 type SamplingAblationRow struct {
@@ -25,69 +42,51 @@ type SamplingAblationRow struct {
 	ExecTime    float64
 }
 
-// runCustomAdaptive runs a benchmark with a fully custom adaptive config on
-// every compressing endpoint.
-func runCustomAdaptive(bench string, o ExpOptions, cfg core.Config) (*Metrics, error) {
-	w, err := workloads.ByAbbrev(bench, o.Scale)
-	if err != nil {
-		return nil, err
+// samplingGeometries is the swept (sampleCount, runLength) grid.
+var samplingGeometries = func() [][2]int {
+	var g [][2]int
+	for _, sc := range []int{3, 7, 15} {
+		for _, rl := range []int{100, 300, 1000} {
+			g = append(g, [2]int{sc, rl})
+		}
 	}
-	rec := newRecorder(Options{})
-	pcfg := platform.DefaultConfig()
-	if o.CUsPerGPU > 0 {
-		pcfg.CUsPerGPU = o.CUsPerGPU
-	}
-	pcfg.Recorder = rec
-	pcfg.NewPolicy = func(int) core.Policy { return core.NewAdaptive(cfg) }
-	p := platform.New(pcfg)
-	if err := w.Setup(p); err != nil {
-		return nil, err
-	}
-	if err := w.Run(p); err != nil {
-		return nil, err
-	}
-	if err := w.Verify(p); err != nil {
-		return nil, err
-	}
-	return &Metrics{
-		Workload:      bench,
-		Policy:        "adaptive(custom)",
-		ExecCycles:    uint64(p.ExecCycles()),
-		FabricBytes:   p.Bus.TotalBytes(),
-		Traffic:       rec.traffic,
-		CodecEnergyPJ: rec.energy,
-	}, nil
-}
+	return g
+}()
 
 // SamplingAblation sweeps the sampling-phase geometry on one benchmark,
 // normalized to the uncompressed baseline. The paper fixes 7 samples per
 // 300 transfers "achieving a balance between sampling accuracy and
 // efficiency" (Sec. V); this quantifies that balance.
-func SamplingAblation(bench string, o ExpOptions) ([]SamplingAblationRow, error) {
-	base, err := Run(bench, o.base())
+func (s *Sweep) SamplingAblation(bench string, o ExpOptions) ([]SamplingAblationRow, error) {
+	keys := []sweep.JobKey{Key(bench, o.base())}
+	for _, g := range samplingGeometries {
+		keys = append(keys, customAdaptiveKey(bench, o, core.Config{
+			Lambda:      core.DefaultLambda,
+			SampleCount: g[0],
+			RunLength:   g[1],
+		}))
+	}
+	ms, err := s.All(keys)
 	if err != nil {
 		return nil, err
 	}
-	var rows []SamplingAblationRow
-	for _, sc := range []int{3, 7, 15} {
-		for _, rl := range []int{100, 300, 1000} {
-			m, err := runCustomAdaptive(bench, o, core.Config{
-				Lambda:      core.DefaultLambda,
-				SampleCount: sc,
-				RunLength:   rl,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, SamplingAblationRow{
-				SampleCount: sc,
-				RunLength:   rl,
-				Traffic:     float64(m.FabricBytes) / float64(base.FabricBytes),
-				ExecTime:    float64(m.ExecCycles) / float64(base.ExecCycles),
-			})
-		}
+	base := ms[0]
+	rows := make([]SamplingAblationRow, 0, len(samplingGeometries))
+	for i, g := range samplingGeometries {
+		m := ms[1+i]
+		rows = append(rows, SamplingAblationRow{
+			SampleCount: g[0],
+			RunLength:   g[1],
+			Traffic:     float64(m.FabricBytes) / float64(base.FabricBytes),
+			ExecTime:    float64(m.ExecCycles) / float64(base.ExecCycles),
+		})
 	}
 	return rows, nil
+}
+
+// SamplingAblation sweeps the geometry on a fresh single-use sweep.
+func SamplingAblation(bench string, o ExpOptions) ([]SamplingAblationRow, error) {
+	return NewSweep(SweepConfig{}).SamplingAblation(bench, o)
 }
 
 // FormatSamplingAblation renders the sweep.
@@ -112,19 +111,17 @@ type OnOffAblationRow struct {
 	OnOffEnergyPJ  float64
 }
 
+var onOffAlgs = []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ}
+
 // OnOffAblation shows that even with a single codec integrated, the
 // adaptive scheme pays for itself by switching the circuit off on
 // incompressible phases.
-func OnOffAblation(benches []string, o ExpOptions) ([]OnOffAblationRow, error) {
-	var rows []OnOffAblationRow
+func (s *Sweep) OnOffAblation(benches []string, o ExpOptions) ([]OnOffAblationRow, error) {
+	var keys []sweep.JobKey
 	for _, b := range benches {
-		base, err := Run(b, o.base())
-		if err != nil {
-			return nil, err
-		}
-		for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ} {
+		keys = append(keys, Key(b, o.base()))
+		for _, alg := range onOffAlgs {
 			staticOpts := o.base()
-			staticOpts.Policy = strings.ToLower(strings.ReplaceAll(alg.String(), "-", ""))
 			switch alg {
 			case comp.FPC:
 				staticOpts.Policy = "fpc"
@@ -133,17 +130,24 @@ func OnOffAblation(benches []string, o ExpOptions) ([]OnOffAblationRow, error) {
 			case comp.CPackZ:
 				staticOpts.Policy = "cpackz"
 			}
-			st, err := Run(b, staticOpts)
-			if err != nil {
-				return nil, err
-			}
-			oo, err := runCustomAdaptive(b, o, core.Config{
+			keys = append(keys, Key(b, staticOpts))
+			keys = append(keys, customAdaptiveKey(b, o, core.Config{
 				Lambda:     core.DefaultLambda,
 				Candidates: []comp.Compressor{comp.NewCompressor(alg)},
-			})
-			if err != nil {
-				return nil, err
-			}
+			}))
+		}
+	}
+	ms, err := s.All(keys)
+	if err != nil {
+		return nil, err
+	}
+	stride := 1 + 2*len(onOffAlgs)
+	var rows []OnOffAblationRow
+	for i, b := range benches {
+		group := ms[i*stride : (i+1)*stride]
+		base := group[0]
+		for j, alg := range onOffAlgs {
+			st, oo := group[1+2*j], group[2+2*j]
 			rows = append(rows, OnOffAblationRow{
 				Benchmark:      b,
 				Alg:            alg,
@@ -155,6 +159,11 @@ func OnOffAblation(benches []string, o ExpOptions) ([]OnOffAblationRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// OnOffAblation runs the comparison on a fresh single-use sweep.
+func OnOffAblation(benches []string, o ExpOptions) ([]OnOffAblationRow, error) {
+	return NewSweep(SweepConfig{}).OnOffAblation(benches, o)
 }
 
 // FormatOnOffAblation renders the on/off comparison.
@@ -181,23 +190,24 @@ type LinkClassRow struct {
 // LinkClassAblation recomputes Fig. 7's energy saving across the
 // integration levels of Sec. II: the fabric transfer energy scales with
 // pJ/b while the codec overhead stays fixed, so savings grow with distance.
-func LinkClassAblation(bench string, o ExpOptions) ([]LinkClassRow, error) {
-	var rows []LinkClassRow
-	for _, link := range []energy.LinkClass{energy.MCM, energy.Board, energy.Node} {
+func (s *Sweep) LinkClassAblation(bench string, o ExpOptions) ([]LinkClassRow, error) {
+	links := []energy.LinkClass{energy.MCM, energy.Board, energy.Node}
+	var keys []sweep.JobKey
+	for _, link := range links {
 		baseOpts := o.base()
 		baseOpts.Link = link
-		base, err := Run(bench, baseOpts)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys, Key(bench, baseOpts))
 		opts := o.base()
 		opts.Link = link
-		opts.Policy = "adaptive"
-		opts.Lambda = core.DefaultLambda
-		m, err := Run(bench, opts)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys, adaptiveKey(bench, opts))
+	}
+	ms, err := s.All(keys)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]LinkClassRow, 0, len(links))
+	for i, link := range links {
+		base, m := ms[2*i], ms[2*i+1]
 		rows = append(rows, LinkClassRow{
 			Link:          link,
 			BaselinePJ:    base.TotalEnergyPJ(),
@@ -206,6 +216,11 @@ func LinkClassAblation(bench string, o ExpOptions) ([]LinkClassRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// LinkClassAblation runs the sweep on a fresh single-use sweep.
+func LinkClassAblation(bench string, o ExpOptions) ([]LinkClassRow, error) {
+	return NewSweep(SweepConfig{}).LinkClassAblation(bench, o)
 }
 
 // FormatLinkClassAblation renders the link-class sweep.
@@ -235,44 +250,44 @@ type ExtensionRow struct {
 }
 
 // ExtensionAblation measures the extensions on the given benchmarks.
-func ExtensionAblation(benches []string, o ExpOptions) ([]ExtensionRow, error) {
-	var rows []ExtensionRow
+func (s *Sweep) ExtensionAblation(benches []string, o ExpOptions) ([]ExtensionRow, error) {
+	var keys []sweep.JobKey
 	for _, b := range benches {
-		base, err := Run(b, o.base())
-		if err != nil {
-			return nil, err
-		}
-		adaptOpts := o.base()
-		adaptOpts.Policy = "adaptive"
-		adaptOpts.Lambda = core.DefaultLambda
-		adapt, err := Run(b, adaptOpts)
-		if err != nil {
-			return nil, err
-		}
-		bpcM, err := runCustomAdaptive(b, o, core.Config{
+		keys = append(keys, Key(b, o.base()))
+		keys = append(keys, adaptiveKey(b, o.base()))
+		keys = append(keys, customAdaptiveKey(b, o, core.Config{
 			Lambda:     core.DefaultLambda,
 			Candidates: comp.ExtendedCompressors(),
-		})
-		if err != nil {
-			return nil, err
-		}
+		}))
 		dynOpts := o.base()
 		dynOpts.Policy = "dynamic"
-		dyn, err := Run(b, dynOpts)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys, Key(b, dynOpts))
+	}
+	ms, err := s.All(keys)
+	if err != nil {
+		return nil, err
+	}
+	const stride = 4
+	rows := make([]ExtensionRow, 0, len(benches))
+	for i, b := range benches {
+		group := ms[i*stride : (i+1)*stride]
+		base := group[0]
 		norm := func(m *Metrics) (float64, float64) {
 			return float64(m.FabricBytes) / float64(base.FabricBytes),
 				float64(m.ExecCycles) / float64(base.ExecCycles)
 		}
 		row := ExtensionRow{Benchmark: b}
-		row.AdaptiveTraffic, row.AdaptiveTime = norm(adapt)
-		row.BPCTraffic, row.BPCTime = norm(bpcM)
-		row.DynamicTraffic, row.DynamicTime = norm(dyn)
+		row.AdaptiveTraffic, row.AdaptiveTime = norm(group[1])
+		row.BPCTraffic, row.BPCTime = norm(group[2])
+		row.DynamicTraffic, row.DynamicTime = norm(group[3])
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// ExtensionAblation runs the comparison on a fresh single-use sweep.
+func ExtensionAblation(benches []string, o ExpOptions) ([]ExtensionRow, error) {
+	return NewSweep(SweepConfig{}).ExtensionAblation(benches, o)
 }
 
 // FormatExtensionAblation renders the extension comparison.
@@ -304,24 +319,27 @@ type TopologyRow struct {
 // TopologyAblation quantifies how much of compression's win comes from
 // relieving fabric contention: on the richer crossbar, the same traffic
 // reduction buys less time.
-func TopologyAblation(benches []string, o ExpOptions) ([]TopologyRow, error) {
-	var rows []TopologyRow
+func (s *Sweep) TopologyAblation(benches []string, o ExpOptions) ([]TopologyRow, error) {
+	topos := []fabric.Topology{fabric.TopologyBus, fabric.TopologyCrossbar}
+	var keys []sweep.JobKey
 	for _, b := range benches {
-		for _, topo := range []fabric.Topology{fabric.TopologyBus, fabric.TopologyCrossbar} {
+		for _, topo := range topos {
 			baseOpts := o.base()
 			baseOpts.Topology = topo
-			base, err := Run(b, baseOpts)
-			if err != nil {
-				return nil, err
-			}
+			keys = append(keys, Key(b, baseOpts))
 			opts := o.base()
 			opts.Topology = topo
-			opts.Policy = "adaptive"
-			opts.Lambda = core.DefaultLambda
-			m, err := Run(b, opts)
-			if err != nil {
-				return nil, err
-			}
+			keys = append(keys, adaptiveKey(b, opts))
+		}
+	}
+	ms, err := s.All(keys)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TopologyRow
+	for i, b := range benches {
+		for j, topo := range topos {
+			base, m := ms[(i*len(topos)+j)*2], ms[(i*len(topos)+j)*2+1]
 			rows = append(rows, TopologyRow{
 				Benchmark:          b,
 				Topology:           topo,
@@ -332,6 +350,11 @@ func TopologyAblation(benches []string, o ExpOptions) ([]TopologyRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// TopologyAblation runs the comparison on a fresh single-use sweep.
+func TopologyAblation(benches []string, o ExpOptions) ([]TopologyRow, error) {
+	return NewSweep(SweepConfig{}).TopologyAblation(benches, o)
 }
 
 // FormatTopologyAblation renders the topology comparison.
@@ -364,43 +387,48 @@ type RemoteCacheRow struct {
 
 // RemoteCacheAblation quantifies how the two bandwidth mechanisms compose:
 // the remote cache removes repeat transfers, compression shrinks the rest.
-func RemoteCacheAblation(benches []string, o ExpOptions) ([]RemoteCacheRow, error) {
-	var rows []RemoteCacheRow
+func (s *Sweep) RemoteCacheAblation(benches []string, o ExpOptions) ([]RemoteCacheRow, error) {
+	variantKey := func(b, policy string, rc bool) sweep.JobKey {
+		opts := o.base()
+		opts.Policy = policy
+		opts.Lambda = core.DefaultLambda
+		opts.RemoteCache = rc
+		return Key(b, opts)
+	}
+	var keys []sweep.JobKey
 	for _, b := range benches {
-		variant := func(policy string, rc bool) (*Metrics, error) {
-			opts := o.base()
-			opts.Policy = policy
-			opts.Lambda = core.DefaultLambda
-			opts.RemoteCache = rc
-			return Run(b, opts)
-		}
-		base, err := variant("none", false)
-		if err != nil {
-			return nil, err
-		}
-		compr, err := variant("adaptive", false)
-		if err != nil {
-			return nil, err
-		}
-		cached, err := variant("none", true)
-		if err != nil {
-			return nil, err
-		}
-		both, err := variant("adaptive", true)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys,
+			variantKey(b, "none", false),
+			variantKey(b, "adaptive", false),
+			variantKey(b, "none", true),
+			variantKey(b, "adaptive", true))
+	}
+	ms, err := s.All(keys)
+	if err != nil {
+		return nil, err
+	}
+	const stride = 4
+	rows := make([]RemoteCacheRow, 0, len(benches))
+	for i, b := range benches {
+		group := ms[i*stride : (i+1)*stride]
+		base := group[0]
 		norm := func(m *Metrics) (float64, float64) {
 			return float64(m.ExecCycles) / float64(base.ExecCycles),
 				float64(m.FabricBytes) / float64(base.FabricBytes)
 		}
 		row := RemoteCacheRow{Benchmark: b}
-		row.Compression, row.CompressionTraffic = norm(compr)
-		row.RemoteCache, row.RemoteCacheTraffic = norm(cached)
-		row.Both, row.BothTraffic = norm(both)
+		row.Compression, row.CompressionTraffic = norm(group[1])
+		row.RemoteCache, row.RemoteCacheTraffic = norm(group[2])
+		row.Both, row.BothTraffic = norm(group[3])
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// RemoteCacheAblation runs the composition study on a fresh single-use
+// sweep.
+func RemoteCacheAblation(benches []string, o ExpOptions) ([]RemoteCacheRow, error) {
+	return NewSweep(SweepConfig{}).RemoteCacheAblation(benches, o)
 }
 
 // FormatRemoteCacheAblation renders the composition study.
@@ -430,23 +458,23 @@ type ScalabilityRow struct {
 
 // ScalabilityAblation sweeps the GPU count: more GPUs mean a larger remote
 // fraction on the same shared bus, so compression's leverage grows.
-func ScalabilityAblation(bench string, o ExpOptions, gpuCounts []int) ([]ScalabilityRow, error) {
-	var rows []ScalabilityRow
+func (s *Sweep) ScalabilityAblation(bench string, o ExpOptions, gpuCounts []int) ([]ScalabilityRow, error) {
+	var keys []sweep.JobKey
 	for _, n := range gpuCounts {
 		baseOpts := o.base()
 		baseOpts.NumGPUs = n
-		base, err := Run(bench, baseOpts)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys, Key(bench, baseOpts))
 		opts := o.base()
 		opts.NumGPUs = n
-		opts.Policy = "adaptive"
-		opts.Lambda = core.DefaultLambda
-		m, err := Run(bench, opts)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys, adaptiveKey(bench, opts))
+	}
+	ms, err := s.All(keys)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ScalabilityRow, 0, len(gpuCounts))
+	for i, n := range gpuCounts {
+		base, m := ms[2*i], ms[2*i+1]
 		rows = append(rows, ScalabilityRow{
 			Benchmark:          bench,
 			NumGPUs:            n,
@@ -455,6 +483,11 @@ func ScalabilityAblation(bench string, o ExpOptions, gpuCounts []int) ([]Scalabi
 		})
 	}
 	return rows, nil
+}
+
+// ScalabilityAblation runs the GPU-count sweep on a fresh single-use sweep.
+func ScalabilityAblation(bench string, o ExpOptions, gpuCounts []int) ([]ScalabilityRow, error) {
+	return NewSweep(SweepConfig{}).ScalabilityAblation(bench, o, gpuCounts)
 }
 
 // FormatScalabilityAblation renders the GPU-count sweep.
@@ -484,23 +517,23 @@ type BandwidthRow struct {
 // spans 12.5 GB/s InfiniBand to TB/s on-die links; this quantifies where
 // along that range link compression stops buying execution time (it always
 // buys energy).
-func BandwidthAblation(bench string, o ExpOptions, widths []int) ([]BandwidthRow, error) {
-	var rows []BandwidthRow
+func (s *Sweep) BandwidthAblation(bench string, o ExpOptions, widths []int) ([]BandwidthRow, error) {
+	var keys []sweep.JobKey
 	for _, w := range widths {
 		baseOpts := o.base()
 		baseOpts.FabricBytesPerCycle = w
-		base, err := Run(bench, baseOpts)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys, Key(bench, baseOpts))
 		opts := o.base()
 		opts.FabricBytesPerCycle = w
-		opts.Policy = "adaptive"
-		opts.Lambda = core.DefaultLambda
-		m, err := Run(bench, opts)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys, adaptiveKey(bench, opts))
+	}
+	ms, err := s.All(keys)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BandwidthRow, 0, len(widths))
+	for i, w := range widths {
+		base, m := ms[2*i], ms[2*i+1]
 		rows = append(rows, BandwidthRow{
 			BytesPerCycle:    w,
 			GbPerSec:         float64(w) * 8, // at 1 GHz
@@ -510,6 +543,11 @@ func BandwidthAblation(bench string, o ExpOptions, widths []int) ([]BandwidthRow
 		})
 	}
 	return rows, nil
+}
+
+// BandwidthAblation runs the link-width sweep on a fresh single-use sweep.
+func BandwidthAblation(bench string, o ExpOptions, widths []int) ([]BandwidthRow, error) {
+	return NewSweep(SweepConfig{}).BandwidthAblation(bench, o, widths)
 }
 
 // FormatBandwidthAblation renders the link-width sweep.

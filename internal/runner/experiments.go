@@ -36,16 +36,16 @@ type TableVRow struct {
 
 // TableV characterizes every benchmark's inter-GPU traffic: remote access
 // counts, aggregate byte entropy, and the compression ratio each codec
-// would achieve on the transferred payloads.
-func TableV(o ExpOptions) ([]TableVRow, error) {
-	var rows []TableVRow
-	for _, b := range Benchmarks() {
-		opts := o.base()
-		opts.Characterize = true
-		m, err := Run(b, opts)
-		if err != nil {
-			return nil, err
-		}
+// would achieve on the transferred payloads. The characterization runs are
+// shared with TableVI through the sweep cache.
+func (s *Sweep) TableV(o ExpOptions) ([]TableVRow, error) {
+	ms, err := s.All(characterizationKeys(o))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableVRow, 0, len(ms))
+	for i, b := range Benchmarks() {
+		m := ms[i]
 		row := TableVRow{
 			Benchmark: b,
 			Reads:     m.Traffic.RemoteReads,
@@ -60,6 +60,9 @@ func TableV(o ExpOptions) ([]TableVRow, error) {
 	}
 	return rows, nil
 }
+
+// TableV runs the characterization on a fresh single-use sweep.
+func TableV(o ExpOptions) ([]TableVRow, error) { return NewSweep(SweepConfig{}).TableV(o) }
 
 // FormatTableV renders Table V the way the paper prints it.
 func FormatTableV(rows []TableVRow) string {
@@ -88,26 +91,28 @@ type TableVIRow struct {
 }
 
 // TableVI reports the three most detected patterns by each compression
-// algorithm for each benchmark.
-func TableVI(o ExpOptions) ([]TableVIRow, error) {
+// algorithm for each benchmark, reusing TableV's characterization runs when
+// both artifacts share a sweep.
+func (s *Sweep) TableVI(o ExpOptions) ([]TableVIRow, error) {
+	ms, err := s.All(characterizationKeys(o))
+	if err != nil {
+		return nil, err
+	}
 	var rows []TableVIRow
-	for _, b := range Benchmarks() {
-		opts := o.base()
-		opts.Characterize = true
-		m, err := Run(b, opts)
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range Benchmarks() {
 		for _, alg := range []comp.Algorithm{comp.FPC, comp.CPackZ, comp.BDI} {
 			rows = append(rows, TableVIRow{
 				Algorithm: alg,
 				Benchmark: b,
-				Top:       m.PerCodec[alg].Patterns.Top(3),
+				Top:       ms[i].PerCodec[alg].Patterns.Top(3),
 			})
 		}
 	}
 	return rows, nil
 }
+
+// TableVI runs the pattern characterization on a fresh single-use sweep.
+func TableVI(o ExpOptions) ([]TableVIRow, error) { return NewSweep(SweepConfig{}).TableVI(o) }
 
 // FormatTableVI renders Table VI.
 func FormatTableVI(rows []TableVIRow) string {
@@ -137,14 +142,17 @@ func FormatTableVI(rows []TableVIRow) string {
 // Fig1 collects the first n consecutive inter-GPU payload transfers of a
 // benchmark (the paper uses SC and FIR, n = 500) with per-codec compressed
 // sizes and per-transfer entropy.
-func Fig1(benchmark string, n int, o ExpOptions) (*stats.Series, error) {
-	opts := o.base()
-	opts.SeriesLimit = n
-	m, err := Run(benchmark, opts)
+func (s *Sweep) Fig1(benchmark string, n int, o ExpOptions) (*stats.Series, error) {
+	m, err := s.Metrics(fig1Key(benchmark, n, o))
 	if err != nil {
 		return nil, err
 	}
 	return m.Series, nil
+}
+
+// Fig1 collects the series on a fresh single-use sweep.
+func Fig1(benchmark string, n int, o ExpOptions) (*stats.Series, error) {
+	return NewSweep(SweepConfig{}).Fig1(benchmark, n, o)
 }
 
 // FormatFig1 renders the series as columns (index, entropy, sizes).
@@ -204,23 +212,12 @@ type NormalizedResult struct {
 	Energy    float64
 }
 
-// runNormalized measures one benchmark under a list of policy specs and
-// normalizes to the uncompressed baseline.
-func runNormalized(benchmark string, specs []policySpec, o ExpOptions) ([]NormalizedResult, error) {
-	baseOpts := o.base()
-	base, err := Run(benchmark, baseOpts)
-	if err != nil {
-		return nil, err
-	}
-	var out []NormalizedResult
-	for _, spec := range specs {
-		opts := o.base()
-		opts.Policy = spec.policy
-		opts.Lambda = spec.lambda
-		m, err := Run(benchmark, opts)
-		if err != nil {
-			return nil, err
-		}
+// normalize folds one benchmark's (baseline, per-spec) metrics into the
+// Fig. 5/6/7 bars.
+func normalize(benchmark string, specs []policySpec, base *Metrics, ms []*Metrics) []NormalizedResult {
+	out := make([]NormalizedResult, 0, len(specs))
+	for i, spec := range specs {
+		m := ms[i]
 		out = append(out, NormalizedResult{
 			Benchmark: benchmark,
 			Policy:    spec.label,
@@ -229,7 +226,7 @@ func runNormalized(benchmark string, specs []policySpec, o ExpOptions) ([]Normal
 			Energy:    m.TotalEnergyPJ() / base.TotalEnergyPJ(),
 		})
 	}
-	return out, nil
+	return out
 }
 
 type policySpec struct {
@@ -252,29 +249,43 @@ var adaptiveSpecs = []policySpec{
 
 // Fig5 measures inter-GPU traffic and execution time for the static
 // compression algorithms, normalized to no compression.
-func Fig5(o ExpOptions) ([]NormalizedResult, error) {
-	return runAll(staticSpecs, o)
+func (s *Sweep) Fig5(o ExpOptions) ([]NormalizedResult, error) {
+	return s.runAll(staticSpecs, o)
 }
 
 // Fig6 measures the adaptive algorithm across λ values.
-func Fig6(o ExpOptions) ([]NormalizedResult, error) {
-	return runAll(adaptiveSpecs, o)
+func (s *Sweep) Fig6(o ExpOptions) ([]NormalizedResult, error) {
+	return s.runAll(adaptiveSpecs, o)
 }
 
-// Fig7 measures normalized energy for static and adaptive policies.
-func Fig7(o ExpOptions) ([]NormalizedResult, error) {
-	specs := append(append([]policySpec{}, staticSpecs...), adaptiveSpecs...)
-	return runAll(specs, o)
+// Fig7 measures normalized energy for static and adaptive policies. Every
+// run is shared with Fig5 and Fig6 through the sweep cache.
+func (s *Sweep) Fig7(o ExpOptions) ([]NormalizedResult, error) {
+	return s.runAll(allSpecs(), o)
 }
 
-func runAll(specs []policySpec, o ExpOptions) ([]NormalizedResult, error) {
+// Fig5 measures the static codecs on a fresh single-use sweep.
+func Fig5(o ExpOptions) ([]NormalizedResult, error) { return NewSweep(SweepConfig{}).Fig5(o) }
+
+// Fig6 measures the adaptive λ sweep on a fresh single-use sweep.
+func Fig6(o ExpOptions) ([]NormalizedResult, error) { return NewSweep(SweepConfig{}).Fig6(o) }
+
+// Fig7 measures normalized energy on a fresh single-use sweep.
+func Fig7(o ExpOptions) ([]NormalizedResult, error) { return NewSweep(SweepConfig{}).Fig7(o) }
+
+// runAll fans every benchmark's baseline and per-spec runs out across the
+// worker pool in one batch, then assembles the bars in canonical
+// (benchmark, spec) order regardless of completion order.
+func (s *Sweep) runAll(specs []policySpec, o ExpOptions) ([]NormalizedResult, error) {
+	ms, err := s.All(normalizedKeys(specs, o))
+	if err != nil {
+		return nil, err
+	}
+	stride := len(specs) + 1 // baseline first, then one run per spec
 	var out []NormalizedResult
-	for _, b := range Benchmarks() {
-		rows, err := runNormalized(b, specs, o)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rows...)
+	for i, b := range Benchmarks() {
+		group := ms[i*stride : (i+1)*stride]
+		out = append(out, normalize(b, specs, group[0], group[1:])...)
 	}
 	return out, nil
 }

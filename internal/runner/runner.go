@@ -50,6 +50,11 @@ type Options struct {
 	// FabricBytesPerCycle overrides the link width (0 = the paper's
 	// 20 B/cycle, i.e. 160 Gb/s at 1 GHz).
 	FabricBytesPerCycle int
+	// Adaptive, when non-nil, runs the adaptive controller with a fully
+	// custom configuration (sampling geometry, candidate set) on every
+	// compressing endpoint; Policy then only labels the run. Used by the
+	// ablation studies.
+	Adaptive *core.Config
 }
 
 // CodecStats aggregates one codec's behaviour over all transferred lines.
@@ -187,7 +192,10 @@ func Run(abbrev string, opts Options) (*Metrics, error) {
 		cfg.Fabric.Trace = traceLog
 	}
 	cfg.Recorder = rec
-	if opts.Policy != "none" {
+	if opts.Adaptive != nil {
+		acfg := *opts.Adaptive
+		cfg.NewPolicy = func(int) core.Policy { return core.NewAdaptive(acfg) }
+	} else if opts.Policy != "none" {
 		policySpec, lambda := opts.Policy, opts.Lambda
 		cfg.NewPolicy = func(int) core.Policy {
 			p, err := core.PolicyFor(policySpec, lambda)

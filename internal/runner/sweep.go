@@ -1,0 +1,222 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+
+	"mgpucompress/internal/comp"
+	"mgpucompress/internal/core"
+	"mgpucompress/internal/energy"
+	"mgpucompress/internal/fabric"
+	"mgpucompress/internal/sweep"
+	"mgpucompress/internal/workloads"
+)
+
+// This file binds the generic internal/sweep engine to the simulator: it
+// maps sweep.JobKey to runner.Options (and back), and exposes every table,
+// figure and ablation as a method on Sweep so all artifacts produced by one
+// process share a single memoized job cache — a (workload, policy) run that
+// several artifacts need is simulated exactly once.
+
+// SweepConfig parameterizes a Sweep.
+type SweepConfig struct {
+	// Jobs bounds concurrent simulations (default GOMAXPROCS; 1 = serial).
+	Jobs int
+	// Journal, when non-nil, receives one JSONL record per completed job;
+	// feed it back through Resume to skip finished jobs after a crash.
+	Journal io.Writer
+	// OnProgress is called after every completed job.
+	OnProgress func(sweep.Progress)
+}
+
+// Sweep schedules simulation jobs through the orchestration engine.
+type Sweep struct {
+	eng *sweep.Engine[*Metrics]
+}
+
+// NewSweep builds a sweep session.
+func NewSweep(cfg SweepConfig) *Sweep {
+	return &Sweep{eng: sweep.New(sweep.Config[*Metrics]{
+		Workers:    cfg.Jobs,
+		Run:        executeJob,
+		Journal:    cfg.Journal,
+		OnProgress: cfg.OnProgress,
+	})}
+}
+
+// Metrics returns the (memoized) metrics for one job.
+func (s *Sweep) Metrics(k sweep.JobKey) (*Metrics, error) { return s.eng.Get(k) }
+
+// All runs the keys across the worker pool, returning results in key order.
+func (s *Sweep) All(keys []sweep.JobKey) ([]*Metrics, error) { return s.eng.GetAll(keys) }
+
+// Prefetch warms the cache with the keys (the parallel phase of
+// cmd/reproduce; artifact assembly afterwards is pure cache hits).
+func (s *Sweep) Prefetch(keys []sweep.JobKey) error { return s.eng.Prefetch(keys) }
+
+// Resume replays a JSONL journal written by a previous run; loaded jobs are
+// served from the cache instead of re-simulating.
+func (s *Sweep) Resume(r io.Reader) (int, error) { return s.eng.Resume(r) }
+
+// Stats snapshots the engine counters.
+func (s *Sweep) Stats() sweep.Progress { return s.eng.Stats() }
+
+// Key builds the normalized JobKey for one benchmark run under the options.
+// Normalization (empty policy, zero scale, the OnChip→MCM link default)
+// keeps equal runs on equal fingerprints no matter how callers spell them.
+func Key(bench string, opts Options) sweep.JobKey {
+	k := sweep.JobKey{
+		Workload:            bench,
+		Policy:              opts.Policy,
+		Lambda:              opts.Lambda,
+		Scale:               int(opts.Scale),
+		CUsPerGPU:           opts.CUsPerGPU,
+		NumGPUs:             opts.NumGPUs,
+		Topology:            string(opts.Topology),
+		Link:                int(opts.Link),
+		RemoteCache:         opts.RemoteCache,
+		FabricBytesPerCycle: opts.FabricBytesPerCycle,
+		Characterize:        opts.Characterize,
+		SeriesLimit:         opts.SeriesLimit,
+	}
+	if opts.Adaptive != nil {
+		k.Policy = "adaptive"
+		k.Lambda = opts.Adaptive.Lambda
+		k.SampleCount = opts.Adaptive.SampleCount
+		k.RunLength = opts.Adaptive.RunLength
+		for _, c := range opts.Adaptive.Candidates {
+			k.Candidates = append(k.Candidates, c.Algorithm().String())
+		}
+	}
+	if k.Policy == "" {
+		k.Policy = "none"
+	}
+	if k.Scale == 0 {
+		k.Scale = int(workloads.ScaleSmall)
+	}
+	if energy.LinkClass(k.Link) == energy.OnChip {
+		k.Link = int(energy.MCM) // Run treats the zero value as MCM
+	}
+	return k
+}
+
+// executeJob is the engine's run function: the inverse of Key.
+func executeJob(k sweep.JobKey) (*Metrics, error) {
+	opts := Options{
+		Scale:               workloads.Scale(k.Scale),
+		CUsPerGPU:           k.CUsPerGPU,
+		Policy:              k.Policy,
+		Lambda:              k.Lambda,
+		Characterize:        k.Characterize,
+		SeriesLimit:         k.SeriesLimit,
+		Link:                energy.LinkClass(k.Link),
+		Topology:            fabric.Topology(k.Topology),
+		RemoteCache:         k.RemoteCache,
+		NumGPUs:             k.NumGPUs,
+		FabricBytesPerCycle: k.FabricBytesPerCycle,
+	}
+	if k.SampleCount > 0 || k.RunLength > 0 || len(k.Candidates) > 0 {
+		cands, err := compressorsFor(k.Candidates)
+		if err != nil {
+			return nil, err
+		}
+		opts.Adaptive = &core.Config{
+			Lambda:      k.Lambda,
+			SampleCount: k.SampleCount,
+			RunLength:   k.RunLength,
+			Candidates:  cands,
+		}
+	}
+	return Run(k.Workload, opts)
+}
+
+// compressorsFor instantiates fresh codecs from canonical algorithm names.
+func compressorsFor(names []string) ([]comp.Compressor, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]comp.Compressor, 0, len(names))
+	for _, name := range names {
+		alg, err := algByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, comp.NewCompressor(alg))
+	}
+	return out, nil
+}
+
+func algByName(name string) (comp.Algorithm, error) {
+	for _, alg := range []comp.Algorithm{comp.FPC, comp.BDI, comp.CPackZ, comp.BPC} {
+		if alg.String() == name {
+			return alg, nil
+		}
+	}
+	return comp.None, fmt.Errorf("runner: unknown codec %q in job key", name)
+}
+
+// ---------------------------------------------------------------------------
+// Artifact plans
+// ---------------------------------------------------------------------------
+
+// Fig1Benchmarks lists the Fig. 1 series benchmarks (the paper uses SC and
+// FIR).
+func Fig1Benchmarks() []string { return []string{"SC", "FIR"} }
+
+// Fig1Samples is the series length the paper plots.
+const Fig1Samples = 500
+
+// characterizationKeys enumerates the Characterize runs shared by Table V,
+// Table VI and any future characterization artifact.
+func characterizationKeys(o ExpOptions) []sweep.JobKey {
+	keys := make([]sweep.JobKey, 0, len(Benchmarks()))
+	for _, b := range Benchmarks() {
+		opts := o.base()
+		opts.Characterize = true
+		keys = append(keys, Key(b, opts))
+	}
+	return keys
+}
+
+// fig1Key is the series-collection run for one benchmark.
+func fig1Key(bench string, n int, o ExpOptions) sweep.JobKey {
+	opts := o.base()
+	opts.SeriesLimit = n
+	return Key(bench, opts)
+}
+
+// normalizedKeys enumerates, for every benchmark, the uncompressed baseline
+// followed by one run per policy spec: stride len(specs)+1 per benchmark.
+func normalizedKeys(specs []policySpec, o ExpOptions) []sweep.JobKey {
+	var keys []sweep.JobKey
+	for _, b := range Benchmarks() {
+		keys = append(keys, Key(b, o.base()))
+		for _, spec := range specs {
+			opts := o.base()
+			opts.Policy = spec.policy
+			opts.Lambda = spec.lambda
+			keys = append(keys, Key(b, opts))
+		}
+	}
+	return keys
+}
+
+// ReproducePlan enumerates every simulation cmd/reproduce needs — Tables V
+// and VI, Fig. 1 (SC, FIR), and Figs. 5-7 — deduplicated by fingerprint.
+// Prefetching the plan runs the whole reproduction at full parallelism;
+// assembling the artifacts afterwards is pure cache hits.
+func ReproducePlan(o ExpOptions) []sweep.JobKey {
+	var keys []sweep.JobKey
+	keys = append(keys, characterizationKeys(o)...)
+	for _, bench := range Fig1Benchmarks() {
+		keys = append(keys, fig1Key(bench, Fig1Samples, o))
+	}
+	keys = append(keys, normalizedKeys(allSpecs(), o)...)
+	return sweep.Dedup(keys)
+}
+
+// allSpecs is the union of the static (Fig. 5) and adaptive (Fig. 6) policy
+// specs — exactly the Fig. 7 bar set.
+func allSpecs() []policySpec {
+	return append(append([]policySpec{}, staticSpecs...), adaptiveSpecs...)
+}

@@ -1,0 +1,203 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mgpucompress/internal/core"
+	"mgpucompress/internal/energy"
+	"mgpucompress/internal/workloads"
+)
+
+func tinySweep(jobs int) *Sweep {
+	return NewSweep(SweepConfig{Jobs: jobs})
+}
+
+func TestKeyNormalization(t *testing.T) {
+	// Every spelling of "the default baseline run" must share a fingerprint.
+	bare := Key("SC", Options{})
+	spelled := Key("SC", Options{Policy: "none", Scale: workloads.ScaleSmall, Link: energy.MCM})
+	if bare.Fingerprint() != spelled.Fingerprint() {
+		t.Fatalf("default-run spellings diverge:\n  %s\n  %s", bare.Canonical(), spelled.Canonical())
+	}
+
+	// An adaptive run via the policy string and via a default-geometry custom
+	// config are the same simulation, so they must share a key.
+	viaPolicy := Key("SC", Options{Policy: "adaptive", Lambda: 6})
+	viaConfig := Key("SC", Options{Adaptive: &core.Config{Lambda: 6}})
+	if viaPolicy.Fingerprint() != viaConfig.Fingerprint() {
+		t.Fatalf("adaptive spellings diverge:\n  %s\n  %s",
+			viaPolicy.Canonical(), viaConfig.Canonical())
+	}
+
+	// A custom sampling geometry is a different simulation and must not
+	// collide with the default.
+	custom := Key("SC", Options{Adaptive: &core.Config{Lambda: 6, SampleCount: 7, RunLength: 300}})
+	if custom.Fingerprint() == viaPolicy.Fingerprint() {
+		t.Fatal("custom geometry must not share the default adaptive fingerprint")
+	}
+}
+
+func TestReproducePlanIsDeduplicated(t *testing.T) {
+	o := tinyOpts()
+	plan := ReproducePlan(o)
+	seen := make(map[string]bool, len(plan))
+	for _, k := range plan {
+		fp := k.Fingerprint()
+		if seen[fp] {
+			t.Fatalf("duplicate job in plan: %s", k.Canonical())
+		}
+		seen[fp] = true
+	}
+	// The plan must cover the characterization runs and the Fig. 1 series.
+	for _, k := range characterizationKeys(o) {
+		if !seen[k.Fingerprint()] {
+			t.Errorf("plan missing characterization run %s", k.Canonical())
+		}
+	}
+	for _, b := range Fig1Benchmarks() {
+		if !seen[fig1Key(b, Fig1Samples, o).Fingerprint()] {
+			t.Errorf("plan missing Fig. 1 series for %s", b)
+		}
+	}
+}
+
+func TestSweepSharesCharacterizationRuns(t *testing.T) {
+	s := tinySweep(4)
+	o := tinyOpts()
+	if _, err := s.TableV(o); err != nil {
+		t.Fatal(err)
+	}
+	after5 := s.Stats().Simulated
+	if want := len(Benchmarks()); after5 != want {
+		t.Fatalf("Table V simulated %d jobs, want %d", after5, want)
+	}
+	// Table VI re-uses every characterization run: zero new simulations.
+	if _, err := s.TableVI(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Simulated; got != after5 {
+		t.Fatalf("Table VI re-simulated: %d -> %d jobs", after5, got)
+	}
+}
+
+func TestSweepFig7ReusesFig5AndFig6Runs(t *testing.T) {
+	s := tinySweep(4)
+	o := tinyOpts()
+	if _, err := s.Fig5(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fig6(o); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().Simulated
+	// Fig. 5 ran baseline+static, Fig. 6 baseline+adaptive (baseline shared).
+	if want := len(Benchmarks()) * (1 + len(staticSpecs) + len(adaptiveSpecs)); before != want {
+		t.Fatalf("Fig. 5+6 simulated %d jobs, want %d", before, want)
+	}
+	rows, err := s.Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Simulated; got != before {
+		t.Fatalf("Fig. 7 re-simulated: %d -> %d jobs", before, got)
+	}
+	if want := len(Benchmarks()) * len(allSpecs()); len(rows) != want {
+		t.Fatalf("Fig. 7 returned %d rows, want %d", len(rows), want)
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	o := tinyOpts()
+
+	serial := tinySweep(1)
+	rowsV1, err := serial.TableV(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5s1, err := serial.Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := tinySweep(8)
+	rowsV8, err := par.TableV(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5s8, err := par.Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The determinism contract: formatted artifacts are byte-identical no
+	// matter how many workers simulated them.
+	if a, b := FormatTableV(rowsV1), FormatTableV(rowsV8); a != b {
+		t.Errorf("Table V differs between -jobs 1 and -jobs 8:\n%s\n---\n%s", a, b)
+	}
+	f := func(rows []NormalizedResult) string {
+		return FormatNormalized("Fig. 5", "traffic", rows) + FormatNormalized("Fig. 5", "time", rows)
+	}
+	if a, b := f(fig5s1), f(fig5s8); a != b {
+		t.Errorf("Fig. 5 differs between -jobs 1 and -jobs 8:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestSweepResumeSkipsFinishedJobs(t *testing.T) {
+	o := tinyOpts()
+	var journal bytes.Buffer
+
+	first := NewSweep(SweepConfig{Jobs: 4, Journal: &journal})
+	rows1, err := first.TableV(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process resuming from the journal must rebuild Table V from
+	// the JSONL records alone — zero re-simulation, identical bytes. This
+	// exercises the full Metrics JSON round trip (histograms included).
+	second := tinySweep(4)
+	loaded, err := second.Resume(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Benchmarks()); loaded != want {
+		t.Fatalf("Resume loaded %d jobs, want %d", loaded, want)
+	}
+	rows2, err := second.TableV(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.Stats(); st.Simulated != 0 {
+		t.Fatalf("resumed sweep simulated %d jobs, want 0", st.Simulated)
+	}
+	if a, b := FormatTableV(rows1), FormatTableV(rows2); a != b {
+		t.Errorf("resumed Table V differs:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestMetricsJSONRoundTripStable(t *testing.T) {
+	// The journal stores Metrics as JSON; resume feeds them back through the
+	// same formatters. marshal(unmarshal(marshal(m))) must equal marshal(m)
+	// or resumed artifacts would drift from simulated ones.
+	m, err := Run("MT", Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: "adaptive", Characterize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Metrics
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("Metrics JSON not stable under round trip:\n%s\n---\n%s", first, second)
+	}
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "sync/atomic"
+
 // Msg is a message exchanged between components through ports. The concrete
 // message types (memory requests, RDMA packets, ...) are defined by the
 // packages that use them; the simulation kernel only needs the metadata.
@@ -24,11 +26,13 @@ type MsgMeta struct {
 	RecvTime Time
 }
 
-var nextMsgID uint64
+var nextMsgID atomic.Uint64
 
-// AssignMsgID gives the message a unique ID (not safe for concurrent use,
-// like the rest of the kernel).
+// AssignMsgID gives the message a unique ID. The counter is process-global
+// and atomic: each simulation runs single-threaded, but the sweep engine
+// runs independent simulations in parallel, and IDs only need to be unique
+// — no component's behaviour depends on their values, so sharing the
+// counter across concurrent runs does not perturb results.
 func AssignMsgID(m Msg) {
-	nextMsgID++
-	m.Meta().ID = nextMsgID
+	m.Meta().ID = nextMsgID.Add(1)
 }

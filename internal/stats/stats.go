@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -208,6 +209,17 @@ func (h *Histogram) Percentile(p float64) float64 {
 // Merge appends all of o's values into h.
 func (h *Histogram) Merge(o *Histogram) {
 	h.values = append(h.values, o.values...)
+}
+
+// MarshalJSON encodes the histogram as its value slice so run metrics
+// survive the sweep journal's JSON round trip.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(h.values)
+}
+
+// UnmarshalJSON restores a histogram serialized by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	return json.Unmarshal(b, &h.values)
 }
 
 // Max returns the maximum, or 0 when empty.

@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalFixedOrder(t *testing.T) {
+	k := JobKey{Workload: "SC", Policy: "adaptive", Lambda: 0.5, Scale: 4}
+	want := "wl=SC|pol=adaptive|lam=0.5|scale=4|cus=0|gpus=0|topo=|link=0" +
+		"|rc=false|bpc=0|char=false|series=0|samp=0|runlen=0"
+	if got := k.Canonical(); got != want {
+		t.Fatalf("Canonical() = %q, want %q", got, want)
+	}
+	k.Candidates = []string{"FPC", "BDI"}
+	if got := k.Canonical(); !strings.HasSuffix(got, "|cand=FPC,BDI") {
+		t.Fatalf("Canonical() with candidates = %q, want |cand= suffix", got)
+	}
+}
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	a := JobKey{Workload: "SC", Policy: "bdi", Scale: 4}
+	b := JobKey{Workload: "SC", Policy: "bdi", Scale: 4}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal keys must share a fingerprint")
+	}
+	if len(a.Fingerprint()) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex chars", a.Fingerprint())
+	}
+	variants := []JobKey{
+		{Workload: "FIR", Policy: "bdi", Scale: 4},
+		{Workload: "SC", Policy: "fpc", Scale: 4},
+		{Workload: "SC", Policy: "bdi", Scale: 8},
+		{Workload: "SC", Policy: "bdi", Scale: 4, Characterize: true},
+		{Workload: "SC", Policy: "bdi", Scale: 4, RemoteCache: true},
+		{Workload: "SC", Policy: "bdi", Scale: 4, Candidates: []string{"FPC"}},
+	}
+	seen := map[string]string{a.Fingerprint(): a.Canonical()}
+	for _, v := range variants {
+		fp := v.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("fingerprint collision: %q vs %q", prev, v.Canonical())
+		}
+		seen[fp] = v.Canonical()
+	}
+}
+
+func TestSeedDeterministicAndDomainSeparated(t *testing.T) {
+	k := JobKey{Workload: "MT", Policy: "adaptive", Lambda: 1}
+	if k.Seed() != k.Seed() {
+		t.Fatal("Seed must be deterministic")
+	}
+	if k.Seed() < 0 {
+		t.Fatalf("Seed() = %d, want non-negative", k.Seed())
+	}
+	other := JobKey{Workload: "MT", Policy: "adaptive", Lambda: 2}
+	if k.Seed() == other.Seed() {
+		t.Fatal("distinct keys should get distinct seeds")
+	}
+}
+
+func TestDedupPreservesFirstOccurrenceOrder(t *testing.T) {
+	a := JobKey{Workload: "A"}
+	b := JobKey{Workload: "B"}
+	c := JobKey{Workload: "C"}
+	got := Dedup([]JobKey{a, b, a, c, b, a})
+	if len(got) != 3 {
+		t.Fatalf("Dedup kept %d keys, want 3", len(got))
+	}
+	for i, want := range []string{"A", "B", "C"} {
+		if got[i].Workload != want {
+			t.Errorf("Dedup[%d].Workload = %q, want %q", i, got[i].Workload, want)
+		}
+	}
+}
+
+func TestSortCanonical(t *testing.T) {
+	keys := []JobKey{{Workload: "MT"}, {Workload: "AES"}, {Workload: "FIR"}}
+	SortCanonical(keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1].Canonical() >= keys[i].Canonical() {
+			t.Fatalf("keys not sorted at %d: %q >= %q", i,
+				keys[i-1].Canonical(), keys[i].Canonical())
+		}
+	}
+}
+
+func TestStringAbbreviation(t *testing.T) {
+	k := JobKey{Workload: "SC", Policy: "none"}
+	if got := k.String(); got != "SC" {
+		t.Fatalf("baseline String() = %q, want %q", got, "SC")
+	}
+	k = JobKey{Workload: "SC", Policy: "adaptive", Lambda: 0.5, SampleCount: 7, RunLength: 300}
+	s := k.String()
+	for _, want := range []string{"SC", "adaptive", "0.5", "geom=7/300"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
