@@ -1,18 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci test short race cover bench reproduce ablations examples fmt vet
+.PHONY: all ci lint test short race cover bench reproduce ablations examples fmt vet
 
-all: vet test
+all: vet lint test
 
-# Everything a pre-merge check needs: formatting, vet, and the short test
-# suite under the race detector (the sweep engine is concurrent by design).
+# Everything a pre-merge check needs: formatting, vet, the project's own
+# determinism linter, and the short test suite under the race detector (the
+# sweep engine is concurrent by design).
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	go vet ./...
+	go build -o bin/mgpulint ./cmd/mgpulint
+	./bin/mgpulint ./...
 	go test -race -short ./...
+
+# mgpulint: the determinism- and invariant-checking analyzers of
+# internal/analysis (see DESIGN.md "Determinism rules").
+lint:
+	go run ./cmd/mgpulint ./...
 
 test:
 	go test ./...

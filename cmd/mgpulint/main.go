@@ -1,0 +1,102 @@
+// Command mgpulint runs the repository's determinism- and invariant-
+// checking analyzers (internal/analysis) over the module: the role go vet
+// plays for the language, specialized to this simulator's reproduction
+// guarantees.
+//
+// Usage:
+//
+//	mgpulint [-json] [packages]
+//
+// Packages are directories or dir/... patterns (default ./...). Findings
+// print as file:line:col: [analyzer] message, or as one JSON object per
+// line with -json for programmatic consumers. The exit status is 1 when
+// any finding is reported, 2 on usage or load errors, 0 otherwise.
+//
+// A finding is suppressed by a directive on the offending line or the line
+// above:
+//
+//	//lint:ignore analyzer[,analyzer] reason
+//
+// The reason is mandatory; DESIGN.md ("Determinism rules") documents every
+// analyzer and its invariant.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mgpucompress/internal/analysis"
+	"mgpucompress/internal/analysis/atomicmix"
+	"mgpucompress/internal/analysis/detmap"
+	"mgpucompress/internal/analysis/errdrop"
+	"mgpucompress/internal/analysis/fatalban"
+	"mgpucompress/internal/analysis/wallclock"
+)
+
+// Analyzers is the full suite, in report order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
+		detmap.Analyzer,
+		errdrop.Analyzer,
+		fatalban.Analyzer,
+		wallclock.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mgpulint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit one JSON finding per line")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "mgpulint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "mgpulint:", err)
+		return 2
+	}
+
+	findings := analysis.Run(pkgs, Analyzers())
+	cwd, _ := os.Getwd()
+	for i := range findings {
+		// Report paths relative to the working directory, like go vet.
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && len(rel) < len(findings[i].File) {
+				findings[i].File = rel
+			}
+		}
+		if *jsonOut {
+			line, err := json.Marshal(findings[i])
+			if err != nil {
+				fmt.Fprintln(stderr, "mgpulint:", err)
+				return 2
+			}
+			fmt.Fprintln(stdout, string(line))
+		} else {
+			fmt.Fprintln(stdout, findings[i].String())
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

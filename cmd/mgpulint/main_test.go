@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mgpucompress/internal/analysis"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l.ModuleRoot
+}
+
+// TestSelfPass is the gate the Makefile's lint target enforces, expressed
+// as a test: the whole module — internal/analysis itself included — must
+// be free of findings.
+func TestSelfPass(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{filepath.Join(moduleRoot(t), "...")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("mgpulint on the module = exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed output: %s", out.String())
+	}
+}
+
+// TestFixturePackagesFail: pointing the driver at an analyzer fixture must
+// produce findings and exit 1 — proof the driver really loads and runs
+// over testdata when asked to.
+func TestFixturePackagesFail(t *testing.T) {
+	root := moduleRoot(t)
+	fixtures := []string{
+		"internal/analysis/detmap/testdata/src/detmapfix",
+		"internal/analysis/wallclock/testdata/src/sim",
+		"internal/analysis/atomicmix/testdata/src/atomfix",
+		"internal/analysis/fatalban/testdata/src/fatalfix",
+		"internal/analysis/errdrop/testdata/src/runner",
+	}
+	for _, fx := range fixtures {
+		var out, errOut bytes.Buffer
+		code := run([]string{filepath.Join(root, fx)}, &out, &errOut)
+		if code != 1 {
+			t.Errorf("mgpulint %s = exit %d, want 1 (stderr: %s)", fx, code, errOut.String())
+		}
+		if out.Len() == 0 {
+			t.Errorf("mgpulint %s printed no findings", fx)
+		}
+	}
+}
+
+// TestJSONOutput: -json must emit one well-formed finding object per line
+// with the fields future tooling keys on.
+func TestJSONOutput(t *testing.T) {
+	root := moduleRoot(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", filepath.Join(root, "internal/analysis/fatalban/testdata/src/fatalfix")}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("got %d JSON findings, want >= 5:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines {
+		var f analysis.Finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" || f.Package == "" {
+			t.Errorf("finding missing fields: %q", line)
+		}
+	}
+}
+
+// TestBadPatternExitsTwo: load errors are usage errors, distinct from
+// findings.
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{filepath.Join(moduleRoot(t), "no/such/dir")}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -34,13 +34,11 @@ func main() {
 func run(policy string) {
 	cfg := platform.DefaultConfig()
 	if policy != "none" {
-		cfg.NewPolicy = func(int) core.Policy {
-			p, err := core.PolicyFor(policy, 6)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return p
+		newPolicy, err := core.PolicyFactory(policy, 6)
+		if err != nil {
+			log.Fatal(err)
 		}
+		cfg.NewPolicy = func(int) core.Policy { return newPolicy() }
 	}
 	p := platform.New(cfg)
 

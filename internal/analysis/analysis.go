@@ -1,0 +1,155 @@
+// Package analysis is a small, stdlib-only static-analysis framework for
+// this repository: the machinery behind cmd/mgpulint. It plays the role
+// golang.org/x/tools/go/analysis plays for general Go code, specialized to
+// the determinism invariants the paper reproduction depends on (byte
+// identical artifacts for any worker count, simulated time decoupled from
+// wall time, fully propagated errors so sweep journals flush).
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Diagnostics. The Loader (load.go) type-checks the module with go/parser
+// and go/types only — no external dependencies, per DESIGN's stdlib rule.
+// Fixture testing with // want "regexp" comments lives in harness.go, and
+// //lint:ignore suppression in ignore.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and //lint:ignore comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one package through the Pass and reports findings.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil when the type checker has none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+// Diagnostic is one finding inside a package, pre-position-resolution.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is one resolved finding, ready to print.
+type Finding struct {
+	Position token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+	Package  string         `json:"package"`
+}
+
+// String renders the finding in the canonical file:line: [analyzer] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings: //lint:ignore-suppressed diagnostics are dropped, the rest are
+// sorted by file, line, column, analyzer, message — a deterministic report
+// for a tool that polices determinism.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores.suppressed(a.Name, pos) {
+					return
+				}
+				out = append(out, Finding{
+					Position: pos,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Analyzer: a.Name,
+					Message:  d.Message,
+					Package:  pkg.ImportPath,
+				})
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// PathHasSegment reports whether one of path's slash-separated segments
+// equals seg. Analyzers use it to scope themselves to package families
+// ("internal", "sim", "sweep") without hard-coding the module path, which
+// also keeps testdata fixtures — whose import paths live under
+// internal/analysis/... — inside the scoped domain.
+func PathHasSegment(path, seg string) bool {
+	for len(path) > 0 {
+		i := 0
+		for i < len(path) && path[i] != '/' {
+			i++
+		}
+		if path[:i] == seg {
+			return true
+		}
+		if i == len(path) {
+			break
+		}
+		path = path[i+1:]
+	}
+	return false
+}

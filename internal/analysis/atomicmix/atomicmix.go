@@ -1,0 +1,123 @@
+// Package atomicmix flags variables that are accessed through sync/atomic
+// in one place and by plain read or write in another. Mixed access is a
+// data race even when it "works" locally — exactly the message-ID race
+// this repository already fixed once — and the race detector only catches
+// it when the schedule cooperates; the type system never does.
+//
+// Tracked variables are struct fields and package-level variables (the
+// shapes shared across goroutines). Composite-literal initialization is
+// not counted as a plain access: construction happens before the value is
+// published.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"mgpucompress/internal/analysis"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed with sync/atomic must never be accessed plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	atomicAt := map[*types.Var][]token.Pos{} // first atomic access sites
+	viaAtomic := map[*ast.Ident]bool{}       // idents consumed by atomic calls
+
+	// Pass 1: find &v arguments of sync/atomic calls.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+				fn.Type().(*types.Signature).Recv() != nil || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(addr.X)
+			v := analysis.RootVar(pass, target)
+			if v == nil || !tracked(v) {
+				return true
+			}
+			atomicAt[v] = append(atomicAt[v], call.Pos())
+			switch t := target.(type) {
+			case *ast.Ident:
+				viaAtomic[t] = true
+			case *ast.SelectorExpr:
+				viaAtomic[t.Sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: every other use of those variables is a plain access.
+	type plain struct {
+		pos token.Pos
+		v   *types.Var
+	}
+	var plains []plain
+	for _, f := range pass.Files {
+		inComposite := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if cl, ok := n.(*ast.CompositeLit); ok {
+				for _, elt := range cl.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							inComposite[id] = true
+						}
+					}
+				}
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || viaAtomic[id] || inComposite[id] {
+				return true
+			}
+			v, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, isAtomic := atomicAt[v]; isAtomic {
+				plains = append(plains, plain{pos: id.Pos(), v: v})
+			}
+			return true
+		})
+	}
+	sort.Slice(plains, func(i, j int) bool { return plains[i].pos < plains[j].pos })
+	for _, p := range plains {
+		first := atomicAt[p.v][0]
+		pass.Reportf(p.pos, "%s %q is accessed plainly here but atomically at %s: every access must go through sync/atomic",
+			kind(p.v), p.v.Name(), pass.Fset.Position(first))
+	}
+}
+
+// tracked limits the check to variables that outlive a single goroutine's
+// stack frame: struct fields and package-level variables.
+func tracked(v *types.Var) bool {
+	if v.IsField() {
+		return true
+	}
+	scope := v.Parent()
+	return scope != nil && v.Pkg() != nil && scope == v.Pkg().Scope()
+}
+
+func kind(v *types.Var) string {
+	if v.IsField() {
+		return "field"
+	}
+	return "package variable"
+}

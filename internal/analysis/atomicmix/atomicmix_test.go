@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"mgpucompress/internal/analysis"
+	"mgpucompress/internal/analysis/atomicmix"
+)
+
+func TestAtomicmixFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/atomfix", atomicmix.Analyzer)
+}

@@ -1,0 +1,40 @@
+// Package atomfix is the atomicmix fixture: fields and package variables
+// that mix sync/atomic with plain access are findings; consistently atomic
+// or consistently plain access is not.
+package atomfix
+
+import "sync/atomic"
+
+type counter struct {
+	n     uint64
+	safe  uint64
+	plain uint64
+}
+
+var global int64
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddUint64(&c.safe, 1)
+	c.plain++ // never touched atomically: fine
+}
+
+func (c *counter) read() uint64 {
+	return c.n // want "field \"n\" is accessed plainly here but atomically at"
+}
+
+func (c *counter) readSafe() uint64 {
+	return atomic.LoadUint64(&c.safe)
+}
+
+func bumpGlobal() { atomic.AddInt64(&global, 1) }
+
+func readGlobal() int64 {
+	return global // want "package variable \"global\" is accessed plainly here but atomically at"
+}
+
+// newCounter's composite literal is construction, not publication: the
+// keyed initialization of an atomically-used field is not a finding.
+func newCounter() *counter {
+	return &counter{n: 0, safe: 0}
+}

@@ -1,0 +1,163 @@
+// Package detmap flags map iteration whose body emits data in iteration
+// order — the classic artifact-nondeterminism bug. Go randomizes map
+// iteration, so a range over a map that appends to an outer slice or
+// writes to a builder/io.Writer/JSON encoder produces different bytes on
+// every run, which breaks the repository's byte-identical-artifact
+// guarantee (jobs=1 vs jobs=N, resumed vs simulated).
+//
+// The sanctioned idiom — collect the keys, sort, then range over the
+// sorted slice — is recognized: an append target that is later passed to a
+// sort.* or slices.Sort* call in the same function is not reported.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mgpucompress/internal/analysis"
+)
+
+// Analyzer is the detmap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "map iteration order must not reach slices, writers, or encoders unsorted",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkFunc inspects the map-range statements whose immediate enclosing
+// function is body. Nested function literals get their own call from run,
+// so they are skipped here except when deciding what a loop body writes.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sorted := sortTargets(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypeOf(rs.X); t == nil || !isMap(t) {
+			return true
+		}
+		checkRangeBody(pass, rs, sorted)
+		return true
+	})
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// sortTargets collects every variable that is an argument of a sorting
+// call anywhere in the function: appending to one of these in map order is
+// fine, because the order is re-established before the slice is consumed.
+func sortTargets(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if v := analysis.RootVar(pass, arg); v != nil {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// writerMethods are method names whose invocation emits bytes in call
+// order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteTo": true, "Encode": true,
+}
+
+func checkRangeBody(pass *analysis.Pass, rs *ast.RangeStmt, sorted map[*types.Var]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(target, ...) growing a slice declared outside the loop.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "append" && len(call.Args) > 0 {
+				v := analysis.RootVar(pass, call.Args[0])
+				if v != nil && v.Pos() < rs.Pos() && !sorted[v] {
+					pass.Reportf(call.Pos(),
+						"append to %q in map-iteration order; sort the keys first (or sort %q before it is consumed)",
+						v.Name(), v.Name())
+				}
+				return true
+			}
+		}
+		fn := analysis.Callee(pass, call)
+		if fn == nil {
+			return true
+		}
+		// fmt.Fprint* — the first argument is an io.Writer by signature.
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(fn.Name() == "Fprint" || fn.Name() == "Fprintf" || fn.Name() == "Fprintln") {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map writes output in map-iteration order; sort the keys first", fn.Name())
+			return true
+		}
+		// Method writes: builders, buffers, encoders, io.Writers.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !writerMethods[fn.Name()] {
+			return true
+		}
+		recv := pass.TypeOf(sel.X)
+		if recv == nil {
+			return true
+		}
+		if isWriterType(recv) {
+			pass.Reportf(call.Pos(), "%s.%s inside range over map emits bytes in map-iteration order; sort the keys first",
+				types.TypeString(recv, types.RelativeTo(pass.Pkg)), fn.Name())
+		}
+		return true
+	})
+}
+
+func isWriterType(t types.Type) bool {
+	if analysis.IsNamed(t, "strings", "Builder") ||
+		analysis.IsNamed(t, "bytes", "Buffer") ||
+		analysis.IsNamed(t, "encoding/json", "Encoder") {
+		return true
+	}
+	if types.Implements(t, analysis.IoWriter) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		if types.Implements(types.NewPointer(t), analysis.IoWriter) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"mgpucompress/internal/analysis"
+	"mgpucompress/internal/analysis/detmap"
+)
+
+func TestDetmapFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/detmapfix", detmap.Analyzer)
+}

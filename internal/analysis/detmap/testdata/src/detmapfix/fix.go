@@ -1,0 +1,73 @@
+// Package detmapfix is the detmap analyzer fixture: every determinism bug
+// class the analyzer covers, next to the sanctioned sorted idioms it must
+// not flag.
+package detmapfix
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// bad emits in raw map-iteration order: every statement is a finding.
+func bad(m map[string]int, w *strings.Builder, enc *json.Encoder) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to \"out\" in map-iteration order"
+	}
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside range over map"
+	}
+	for k := range m {
+		w.WriteString(k) // want "WriteString inside range over map emits bytes in map-iteration order"
+	}
+	for _, v := range m {
+		enc.Encode(v) // want "Encode inside range over map emits bytes in map-iteration order"
+	}
+	return out
+}
+
+// good is the sanctioned idiom: collect the keys, sort, then emit.
+func good(m map[string]int, w *strings.Builder) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// sortedAfter appends structs in map order but sorts the slice before it
+// is consumed — the trace.Log.Pairs shape — and must not be flagged.
+func sortedAfter(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sum accumulates commutatively; iteration order cannot be observed.
+func sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// perIteration appends to a slice born inside the loop body; its order
+// does not outlive the iteration.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var row []int
+		row = append(row, vs...)
+		n += len(row)
+	}
+	return n
+}

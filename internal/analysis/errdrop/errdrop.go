@@ -1,0 +1,113 @@
+// Package errdrop flags silently dropped error results in the
+// orchestration layer (internal/runner and internal/sweep). Those are the
+// packages where a swallowed error turns into a corrupt or un-resumable
+// sweep journal, a missing artifact row, or a run that "succeeded" with
+// half its jobs failed. An error must be handled or explicitly discarded
+// with `_ =` — the blank assignment is the visible, greppable opt-out.
+//
+// Calls that are documented never to fail are allowlisted: methods on
+// strings.Builder and bytes.Buffer, hash.Hash writes, fmt printing to
+// standard output, and fmt.Fprint* into a Builder or Buffer. Deferred
+// calls (defer f.Close()) are likewise not reported.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mgpucompress/internal/analysis"
+)
+
+// Analyzer is the errdrop check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "internal/runner and internal/sweep must not ignore error results",
+	Run:  run,
+}
+
+// scoped reports whether the package is part of the orchestration layer.
+func scoped(path string) bool {
+	return analysis.PathHasSegment(path, "internal") &&
+		(analysis.PathHasSegment(path, "runner") || analysis.PathHasSegment(path, "sweep"))
+}
+
+func run(pass *analysis.Pass) {
+	if !scoped(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+			if !ok || !returnsError(sig) || allowlisted(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is dropped; handle it or discard explicitly with _ =", describe(pass, call))
+			return true
+		})
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if _, isIface := t.Underlying().(*types.Interface); isIface && types.Implements(t, errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+func allowlisted(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	// fmt.Print* go to standard output (progress lines); fmt.Fprint* are
+	// fine when the sink is an in-memory builder or buffer that cannot
+	// fail.
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				t := pass.TypeOf(call.Args[0])
+				return analysis.IsNamed(t, "strings", "Builder") || analysis.IsNamed(t, "bytes", "Buffer")
+			}
+		}
+		return false
+	}
+	// Methods on never-failing receivers.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pass.Info.Selections[sel]; ok {
+			recv := s.Recv()
+			if analysis.IsNamed(recv, "strings", "Builder") ||
+				analysis.IsNamed(recv, "bytes", "Buffer") ||
+				analysis.TypeInPackage(recv, "hash") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func describe(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := analysis.Callee(pass, call); fn != nil {
+		if fn.Pkg() != nil && fn.Type().(*types.Signature).Recv() == nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"mgpucompress/internal/analysis"
+	"mgpucompress/internal/analysis/errdrop"
+)
+
+func TestErrdropFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/runner", errdrop.Analyzer)
+}

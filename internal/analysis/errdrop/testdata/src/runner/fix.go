@@ -1,0 +1,40 @@
+// Package runner is the errdrop fixture. Its directory name puts it in the
+// analyzer's scope (the orchestration layer); dropped error results are
+// findings, explicit discards and never-failing writers are not.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+)
+
+func drop(w io.Writer) {
+	fmt.Fprintf(w, "hello") // want "error result of fmt.Fprintf is dropped"
+}
+
+func dropMethod(w io.Writer, b []byte) {
+	w.Write(b) // want "error result of Write is dropped"
+}
+
+func dropFuncValue(f func() error) {
+	f() // want "error result of call is dropped"
+}
+
+func handled(w io.Writer, b []byte) error {
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, _ = w.Write(b) // explicit discard is visible and legal
+
+	var sb strings.Builder
+	sb.WriteString("x")       // strings.Builder never fails: allowlisted
+	fmt.Fprintf(&sb, "%d", 7) // Fprintf into a Builder cannot fail either
+
+	h := fnv.New64a()
+	h.Write(b) // hash.Hash.Write is documented to never fail
+
+	fmt.Println(sb.String(), h.Sum64()) // stdout progress is allowlisted
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package fatalban keeps process-killing calls out of internal/ library
+// packages. A log.Fatal or os.Exit inside the library tears the process
+// down without unwinding, so deferred work — most critically the sweep
+// journal flush that makes interrupted experiment runs resumable — never
+// happens. Errors must propagate to the command layer, which owns the
+// exit.
+//
+// panic is permitted only as a static assertion: its argument must be a
+// constant, or a fmt.Sprintf/Sprint/Sprintln call whose first argument is
+// constant (an identifiable invariant message). Panicking with a dynamic
+// value — panic(err) above all — launders a propagatable error into a
+// crash and is reported.
+package fatalban
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mgpucompress/internal/analysis"
+)
+
+// Analyzer is the fatalban check.
+var Analyzer = &analysis.Analyzer{
+	Name: "fatalban",
+	Doc:  "internal/ packages must propagate errors, not exit the process or panic with dynamic values",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	if !analysis.PathHasSegment(pass.Pkg.Path(), "internal") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "panic" {
+					checkPanic(pass, call)
+					return true
+				}
+			}
+			fn := analysis.Callee(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "os" && analysis.IsPkgFunc(fn, "os", "Exit"):
+				pass.Reportf(call.Pos(), "os.Exit in library package %s kills the process before deferred work (journal flush) runs; return an error", pass.Pkg.Path())
+			case fn.Pkg().Path() == "log" && isFatalName(fn.Name()):
+				pass.Reportf(call.Pos(), "log.%s in library package %s exits without unwinding; return an error and let the command layer exit", fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+}
+
+func isFatalName(name string) bool {
+	return name == "Fatal" || name == "Fatalf" || name == "Fatalln"
+}
+
+func checkPanic(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil {
+		return // constant assertion message
+	}
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		fn := analysis.Callee(pass, inner)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(fn.Name() == "Sprintf" || fn.Name() == "Sprint" || fn.Name() == "Sprintln") &&
+			len(inner.Args) > 0 {
+			if tv, ok := pass.Info.Types[ast.Unparen(inner.Args[0])]; ok && tv.Value != nil {
+				return // assertion with constant format and dynamic details
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "panic with dynamic value in library package %s: propagate an error instead (assertion panics need a constant message or constant-format fmt.Sprintf)", pass.Pkg.Path())
+}

@@ -1,0 +1,12 @@
+package fatalban_test
+
+import (
+	"testing"
+
+	"mgpucompress/internal/analysis"
+	"mgpucompress/internal/analysis/fatalban"
+)
+
+func TestFatalbanFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/fatalfix", fatalban.Analyzer)
+}

@@ -1,0 +1,44 @@
+// Package fatalfix is the fatalban fixture: process-killing calls and
+// dynamic-value panics are findings; constant-message assertion panics are
+// the sanctioned escape hatch for broken invariants.
+package fatalfix
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+var errBad = errors.New("bad")
+
+func dynPanic(err error) {
+	panic(err) // want "panic with dynamic value in library package"
+}
+
+func dynPanicValue(code int) {
+	panic(code) // want "panic with dynamic value in library package"
+}
+
+func dynPanicErrorf(n int) {
+	panic(fmt.Errorf("n = %d", n)) // want "panic with dynamic value in library package"
+}
+
+func exit() {
+	os.Exit(1) // want "os.Exit in library package"
+}
+
+func fatal() {
+	log.Fatalf("no: %v", errBad) // want "log.Fatalf in library package"
+}
+
+// assert shows the two permitted panic shapes: a constant message, and a
+// constant-format fmt.Sprintf carrying dynamic detail.
+func assert(n int) {
+	if n < 0 {
+		panic("fatalfix: n must be non-negative")
+	}
+	if n > 10 {
+		panic(fmt.Sprintf("fatalfix: n out of range: %d", n))
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// This file is the fixture harness: analyzer test packages live under
+// testdata/src/<name>/ and annotate the lines where diagnostics are
+// expected with
+//
+//	// want "regexp" ["regexp" ...]
+//
+// CheckFixture runs one analyzer over one fixture package and returns a
+// deterministic list of mismatches — unexpected diagnostics, unmatched
+// expectations, or bad regexps. RunFixture adapts that to a *testing.T.
+// Keeping the core t-free lets harness_test.go assert that a fixture with a
+// wrong expectation really fails (an analyzer matching nothing must not
+// pass silently).
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// CheckFixture loads the fixture package rooted at dir with the loader and
+// compares the analyzer's diagnostics against its // want comments.
+// //lint:ignore directives are honored, so suppression itself is testable
+// in fixtures.
+func CheckFixture(l *Loader, dir string, a *Analyzer) []error {
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				ms := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					errs = append(errs, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text))
+					continue
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						errs = append(errs, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err))
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	findings := Run([]*Package{pkg}, []*Analyzer{a})
+	for _, f := range findings {
+		if exp := matchWant(wants, f); exp == nil {
+			errs = append(errs, fmt.Errorf("%s: unexpected diagnostic: %s", posString(f.Position), f.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			errs = append(errs, fmt.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re))
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}
+
+// matchWant claims the first unused expectation on the finding's line whose
+// regexp matches its message.
+func matchWant(wants []*expectation, f Finding) *expectation {
+	for _, w := range wants {
+		if !w.used && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+			w.used = true
+			return w
+		}
+	}
+	return nil
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// RunFixture is the test entry point: it fails t with every mismatch
+// CheckFixture found in the fixture at dir.
+func RunFixture(t *testing.T, dir string, a *Analyzer) {
+	t.Helper()
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range CheckFixture(l, dir, a) {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// panicAny is a minimal analyzer for exercising the harness itself: it
+// flags every call to the panic builtin.
+var panicAny = &Analyzer{
+	Name: "panicany",
+	Doc:  "test analyzer: flags every panic call",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					pass.Reportf(call.Pos(), "call to panic")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func checkFixture(t *testing.T, dir string) []error {
+	t.Helper()
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CheckFixture(l, dir, panicAny)
+}
+
+// TestWrongWantFails: a fixture whose expectation never matches must fail
+// twice over — the diagnostic is unexpected and the want is unmatched.
+func TestWrongWantFails(t *testing.T) {
+	errs := checkFixture(t, "testdata/src/harnessbad")
+	if len(errs) != 2 {
+		t.Fatalf("CheckFixture(harnessbad) returned %d errors, want 2: %v", len(errs), errs)
+	}
+	var haveUnexpected, haveUnmatched bool
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "unexpected diagnostic") {
+			haveUnexpected = true
+		}
+		if strings.Contains(e.Error(), "no diagnostic matching") {
+			haveUnmatched = true
+		}
+	}
+	if !haveUnexpected || !haveUnmatched {
+		t.Errorf("missing error classes in %v", errs)
+	}
+}
+
+// TestEmptyFixturePasses: no diagnostics against no wants is a pass.
+func TestEmptyFixturePasses(t *testing.T) {
+	if errs := checkFixture(t, "testdata/src/harnessempty"); len(errs) != 0 {
+		t.Fatalf("CheckFixture(harnessempty) = %v, want none", errs)
+	}
+}
+
+// TestIgnoreDirective: a well-formed //lint:ignore suppresses, a
+// reason-less one does not.
+func TestIgnoreDirective(t *testing.T) {
+	if errs := checkFixture(t, "testdata/src/harnessignore"); len(errs) != 0 {
+		t.Fatalf("CheckFixture(harnessignore) = %v, want none", errs)
+	}
+}
+
+func TestPathHasSegment(t *testing.T) {
+	cases := []struct {
+		path, seg string
+		want      bool
+	}{
+		{"mgpucompress/internal/sim", "sim", true},
+		{"mgpucompress/internal/sim", "internal", true},
+		{"mgpucompress/internal/simulate", "sim", false},
+		{"sim", "sim", true},
+		{"mgpucompress/internal/analysis/testdata/src/sim", "sim", true},
+		{"", "sim", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSegment(c.path, c.seg); got != c.want {
+			t.Errorf("PathHasSegment(%q, %q) = %v, want %v", c.path, c.seg, got, c.want)
+		}
+	}
+}

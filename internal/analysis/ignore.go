@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreIndex records, per file and line, which analyzers are suppressed by
+// a //lint:ignore comment. A directive suppresses findings on its own line
+// (trailing comment) and on the line immediately below (standalone comment
+// above the statement) — the two places such comments are written.
+type ignoreIndex map[string]map[int][]string
+
+// collectIgnores scans a package's comments for ignore directives of the
+// form:
+//
+//	//lint:ignore analyzer[,analyzer...] reason
+//
+// A directive without a reason is malformed and deliberately does not
+// suppress anything: the reason is the audit trail.
+func collectIgnores(pkg *Package) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: not honored
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					idx[pos.Filename] = lines
+				}
+				names := strings.Split(fields[0], ",")
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a finding by the named analyzer at pos is
+// covered by a directive on the same line or the line above.
+func (idx ignoreIndex) suppressed(analyzer string, pos token.Position) bool {
+	lines, ok := idx[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+// Package harnessbad carries a deliberately wrong want expectation:
+// harness_test asserts that CheckFixture fails on it, guarding against a
+// harness (or analyzer) that silently matches nothing.
+package harnessbad
+
+func boom() {
+	panic("x") // want "this message never appears"
+}

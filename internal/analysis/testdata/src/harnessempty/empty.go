@@ -1,0 +1,5 @@
+// Package harnessempty has no findings and no want comments: the harness
+// must accept an empty diagnostic set against an empty expectation set.
+package harnessempty
+
+func calm() int { return 1 }

@@ -1,0 +1,15 @@
+// Package harnessignore exercises //lint:ignore suppression end to end:
+// the directive swallows the diagnostic, so the fixture expects none.
+package harnessignore
+
+func boom() {
+	//lint:ignore panicany suppression itself is under test here
+	panic("x")
+}
+
+// noReason is malformed (no reason after the analyzer name), so it does
+// NOT suppress; the diagnostic is still expected.
+func noReason() {
+	//lint:ignore panicany
+	panic("y") // want "call to panic"
+}

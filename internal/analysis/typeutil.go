@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Helpers shared by the analyzers: resolving callees, classifying receiver
+// types, and a synthesized io.Writer so implements-checks work even in
+// packages that never import io.
+
+// IoWriter is the io.Writer interface, built from scratch so analyzers can
+// ask types.Implements without the analyzed package importing io.
+var IoWriter = func() *types.Interface {
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// Callee resolves the function or method a call invokes, or nil for calls
+// through function values, builtins, and conversions.
+func Callee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified identifier: pkg.Func.
+		fn, _ := pass.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// NamedType returns the (pointer-stripped) named type of t, or nil.
+func NamedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (or *t) is the named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := NamedType(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// TypeInPackage reports whether t's named type is declared in a package
+// whose import path has the prefix. Used to classify e.g. every hash.*
+// interface at once.
+func TypeInPackage(t types.Type, pathPrefix string) bool {
+	n := NamedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	p := n.Obj().Pkg().Path()
+	return p == pathPrefix || len(p) > len(pathPrefix) && p[:len(pathPrefix)] == pathPrefix && p[len(pathPrefix)] == '/'
+}
+
+// RootVar resolves the variable an expression denotes: the object behind a
+// plain identifier, or the field object behind a selector. It is the
+// identity analyzers key on when tracking a value across statements.
+func RootVar(pass *Pass, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := pass.ObjectOf(e).(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[e]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		v, _ := pass.ObjectOf(e.Sel).(*types.Var)
+		return v
+	}
+	return nil
+}

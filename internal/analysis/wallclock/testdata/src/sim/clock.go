@@ -1,0 +1,28 @@
+// Package sim is the wallclock fixture for the deterministic domain: its
+// import path carries the internal/.../sim segments, so host-clock reads
+// and global randomness are findings here.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocky() time.Duration {
+	t := time.Now()      // want "time.Now in deterministic package"
+	d := time.Since(t)   // want "time.Since in deterministic package"
+	time.Sleep(d)        // want "time.Sleep in deterministic package"
+	return time.Until(t) // want "time.Until in deterministic package"
+}
+
+func randy() int64 {
+	rand.Shuffle(3, func(i, j int) {}) // want "package-global math/rand.Shuffle"
+	return rand.Int63()                // want "package-global math/rand.Int63"
+}
+
+// seeded builds a private stream from an injected seed: the sanctioned
+// idiom, never flagged.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

@@ -1,0 +1,9 @@
+// Package sweep is the wallclock allowlist fixture: orchestration packages
+// are outside the deterministic domain, so progress timing against the
+// host clock is legal and this fixture expects zero diagnostics.
+package sweep
+
+import "time"
+
+// Elapsed measures wall time for a progress line.
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,95 @@
+// Package wallclock flags wall-clock time and global randomness inside the
+// simulator's deterministic domain. Simulated time must advance only
+// through the event engine, and every random stream must be seeded from
+// the sweep-derived per-job seed: a time.Now or a package-global rand.Intn
+// in these packages silently couples artifacts to the host scheduler.
+//
+// The deterministic domain is the sim-clock package family (sim, comp,
+// fabric, gpu, mem, rdma, stats, workloads, energy, core, cache, platform,
+// bitstream, trace under internal/). Orchestration packages — notably
+// internal/sweep, whose progress reporting legitimately measures wall time
+// — are outside the domain and stay legal.
+package wallclock
+
+import (
+	"go/ast"
+
+	"mgpucompress/internal/analysis"
+)
+
+// Analyzer is the wallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "no wall-clock time or unseeded global randomness in deterministic packages",
+	Run:  run,
+}
+
+// deterministic is the sim-clock package family, matched as path segments
+// under an internal/ segment.
+var deterministic = map[string]bool{
+	"sim": true, "comp": true, "fabric": true, "gpu": true, "mem": true,
+	"rdma": true, "stats": true, "workloads": true, "energy": true,
+	"core": true, "cache": true, "platform": true, "bitstream": true,
+	"trace": true,
+}
+
+// bannedTime are the time package functions that read or wait on the host
+// clock.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand are the explicit-seeding constructors: building a private,
+// seeded stream is exactly what deterministic code should do.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// InDeterministicPackage reports whether the import path belongs to the
+// sim-clock domain.
+func InDeterministicPackage(path string) bool {
+	if !analysis.PathHasSegment(path, "internal") {
+		return false
+	}
+	for seg := range deterministic {
+		if analysis.PathHasSegment(path, seg) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) {
+	if !InDeterministicPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"time.%s in deterministic package %s: simulated time must come from the sim engine, not the host clock",
+						fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if analysis.IsPkgFunc(fn, fn.Pkg().Path(), fn.Name()) && !allowedRand[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"package-global %s.%s in deterministic package %s: use rand.New(rand.NewSource(seed)) with the sweep-derived job seed",
+						fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+}

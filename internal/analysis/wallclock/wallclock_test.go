@@ -1,0 +1,34 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"mgpucompress/internal/analysis"
+	"mgpucompress/internal/analysis/wallclock"
+)
+
+func TestWallclockFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/sim", wallclock.Analyzer)
+}
+
+// TestWallclockAllowsOrchestration checks the zero-diagnostic fixture: the
+// sweep package family may read the host clock.
+func TestWallclockAllowsOrchestration(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/sweep", wallclock.Analyzer)
+}
+
+func TestDeterministicDomain(t *testing.T) {
+	for path, want := range map[string]bool{
+		"mgpucompress/internal/sim":       true,
+		"mgpucompress/internal/comp":      true,
+		"mgpucompress/internal/workloads": true,
+		"mgpucompress/internal/sweep":     false,
+		"mgpucompress/internal/runner":    false,
+		"mgpucompress/internal/analysis":  false,
+		"mgpucompress/cmd/reproduce":      false,
+	} {
+		if got := wallclock.InDeterministicPackage(path); got != want {
+			t.Errorf("InDeterministicPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

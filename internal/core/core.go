@@ -326,24 +326,37 @@ func (a *Adaptive) processRunning(line []byte) Decision {
 	return d
 }
 
+// PolicyFactory validates spec once and returns a constructor that builds
+// a fresh policy instance per compressing endpoint. Splitting validation
+// from construction lets callers surface the unknown-spec error where it
+// can propagate, instead of panicking inside a platform.Config.NewPolicy
+// closure that has no error path.
+func PolicyFactory(spec string, lambda float64) (func() Policy, error) {
+	switch spec {
+	case "none":
+		return func() Policy { return Uncompressed{} }, nil
+	case "fpc":
+		return func() Policy { return NewStatic(comp.FPC) }, nil
+	case "bdi":
+		return func() Policy { return NewStatic(comp.BDI) }, nil
+	case "cpackz":
+		return func() Policy { return NewStatic(comp.CPackZ) }, nil
+	case "adaptive":
+		return func() Policy { return NewAdaptive(Config{Lambda: lambda}) }, nil
+	case "dynamic":
+		return func() Policy { return NewDynamicAdaptive(DynamicConfig{}) }, nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q (want none|fpc|bdi|cpackz|adaptive|dynamic)", spec)
+	}
+}
+
 // PolicyFor builds the policy named by spec: "none", "fpc", "bdi", "cpackz",
 // or "adaptive" (with the given λ). It is the single entry point used by the
 // command-line tools.
 func PolicyFor(spec string, lambda float64) (Policy, error) {
-	switch spec {
-	case "none":
-		return Uncompressed{}, nil
-	case "fpc":
-		return NewStatic(comp.FPC), nil
-	case "bdi":
-		return NewStatic(comp.BDI), nil
-	case "cpackz":
-		return NewStatic(comp.CPackZ), nil
-	case "adaptive":
-		return NewAdaptive(Config{Lambda: lambda}), nil
-	case "dynamic":
-		return NewDynamicAdaptive(DynamicConfig{}), nil
-	default:
-		return nil, fmt.Errorf("core: unknown policy %q (want none|fpc|bdi|cpackz|adaptive|dynamic)", spec)
+	factory, err := PolicyFactory(spec, lambda)
+	if err != nil {
+		return nil, err
 	}
+	return factory(), nil
 }

@@ -55,6 +55,11 @@ type Options struct {
 	// compressing endpoint; Policy then only labels the run. Used by the
 	// ablation studies.
 	Adaptive *core.Config
+	// Seed rebases the workload's input-generation random streams
+	// (workloads.Seeder). Zero keeps each workload's fixed default stream;
+	// sweeps set the JobKey-derived seed so every job's inputs are a pure
+	// function of its fingerprint.
+	Seed int64
 }
 
 // CodecStats aggregates one codec's behaviour over all transferred lines.
@@ -167,6 +172,11 @@ func Run(abbrev string, opts Options) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Seed != 0 {
+		if s, ok := w.(workloads.Seeder); ok {
+			s.SetSeed(opts.Seed)
+		}
+	}
 
 	rec := newRecorder(opts)
 	cfg := platform.DefaultConfig()
@@ -196,14 +206,13 @@ func Run(abbrev string, opts Options) (*Metrics, error) {
 		acfg := *opts.Adaptive
 		cfg.NewPolicy = func(int) core.Policy { return core.NewAdaptive(acfg) }
 	} else if opts.Policy != "none" {
-		policySpec, lambda := opts.Policy, opts.Lambda
-		cfg.NewPolicy = func(int) core.Policy {
-			p, err := core.PolicyFor(policySpec, lambda)
-			if err != nil {
-				panic(err)
-			}
-			return p
+		// Validate the spec here, where the error can propagate; the
+		// factory itself cannot fail per endpoint.
+		newPolicy, err := core.PolicyFactory(opts.Policy, opts.Lambda)
+		if err != nil {
+			return nil, fmt.Errorf("runner: %s: %w", abbrev, err)
 		}
+		cfg.NewPolicy = func(int) core.Policy { return newPolicy() }
 	}
 	p := platform.New(cfg)
 

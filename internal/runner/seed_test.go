@@ -1,0 +1,62 @@
+package runner
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mgpucompress/internal/workloads"
+)
+
+func marshalRun(t *testing.T, opts Options) []byte {
+	t.Helper()
+	m, err := Run("AES", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRunSeedDeterminism: two runs under the same Options.Seed must yield
+// identical metrics (the AES input is high-entropy, so the byte histogram
+// in Traffic would expose any divergence); a different seed must not.
+func TestRunSeedDeterminism(t *testing.T) {
+	opts := Options{Scale: workloads.ScaleTiny, Seed: 7}
+	a := marshalRun(t, opts)
+	b := marshalRun(t, opts)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different metrics")
+	}
+	opts.Seed = 8
+	if c := marshalRun(t, opts); string(a) == string(c) {
+		t.Fatal("different seeds produced identical metrics")
+	}
+}
+
+// TestSweepJobsSeedFromFingerprint: the sweep path derives Options.Seed
+// from the JobKey fingerprint, so two independent engines executing the
+// same key simulate byte-identical inputs and agree exactly.
+func TestSweepJobsSeedFromFingerprint(t *testing.T) {
+	k := Key("AES", Options{Scale: workloads.ScaleTiny})
+	if k.Seed() == 0 {
+		t.Fatal("JobKey seed is zero; sweep jobs would fall back to the default stream")
+	}
+	run := func() []byte {
+		s := NewSweep(SweepConfig{Jobs: 1})
+		m, err := s.Metrics(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if string(run()) != string(run()) {
+		t.Fatal("two engines disagree on the same job key")
+	}
+}

@@ -114,6 +114,10 @@ func executeJob(k sweep.JobKey) (*Metrics, error) {
 		RemoteCache:         k.RemoteCache,
 		NumGPUs:             k.NumGPUs,
 		FabricBytesPerCycle: k.FabricBytesPerCycle,
+		// The seed is derived from the key's fingerprint, not a key
+		// dimension: equal jobs always generate identical inputs, and
+		// distinct jobs draw from domain-separated streams.
+		Seed: k.Seed(),
 	}
 	if k.SampleCount > 0 || k.RunLength > 0 || len(k.Candidates) > 0 {
 		cands, err := compressorsFor(k.Candidates)

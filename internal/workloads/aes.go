@@ -17,6 +17,7 @@ import (
 // contiguous chunk and writes the ciphertext into a partition local to its
 // GPU, so remote reads dominate remote writes as in Table V.
 type AES struct {
+	seeded
 	scale Scale
 
 	key        []byte
@@ -44,7 +45,7 @@ func (a *AES) Description() string {
 
 // Setup implements Workload.
 func (a *AES) Setup(p *platform.Platform) error {
-	r := rng(0xAE5)
+	r := a.rng(0xAE5)
 	a.key = make([]byte, 32)
 	r.Read(a.key)
 

@@ -16,6 +16,7 @@ import (
 // input models a sparse key array: mostly zeros with a scattering of small
 // keys, sorted in ascending order.
 type BS struct {
+	seeded
 	scale Scale
 
 	n       int // element count, power of two
@@ -51,7 +52,7 @@ func (b *BS) Setup(p *platform.Platform) error {
 		}
 		b.n = v
 	}
-	r := rng(0xB5)
+	r := b.rng(0xB5)
 	b.initial = make([]uint32, b.n)
 	// Very sparse keys (~5% nonzero) arranged in small runs of equal
 	// values, with each key a bucket tag shifted into the upper halfword —

@@ -17,6 +17,7 @@ import (
 // (compressible by FPC/C-Pack+Z but not BDI) followed by the filter kernel
 // over the DC-offset samples (compressible by BDI, not FPC).
 type FIR struct {
+	seeded
 	scale Scale
 
 	numTaps    int
@@ -55,7 +56,7 @@ func firSample(r *rand.Rand) uint64 {
 
 // Setup implements Workload.
 func (f *FIR) Setup(p *platform.Platform) error {
-	r := rng(0xF17)
+	r := f.rng(0xF17)
 	f.numTaps = 16
 	f.taps = make([]int64, f.numTaps)
 	for i := range f.taps {

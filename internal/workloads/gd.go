@@ -18,6 +18,7 @@ import (
 // dense float32 values, so every codec compresses only the zero lines and
 // Table V's tight 1.2–1.4 cluster (with FPC slightly ahead) emerges.
 type GD struct {
+	seeded
 	scale Scale
 
 	m          int // features
@@ -51,7 +52,7 @@ const wordsPerLine = mem.LineSize / 4
 
 // Setup implements Workload.
 func (g *GD) Setup(p *platform.Platform) error {
-	r := rng(0x6D)
+	r := g.rng(0x6D)
 	g.m = 1024 * int(g.scale)
 	g.rows = 4
 	g.iterations = 2

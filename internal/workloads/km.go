@@ -17,6 +17,7 @@ import (
 // C-Pack+Z 7.8 > FPC 5.6 >> BDI 1.4 — BDI sees only whole-line immediates
 // and lands near base4-delta2.
 type KM struct {
+	seeded
 	scale Scale
 
 	n           int // points
@@ -50,7 +51,7 @@ func (m *KM) Description() string {
 
 // Setup implements Workload.
 func (m *KM) Setup(p *platform.Platform) error {
-	r := rng(0x6B17)
+	r := m.rng(0x6B17)
 	m.n = 512 * int(m.scale)
 	m.k = 8
 	m.d = 13

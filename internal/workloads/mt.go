@@ -16,6 +16,7 @@ import (
 // stores one sign-extended byte per word (11 bits), BDI uses base4-delta1
 // (180 bits/line), and C-Pack+Z uses narrow words (12 bits).
 type MT struct {
+	seeded
 	scale Scale
 
 	n      int // matrix dimension
@@ -42,7 +43,7 @@ const mtTile = 16 // 16×16 elements; one tile row is exactly one line
 
 // Setup implements Workload.
 func (t *MT) Setup(p *platform.Platform) error {
-	r := rng(0x47)
+	r := t.rng(0x47)
 	t.n = 64 * int(t.scale)
 	t.input = p.Space.AllocStriped(uint64(t.n * t.n * 4))
 	t.output = p.Space.AllocStriped(uint64(t.n * t.n * 4))

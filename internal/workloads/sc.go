@@ -19,6 +19,7 @@ import (
 // transfers, and a metadata staging kernel gives SC the phase structure of
 // Fig. 1a/1b (C-Pack+Z wins the first phase, BDI the second).
 type SC struct {
+	seeded
 	scale Scale
 
 	w, h       int // image dimensions, excluding padding

@@ -125,6 +125,31 @@ func lineAlignedLen(n int) int {
 	return n
 }
 
-// rng returns a deterministic per-workload random source so runs are
-// reproducible.
-func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// Seeder is implemented by workloads whose input generation can be rebased
+// onto the sweep-derived per-job seed (sweep.JobKey.Seed, plumbed through
+// runner.Options.Seed). All Table IV benchmarks implement it.
+type Seeder interface {
+	// SetSeed rebases the workload's random streams. Zero keeps the
+	// workload's fixed default stream, preserving historical artifacts.
+	SetSeed(seed int64)
+}
+
+// seeded is embedded by every benchmark: it carries the per-job seed and
+// hands out deterministic rand streams. There is deliberately no
+// package-global rand state anywhere in this package — every stream is an
+// explicit rand.New(rand.NewSource(...)), which is what the wallclock
+// analyzer enforces.
+type seeded struct {
+	seed int64
+}
+
+// SetSeed implements Seeder.
+func (s *seeded) SetSeed(seed int64) { s.seed = seed }
+
+// rng returns the workload's deterministic random source. The per-workload
+// salt domain-separates benchmarks sharing one job seed; with the zero
+// seed the stream reduces to the historical fixed-salt stream, so default
+// artifacts are unchanged.
+func (s *seeded) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(s.seed ^ salt))
+}
