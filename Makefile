@@ -5,8 +5,9 @@
 all: vet lint test
 
 # Everything a pre-merge check needs: formatting, vet, the project's own
-# determinism linter, and the short test suite under the race detector (the
-# sweep engine is concurrent by design).
+# determinism linter, the short test suite under the race detector (the
+# sweep engine is concurrent by design), and the metrics determinism gate:
+# the quickstart's -metrics-out snapshot must be byte-identical across runs.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -16,6 +17,11 @@ ci:
 	go build -o bin/mgpulint ./cmd/mgpulint
 	./bin/mgpulint ./...
 	go test -race -short ./...
+	@mkdir -p bin
+	go run ./examples/quickstart -metrics-out bin/metrics-a.json >/dev/null
+	go run ./examples/quickstart -metrics-out bin/metrics-b.json >/dev/null
+	cmp bin/metrics-a.json bin/metrics-b.json
+	@echo "metrics determinism gate: OK"
 
 # mgpulint: the determinism- and invariant-checking analyzers of
 # internal/analysis (see DESIGN.md "Determinism rules").

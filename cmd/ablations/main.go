@@ -28,12 +28,23 @@ func main() {
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
 	bench := flag.String("bench", "SC", "benchmark for single-benchmark studies")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 0, "pin every job's input seed (0 = per-job fingerprint seeds)")
+	metricsOut := flag.String("metrics-out", "", "write every job's metric snapshot as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of all jobs to this file")
 	flag.Parse()
 
-	o := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus}
+	o := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus, Seed: *seed}
 	// One shared sweep across studies: -study all re-uses baseline and
 	// adaptive runs that several studies have in common.
-	s := runner.NewSweep(runner.SweepConfig{Jobs: *jobs})
+	s := runner.NewSweep(runner.SweepConfig{Jobs: *jobs, Trace: *traceOut != ""})
+	defer func() {
+		if *metricsOut != "" {
+			check(s.WriteMetricsFile(*metricsOut))
+		}
+		if *traceOut != "" {
+			check(s.WriteTraceFile(*traceOut))
+		}
+	}()
 	run := map[string]func(){
 		"sampling": func() {
 			rows, err := s.SamplingAblation(*bench, o)

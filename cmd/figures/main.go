@@ -29,10 +29,24 @@ func main() {
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+	metricsOut := flag.String("metrics-out", "", "write every job's metric snapshot as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of all jobs to this file")
 	flag.Parse()
 
 	opts := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus}
-	sw := runner.NewSweep(runner.SweepConfig{Jobs: *jobs})
+	sw := runner.NewSweep(runner.SweepConfig{Jobs: *jobs, Trace: *traceOut != ""})
+	defer func() {
+		if *metricsOut != "" {
+			if err := sw.WriteMetricsFile(*metricsOut); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := sw.WriteTraceFile(*traceOut); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
 
 	switch *figure {
 	case 1:

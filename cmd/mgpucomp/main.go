@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"mgpucompress/internal/comp"
+	"mgpucompress/internal/core"
 	"mgpucompress/internal/fabric"
 	"mgpucompress/internal/runner"
 	"mgpucompress/internal/sim"
@@ -27,6 +28,7 @@ func main() {
 	log.SetPrefix("mgpucomp: ")
 
 	bench := flag.String("bench", "MT", "benchmark: AES|BS|FIR|GD|KM|MT|SC")
+	flag.StringVar(bench, "workload", "MT", "alias for -bench")
 	policy := flag.String("policy", "none", "compression policy: none|fpc|bdi|cpackz|adaptive|dynamic")
 	lambda := flag.Float64("lambda", 6, "adaptive penalty λ (Eq. 1)")
 	scale := flag.Int("scale", int(workloads.ScaleSmall), "input scale factor")
@@ -37,22 +39,43 @@ func main() {
 	remoteCache := flag.Bool("remote-cache", false, "enable the L1.5 remote-data cache extension")
 	traceFlag := flag.Bool("trace", false, "print a fabric transfer timeline summary")
 	statsFlag := flag.Bool("stats", false, "print the hardware counter report")
+	seed := flag.Int64("seed", 0, "workload input-generation seed (0 = the workload's fixed default)")
+	metricsOut := flag.String("metrics-out", "", "write the full metric snapshot as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
 	flag.Parse()
 
+	pol, err := core.ParsePolicy(strings.ToLower(*policy))
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := runner.Options{
 		Scale:        workloads.Scale(*scale),
 		CUsPerGPU:    *cus,
-		Policy:       strings.ToLower(*policy),
+		Policy:       pol,
 		Lambda:       *lambda,
 		Characterize: *characterize,
 		NumGPUs:      *gpus,
 		Topology:     fabric.Topology(*topology),
 		RemoteCache:  *remoteCache,
-		Trace:        *traceFlag,
+		Trace:        *traceFlag || *traceOut != "",
+		Seed:         *seed,
+	}
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	m, err := runner.Run(strings.ToUpper(*bench), opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *metricsOut != "" {
+		if err := m.WriteMetricsFile(*metricsOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := m.WriteTraceFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("benchmark          %s\n", m.Workload)
@@ -86,7 +109,7 @@ func main() {
 		fmt.Println("\nhardware counters:")
 		fmt.Print(m.Platform.String())
 	}
-	if m.TraceLog != nil {
+	if *traceFlag && m.TraceLog != nil {
 		fmt.Println()
 		bin := sim.Time(m.ExecCycles/60 + 1)
 		fmt.Print(m.TraceLog.Summary(bin, 8))

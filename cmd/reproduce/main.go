@@ -40,24 +40,27 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	resume := flag.String("resume", "", "JSONL job journal: replayed if it exists, appended to as jobs finish")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress lines")
+	seed := flag.Int64("seed", 0, "pin every job's input seed (0 = per-job fingerprint seeds)")
+	metricsOut := flag.String("metrics-out", "", "write every job's metric snapshot as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of all jobs to this file")
 	flag.Parse()
 
-	if err := run(*out, *scale, *cus, *jobs, *resume, *quiet); err != nil {
+	if err := run(*out, *scale, *cus, *jobs, *resume, *quiet, *seed, *metricsOut, *traceOut); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(out string, scale, cus, jobs int, resume string, quiet bool) error {
+func run(out string, scale, cus, jobs int, resume string, quiet bool, seed int64, metricsOut, traceOut string) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	o := runner.ExpOptions{Scale: workloads.Scale(scale), CUsPerGPU: cus}
+	o := runner.ExpOptions{Scale: workloads.Scale(scale), CUsPerGPU: cus, Seed: seed}
 	start := time.Now()
 
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	cfg := runner.SweepConfig{Jobs: jobs}
+	cfg := runner.SweepConfig{Jobs: jobs, Trace: traceOut != ""}
 
 	// The journal file doubles as resume input (read first) and sink
 	// (appended to as new jobs finish).
@@ -142,6 +145,18 @@ func run(out string, scale, cus, jobs int, resume string, quiet bool) error {
 	}
 	if err := write("summary.txt", sum.String()); err != nil {
 		return err
+	}
+	if metricsOut != "" {
+		if err := s.WriteMetricsFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", metricsOut)
+	}
+	if traceOut != "" {
+		if err := s.WriteTraceFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", traceOut)
 	}
 	fmt.Printf("sweep: %s (total %s)\n", stats, time.Since(start).Round(time.Millisecond))
 	return nil

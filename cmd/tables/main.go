@@ -26,6 +26,8 @@ func main() {
 	scale := flag.Int("scale", int(workloads.ScaleSmall), "input scale factor")
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	metricsOut := flag.String("metrics-out", "", "write every job's metric snapshot as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of all jobs to this file")
 	flag.Parse()
 
 	if *area {
@@ -33,7 +35,19 @@ func main() {
 		return
 	}
 	opts := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus}
-	s := runner.NewSweep(runner.SweepConfig{Jobs: *jobs})
+	s := runner.NewSweep(runner.SweepConfig{Jobs: *jobs, Trace: *traceOut != ""})
+	defer func() {
+		if *metricsOut != "" {
+			if err := s.WriteMetricsFile(*metricsOut); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := s.WriteTraceFile(*traceOut); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
 
 	switch *table {
 	case 1:

@@ -11,6 +11,7 @@ import (
 	"log"
 	"strings"
 
+	"mgpucompress/internal/core"
 	"mgpucompress/internal/runner"
 	"mgpucompress/internal/workloads"
 )
@@ -36,7 +37,7 @@ func main() {
 	for _, lambda := range []float64{0, 1, 2, 4, 6, 8, 12, 16, 24, 32, 64} {
 		m, err := runner.Run(name, runner.Options{
 			Scale:  workloads.Scale(*scale),
-			Policy: "adaptive",
+			Policy: core.PolicyAdaptive,
 			Lambda: lambda,
 		})
 		if err != nil {

@@ -34,7 +34,11 @@ func main() {
 func run(policy string) {
 	cfg := platform.DefaultConfig()
 	if policy != "none" {
-		newPolicy, err := core.PolicyFactory(policy, 6)
+		id, err := core.ParsePolicy(policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		newPolicy, err := core.PolicyFactory(id, 6)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@ package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,6 +20,8 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	metricsOut := flag.String("metrics-out", "", "write the adaptive run's metric snapshot as JSON to this file")
+	flag.Parse()
 
 	// --- 1. Compress single cache lines -----------------------------------
 	lines := map[string][]byte{
@@ -61,7 +64,7 @@ func main() {
 
 	// --- 3. A full multi-GPU simulation -----------------------------------
 	fmt.Println("\nmatrix transpose on the simulated 4-GPU system:")
-	for _, policy := range []string{"none", "adaptive"} {
+	for _, policy := range []core.PolicyID{core.PolicyNone, core.PolicyAdaptive} {
 		m, err := runner.Run("MT", runner.Options{
 			Scale:  workloads.ScaleTiny,
 			Policy: policy,
@@ -72,6 +75,11 @@ func main() {
 		}
 		fmt.Printf("  %-8s exec %8d cycles   fabric %8d bytes   ratio %.2f\n",
 			policy, m.ExecCycles, m.FabricBytes, m.CompressionRatio())
+		if *metricsOut != "" && policy == core.PolicyAdaptive {
+			if err := m.WriteMetricsFile(*metricsOut); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 }
 

@@ -50,7 +50,11 @@ func main() {
 		}
 		cfg := platform.DefaultConfig()
 		if policy != "none" {
-			newPolicy, err := core.PolicyFactory(policy, 6)
+			id, err := core.ParsePolicy(policy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			newPolicy, err := core.PolicyFactory(id, 6)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"mgpucompress/internal/mem"
+	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/sim"
 )
 
@@ -103,6 +104,17 @@ type Cache struct {
 	Hits, Misses, Coalesced uint64
 	WritesSeen              uint64
 	Bypassed                uint64
+}
+
+// RegisterMetrics exposes the cache counters under prefix (e.g.
+// "gpu0/l1_2"). The closures read the same fields the stats aggregation
+// reads, keeping one source of truth per counter.
+func (c *Cache) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/hits", func() uint64 { return c.Hits })
+	reg.CounterFunc(prefix+"/misses", func() uint64 { return c.Misses })
+	reg.CounterFunc(prefix+"/coalesced", func() uint64 { return c.Coalesced })
+	reg.CounterFunc(prefix+"/writes_seen", func() uint64 { return c.WritesSeen })
+	reg.CounterFunc(prefix+"/bypassed", func() uint64 { return c.Bypassed })
 }
 
 // New builds a cache bound to the functional space.

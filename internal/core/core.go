@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"mgpucompress/internal/comp"
+	"mgpucompress/internal/metrics"
 )
 
 // Defaults from Sec. V / Sec. VII-A2 of the paper.
@@ -152,6 +153,12 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// PhaseHook observes the controller's phase transitions: it fires when a
+// sampling phase closes (sampling=false, with the algorithm selected for the
+// running phase) and when a running phase ends (sampling=true). The platform
+// uses it to record phase spans on the trace timeline.
+type PhaseHook func(sampling bool, selected comp.Algorithm)
+
 // Adaptive is the paper's adaptive compression controller.
 type Adaptive struct {
 	cfg Config
@@ -163,6 +170,9 @@ type Adaptive struct {
 	votePen    []float64 // cumulative penalty, used to break ties
 	selected   int       // candidate index, len(candidates) = bypass
 	selections []comp.Algorithm
+
+	processed uint64
+	hook      PhaseHook
 
 	// maxCompressionCycles is the sampling-phase latency: the paper notes
 	// that running all codecs concurrently costs the slowest codec's
@@ -215,8 +225,12 @@ func (a *Adaptive) SelectionHistory() []comp.Algorithm {
 	return append([]comp.Algorithm(nil), a.selections...)
 }
 
+// SetPhaseHook installs the phase-transition observer.
+func (a *Adaptive) SetPhaseHook(h PhaseHook) { a.hook = h }
+
 // Process implements Policy.
 func (a *Adaptive) Process(line []byte) Decision {
+	a.processed++
 	if a.sampling {
 		return a.processSample(line)
 	}
@@ -293,6 +307,9 @@ func (a *Adaptive) closeSamplingPhase() {
 		a.votes[i] = 0
 		a.votePen[i] = 0
 	}
+	if a.hook != nil {
+		a.hook(false, a.selections[len(a.selections)-1])
+	}
 }
 
 func (a *Adaptive) processRunning(line []byte) Decision {
@@ -322,39 +339,63 @@ func (a *Adaptive) processRunning(line []byte) Decision {
 	if a.phasePos >= a.cfg.RunLength {
 		a.sampling = true
 		a.phasePos = 0
+		if a.hook != nil {
+			a.hook(true, comp.None)
+		}
 	}
 	return d
 }
 
-// PolicyFactory validates spec once and returns a constructor that builds
+// RegisterMetrics exposes the controller's counters under prefix
+// ("ctrl2/transfers", "ctrl2/sampling_rounds", ...). The closures read the
+// same fields the accessors above read, so snapshot values always equal the
+// hand-queried ones.
+func (a *Adaptive) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/transfers", func() uint64 { return a.processed })
+	reg.CounterFunc(prefix+"/sampling_rounds", func() uint64 {
+		return uint64(len(a.selections))
+	})
+	reg.CounterFunc(prefix+"/bypass_rounds", func() uint64 {
+		n := uint64(0)
+		for _, alg := range a.selections {
+			if alg == comp.None {
+				n++
+			}
+		}
+		return n
+	})
+	reg.GaugeFunc(prefix+"/lambda", func() float64 { return a.cfg.Lambda })
+}
+
+// PolicyFactory validates id once and returns a constructor that builds
 // a fresh policy instance per compressing endpoint. Splitting validation
-// from construction lets callers surface the unknown-spec error where it
+// from construction lets callers surface the invalid-policy error where it
 // can propagate, instead of panicking inside a platform.Config.NewPolicy
 // closure that has no error path.
-func PolicyFactory(spec string, lambda float64) (func() Policy, error) {
-	switch spec {
-	case "none":
+func PolicyFactory(id PolicyID, lambda float64) (func() Policy, error) {
+	switch id {
+	case PolicyNone:
 		return func() Policy { return Uncompressed{} }, nil
-	case "fpc":
+	case PolicyFPC:
 		return func() Policy { return NewStatic(comp.FPC) }, nil
-	case "bdi":
+	case PolicyBDI:
 		return func() Policy { return NewStatic(comp.BDI) }, nil
-	case "cpackz":
+	case PolicyCPackZ:
 		return func() Policy { return NewStatic(comp.CPackZ) }, nil
-	case "adaptive":
+	case PolicyAdaptive:
 		return func() Policy { return NewAdaptive(Config{Lambda: lambda}) }, nil
-	case "dynamic":
+	case PolicyDynamic:
 		return func() Policy { return NewDynamicAdaptive(DynamicConfig{}) }, nil
 	default:
-		return nil, fmt.Errorf("core: unknown policy %q (want none|fpc|bdi|cpackz|adaptive|dynamic)", spec)
+		return nil, fmt.Errorf("core: invalid policy %v", id)
 	}
 }
 
-// PolicyFor builds the policy named by spec: "none", "fpc", "bdi", "cpackz",
-// or "adaptive" (with the given λ). It is the single entry point used by the
+// PolicyFor builds the policy selected by id (with the given λ for the
+// adaptive controller). It is the single entry point used by the
 // command-line tools.
-func PolicyFor(spec string, lambda float64) (Policy, error) {
-	factory, err := PolicyFactory(spec, lambda)
+func PolicyFor(id PolicyID, lambda float64) (Policy, error) {
+	factory, err := PolicyFactory(id, lambda)
 	if err != nil {
 		return nil, err
 	}

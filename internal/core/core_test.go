@@ -365,13 +365,38 @@ func TestAdaptiveDecisionRoundTrips(t *testing.T) {
 
 func TestPolicyFor(t *testing.T) {
 	for _, spec := range []string{"none", "fpc", "bdi", "cpackz", "adaptive"} {
-		p, err := PolicyFor(spec, 6)
+		id, err := ParsePolicy(spec)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", spec, err)
+		}
+		p, err := PolicyFor(id, 6)
 		if err != nil || p == nil {
 			t.Errorf("PolicyFor(%q) failed: %v", spec, err)
 		}
 	}
-	if _, err := PolicyFor("huffman", 6); err == nil {
+	if _, err := ParsePolicy("huffman"); err == nil {
 		t.Error("unknown policy accepted")
+	}
+	if _, err := PolicyFor(PolicyID(99), 6); err == nil {
+		t.Error("out-of-range policy accepted")
+	}
+}
+
+func TestPolicyIDRoundTrip(t *testing.T) {
+	for id := PolicyID(0); id < policyCount; id++ {
+		got, err := ParsePolicy(id.String())
+		if err != nil {
+			t.Errorf("ParsePolicy(%v.String()): %v", id, err)
+		}
+		if got != id {
+			t.Errorf("round trip %v -> %q -> %v", id, id.String(), got)
+		}
+	}
+	if PolicyID(99).Valid() {
+		t.Error("PolicyID(99) reported valid")
+	}
+	if PolicyID(-1).Valid() {
+		t.Error("PolicyID(-1) reported valid")
 	}
 }
 

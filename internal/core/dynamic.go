@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"mgpucompress/internal/metrics"
 )
 
 // This file implements the extension the paper leaves on the table in
@@ -126,4 +128,18 @@ func (d *DynamicAdaptive) recalibrate() {
 func (d *DynamicAdaptive) Selected() (alg fmt.Stringer, sampling bool) {
 	a, s := d.inner.Selected()
 	return a, s
+}
+
+// SetPhaseHook forwards the phase observer to the inner controller.
+func (d *DynamicAdaptive) SetPhaseHook(h PhaseHook) { d.inner.SetPhaseHook(h) }
+
+// RegisterMetrics exposes the inner controller's counters plus the
+// dynamic-λ recalibration count under prefix.
+func (d *DynamicAdaptive) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	d.inner.RegisterMetrics(reg, prefix)
+	reg.CounterFunc(prefix+"/recalibrations", func() uint64 {
+		// lambdaHist starts with the initial λ; only later entries are
+		// recalibrations.
+		return uint64(len(d.lambdaHist) - 1)
+	})
 }

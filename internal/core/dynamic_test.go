@@ -94,7 +94,7 @@ func TestDynamicAdaptiveDecisionsRoundTrip(t *testing.T) {
 }
 
 func TestPolicyForDynamic(t *testing.T) {
-	p, err := PolicyFor("dynamic", 0)
+	p, err := PolicyFor(PolicyDynamic, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,58 @@
+package core
+
+import "fmt"
+
+// PolicyID enumerates the compression policies the runner and CLIs can
+// select. It replaces the previous stringly-typed policy spec: string forms
+// exist only at flag and JSON boundaries, where ParsePolicy and String round
+// trip through the names below.
+type PolicyID int
+
+// The supported policies.
+const (
+	// PolicyNone ships every line raw (the paper's baseline).
+	PolicyNone PolicyID = iota
+	// PolicyFPC always runs FPC (static, Sec. VII-A1).
+	PolicyFPC
+	// PolicyBDI always runs BDI.
+	PolicyBDI
+	// PolicyCPackZ always runs C-Pack+Z.
+	PolicyCPackZ
+	// PolicyAdaptive is the paper's adaptive controller (Sec. V).
+	PolicyAdaptive
+	// PolicyDynamic is the dynamic-λ extension.
+	PolicyDynamic
+
+	policyCount // sentinel; keep last
+)
+
+var policyNames = [policyCount]string{
+	PolicyNone:     "none",
+	PolicyFPC:      "fpc",
+	PolicyBDI:      "bdi",
+	PolicyCPackZ:   "cpackz",
+	PolicyAdaptive: "adaptive",
+	PolicyDynamic:  "dynamic",
+}
+
+// Valid reports whether p is one of the declared policies.
+func (p PolicyID) Valid() bool { return p >= 0 && p < policyCount }
+
+// String returns the canonical lower-case name ParsePolicy accepts.
+func (p PolicyID) String() string {
+	if !p.Valid() {
+		return fmt.Sprintf("PolicyID(%d)", int(p))
+	}
+	return policyNames[p]
+}
+
+// ParsePolicy converts a policy name ("none", "fpc", "bdi", "cpackz",
+// "adaptive", "dynamic") to its PolicyID. It is the inverse of String.
+func ParsePolicy(s string) (PolicyID, error) {
+	for id, name := range policyNames {
+		if s == name {
+			return PolicyID(id), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown policy %q (want none|fpc|bdi|cpackz|adaptive|dynamic)", s)
+}

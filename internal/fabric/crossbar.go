@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/sim"
 	"mgpucompress/internal/trace"
 )
@@ -22,6 +23,9 @@ type Fabric interface {
 	// Utilization is busy time over elapsed time (for a crossbar, averaged
 	// over the output links).
 	Utilization(now sim.Time) float64
+	// RegisterMetrics exposes the fabric counters under prefix
+	// (conventionally "fabric"): bytes, messages, busy_cycles, links.
+	RegisterMetrics(reg *metrics.Registry, prefix string)
 }
 
 // Topology names a fabric implementation.
@@ -199,6 +203,15 @@ func (c *Crossbar) schedule(now sim.Time) {
 			break
 		}
 	}
+}
+
+// RegisterMetrics implements Fabric. The links gauge reads len(endpoints)
+// lazily, so registering before Plug still reports the final endpoint count.
+func (c *Crossbar) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/bytes", func() uint64 { return c.bytesSent })
+	reg.CounterFunc(prefix+"/messages", func() uint64 { return c.messagesSent })
+	reg.CounterFunc(prefix+"/busy_cycles", func() uint64 { return c.busyCycles })
+	reg.GaugeFunc(prefix+"/links", func() float64 { return float64(len(c.endpoints)) })
 }
 
 // TotalBytes implements Fabric.

@@ -9,6 +9,7 @@ package fabric
 import (
 	"fmt"
 
+	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/sim"
 	"mgpucompress/internal/trace"
 )
@@ -194,6 +195,15 @@ func (b *Bus) Utilization(now sim.Time) float64 {
 		return 0
 	}
 	return float64(b.BusyCycles) / float64(now)
+}
+
+// RegisterMetrics implements Fabric. A bus is a single shared link, so the
+// links gauge is constant 1 and busy_cycles/cycles is the utilization.
+func (b *Bus) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/bytes", func() uint64 { return b.BytesSent })
+	reg.CounterFunc(prefix+"/messages", func() uint64 { return b.MessagesSent })
+	reg.CounterFunc(prefix+"/busy_cycles", func() uint64 { return b.BusyCycles })
+	reg.GaugeFunc(prefix+"/links", func() float64 { return 1 })
 }
 
 // TotalBytes implements Fabric.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mgpucompress/internal/mem"
+	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/sim"
 )
 
@@ -73,6 +74,14 @@ type CU struct {
 	MemReadsIssued  uint64
 	MemWritesIssued uint64
 	ComputeCycles   uint64
+}
+
+// RegisterMetrics exposes the CU counters under prefix (e.g. "gpu0/cu_3").
+func (c *CU) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/wgs_retired", func() uint64 { return c.WGsRetired })
+	reg.CounterFunc(prefix+"/mem_reads_issued", func() uint64 { return c.MemReadsIssued })
+	reg.CounterFunc(prefix+"/mem_writes_issued", func() uint64 { return c.MemWritesIssued })
+	reg.CounterFunc(prefix+"/compute_cycles", func() uint64 { return c.ComputeCycles })
 }
 
 // NewCU builds a compute unit.

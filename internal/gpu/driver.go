@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"mgpucompress/internal/mem"
+	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/sim"
+	"mgpucompress/internal/trace"
 )
 
 // Control message sizes on the fabric, in bytes. Launch commands and
@@ -160,9 +162,19 @@ type Driver struct {
 	pendingDone int
 	launchErr   error
 
+	// Spans, when non-nil, receives one kernel-track span per launch.
+	Spans *trace.Recorder
+
 	// Stats
 	KernelsLaunched uint64
 	ArgBytesWritten uint64
+}
+
+// RegisterMetrics exposes the driver counters under prefix (conventionally
+// "driver").
+func (d *Driver) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/kernels_launched", func() uint64 { return d.KernelsLaunched })
+	reg.CounterFunc(prefix+"/arg_bytes_written", func() uint64 { return d.ArgBytesWritten })
 }
 
 // NewDriver builds the host driver.
@@ -263,6 +275,15 @@ func (d *Driver) Launch(k *Kernel) error {
 	}
 	if d.pendingDone != 0 {
 		return fmt.Errorf("gpu: kernel %q deadlocked with %d GPUs outstanding", k.Name, d.pendingDone)
+	}
+	if d.Spans != nil {
+		d.Spans.Record(trace.Span{
+			Track: "kernel",
+			Name:  k.Name,
+			Cat:   "kernel",
+			Start: now,
+			End:   d.engine.Now(),
+		})
 	}
 	return d.launchErr
 }

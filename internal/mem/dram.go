@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/sim"
 )
 
@@ -48,6 +49,13 @@ type DRAM struct {
 	// Stats
 	Reads  uint64
 	Writes uint64
+}
+
+// RegisterMetrics exposes the channel counters under prefix (e.g.
+// "gpu0/dram_1").
+func (d *DRAM) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/reads", func() uint64 { return d.Reads })
+	reg.CounterFunc(prefix+"/writes", func() uint64 { return d.Writes })
 }
 
 // NewDRAM builds a channel controller bound to space.

@@ -9,12 +9,15 @@ import (
 	"fmt"
 
 	"mgpucompress/internal/cache"
+	"mgpucompress/internal/comp"
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/fabric"
 	"mgpucompress/internal/gpu"
 	"mgpucompress/internal/mem"
+	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/rdma"
 	"mgpucompress/internal/sim"
+	"mgpucompress/internal/trace"
 )
 
 // Config parameterizes the platform. Zero fields take Table VII defaults at
@@ -45,6 +48,13 @@ type Config struct {
 	// like the L1s. Nil (the default) reproduces the paper's system,
 	// which does not cache remote data.
 	RemoteCache *cache.Config
+	// Metrics is the registry every component registers into at
+	// construction. Nil means the platform creates a private one, so
+	// CollectStats always works.
+	Metrics *metrics.Registry
+	// Spans, when non-nil, receives kernel launches and adaptive
+	// controller phases as trace spans.
+	Spans *trace.Recorder
 }
 
 // RemoteCacheConfig returns a reasonable L1.5 geometry for the extension:
@@ -105,7 +115,80 @@ type Platform struct {
 	Driver   *gpu.Driver
 	HostRDMA *rdma.Engine
 	GPUs     []*Device
-	cfg      Config
+	// Metrics is the registry holding every component's counters; it is
+	// never nil after New.
+	Metrics *metrics.Registry
+	// Spans is the trace recorder handed in via Config (nil when tracing
+	// is off).
+	Spans  *trace.Recorder
+	phases []*phaseTracker
+	cfg    Config
+}
+
+// phaseTracker turns a controller's phase-transition callbacks into
+// contiguous spans on one timeline track.
+type phaseTracker struct {
+	engine *sim.Engine
+	spans  *trace.Recorder
+	track  string
+	start  sim.Time
+	name   string
+}
+
+func (t *phaseTracker) transition(sampling bool, selected comp.Algorithm) {
+	now := t.engine.Now()
+	t.close(now)
+	t.start = now
+	if sampling {
+		t.name = "sampling"
+	} else {
+		t.name = "run:" + selected.String()
+	}
+}
+
+func (t *phaseTracker) close(now sim.Time) {
+	if t.name != "" && now > t.start {
+		t.spans.Record(trace.Span{
+			Track: t.track, Name: t.name, Cat: "phase",
+			Start: t.start, End: now,
+		})
+	}
+}
+
+// FinishTrace closes the still-open controller phase spans at the current
+// simulated time. Call it once, after the last kernel completes and before
+// exporting the trace.
+func (p *Platform) FinishTrace() {
+	now := p.Engine.Now()
+	for _, t := range p.phases {
+		t.close(now)
+		t.name = ""
+	}
+}
+
+// instrumentPolicy registers an adaptive controller's metrics under
+// ctrl<unit> and, when tracing, tracks its phases as spans.
+func (p *Platform) instrumentPolicy(unit int, pol core.Policy) {
+	type registrar interface {
+		RegisterMetrics(*metrics.Registry, string)
+	}
+	type hooked interface {
+		SetPhaseHook(core.PhaseHook)
+	}
+	prefix := fmt.Sprintf("ctrl%d", unit)
+	if r, ok := pol.(registrar); ok {
+		r.RegisterMetrics(p.Metrics, prefix)
+	}
+	if h, ok := pol.(hooked); ok && p.Spans != nil {
+		t := &phaseTracker{
+			engine: p.Engine,
+			spans:  p.Spans,
+			track:  prefix,
+			name:   "sampling", // adaptive controllers start sampling at t=0
+		}
+		p.phases = append(p.phases, t)
+		h.SetPhaseHook(t.transition)
+	}
 }
 
 // New builds and wires the platform.
@@ -142,19 +225,32 @@ func New(cfg Config) *Platform {
 		cfg.Recorder = rdma.NopRecorder{}
 	}
 
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+
 	p := &Platform{
-		Engine: sim.NewEngine(),
-		cfg:    cfg,
+		Engine:  sim.NewEngine(),
+		Metrics: cfg.Metrics,
+		Spans:   cfg.Spans,
+		cfg:     cfg,
 	}
 	p.Space = mem.NewSpace(cfg.NumGPUs)
 	p.Bus = fabric.New("Fabric", p.Engine, cfg.Fabric)
 	p.Driver = gpu.NewDriver("Driver", p.Engine, p.Space)
+	p.Driver.Spans = cfg.Spans
+
+	p.Engine.RegisterMetrics(p.Metrics, "sim")
+	p.Bus.RegisterMetrics(p.Metrics, "fabric")
+	p.Driver.RegisterMetrics(p.Metrics, "driver")
 
 	policy := func(unit int) core.Policy {
-		if cfg.NewPolicy == nil {
-			return core.Uncompressed{}
+		var pol core.Policy = core.Uncompressed{}
+		if cfg.NewPolicy != nil {
+			pol = cfg.NewPolicy(unit)
 		}
-		return cfg.NewPolicy(unit)
+		p.instrumentPolicy(unit, pol)
+		return pol
 	}
 
 	// Host RDMA: carries the driver's kernel-argument writes.
@@ -163,6 +259,7 @@ func New(cfg Config) *Platform {
 	p.HostRDMA.L2Router = func(addr uint64) *sim.Port {
 		panic(fmt.Sprintf("platform: request for address %#x routed into the host", addr))
 	}
+	p.HostRDMA.RegisterMetrics(p.Metrics, "host/rdma")
 
 	for g := 0; g < cfg.NumGPUs; g++ {
 		p.GPUs = append(p.GPUs, p.buildGPU(g, policy(g)))
@@ -214,17 +311,22 @@ func New(cfg Config) *Platform {
 func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 	cfg := p.cfg
 	name := fmt.Sprintf("GPU%d", g)
+	// mpfx is the GPU's metric-path prefix ("gpu0", "gpu1", ...).
+	mpfx := fmt.Sprintf("gpu%d", g)
 	dev := &Device{Index: g}
 
 	dev.RDMA = rdma.New(name+".RDMA", p.Engine, g, policy, cfg.Recorder)
 	dev.RDMA.OwnerOf = p.Space.GPUOf
+	dev.RDMA.RegisterMetrics(p.Metrics, mpfx+"/rdma")
 
 	// DRAM channels and L2 banks.
 	dramConn := sim.NewDirectConnection(name+".dram", p.Engine, 2)
 	for ch := 0; ch < cfg.L2Banks; ch++ {
 		d := mem.NewDRAM(fmt.Sprintf("%s.DRAM%d", name, ch), p.Engine, p.Space, cfg.DRAM)
+		d.RegisterMetrics(p.Metrics, fmt.Sprintf("%s/dram_%d", mpfx, ch))
 		dev.DRAMs = append(dev.DRAMs, d)
 		l2 := cache.New(fmt.Sprintf("%s.L2_%d", name, ch), p.Engine, p.Space, cfg.L2)
+		l2.RegisterMetrics(p.Metrics, fmt.Sprintf("%s/l2_%d", mpfx, ch))
 		dev.L2s = append(dev.L2s, l2)
 		dramConn.Plug(l2.Bottom)
 		dramConn.Plug(d.Top)
@@ -252,6 +354,9 @@ func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 		rcCfg := *cfg.RemoteCache
 		rcCfg.Cacheable = func(addr uint64) bool { return p.Space.GPUOf(addr) != g }
 		rc := cache.New(name+".L1_5", p.Engine, p.Space, rcCfg)
+		// Metric path "l15", not "l1_5": keeps the remote cache out of the
+		// "l1_*" glob that aggregates the per-CU L1s.
+		rc.RegisterMetrics(p.Metrics, mpfx+"/l15")
 		rc.Router = func(uint64) *sim.Port { return dev.RDMA.ToL1 }
 		xbar.Plug(rc.Top)
 		xbar.Plug(rc.Bottom)
@@ -265,6 +370,7 @@ func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 	l1cfg.Cacheable = func(addr uint64) bool { return p.Space.GPUOf(addr) == g }
 	for i := 0; i < cfg.CUsPerGPU; i++ {
 		l1 := cache.New(fmt.Sprintf("%s.L1_%d", name, i), p.Engine, p.Space, l1cfg)
+		l1.RegisterMetrics(p.Metrics, fmt.Sprintf("%s/l1_%d", mpfx, i))
 		l1.Router = func(addr uint64) *sim.Port {
 			if p.Space.GPUOf(addr) == g {
 				return dev.L2s[p.Space.ChannelOf(addr)].Top
@@ -273,6 +379,7 @@ func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 		}
 		xbar.Plug(l1.Bottom)
 		cu := gpu.NewCU(fmt.Sprintf("%s.CU%d", name, i), p.Engine, cfg.CU)
+		cu.RegisterMetrics(p.Metrics, fmt.Sprintf("%s/cu_%d", mpfx, i))
 		cuConn.Plug(cu.ToL1)
 		cuConn.Plug(l1.Top)
 		cu.SetL1(l1.Top)

@@ -3,33 +3,94 @@ package platform
 import (
 	"fmt"
 	"strings"
+
+	"mgpucompress/internal/metrics"
 )
 
 // Stats aggregates the platform's hardware counters after a run — the
 // hit rates, access counts and utilizations a simulator user reaches for
-// first when a number looks off.
+// first when a number looks off. It is a view over a metrics.Snapshot: every
+// field is derived from registry samples, so it can never disagree with a
+// -metrics-out file from the same run.
 type Stats struct {
-	ExecCycles uint64
+	ExecCycles uint64 `json:"exec_cycles"`
 
-	L1Hits, L1Misses, L1Coalesced, L1Bypassed uint64
-	L2Hits, L2Misses                          uint64
-	DRAMReads, DRAMWrites                     uint64
+	L1Hits      uint64 `json:"l1_hits"`
+	L1Misses    uint64 `json:"l1_misses"`
+	L1Coalesced uint64 `json:"l1_coalesced"`
+	L1Bypassed  uint64 `json:"l1_bypassed"`
+	L2Hits      uint64 `json:"l2_hits"`
+	L2Misses    uint64 `json:"l2_misses"`
+	DRAMReads   uint64 `json:"dram_reads"`
+	DRAMWrites  uint64 `json:"dram_writes"`
 
-	RDMAReadsSent, RDMAWritesSent     uint64
-	RDMAReadsServed, RDMAWritesServed uint64
+	RDMAReadsSent    uint64 `json:"rdma_reads_sent"`
+	RDMAWritesSent   uint64 `json:"rdma_writes_sent"`
+	RDMAReadsServed  uint64 `json:"rdma_reads_served"`
+	RDMAWritesServed uint64 `json:"rdma_writes_served"`
 
-	WGsRetired     uint64
-	MemOpsIssued   uint64
-	FabricBytes    uint64
-	FabricMessages uint64
-	FabricUtil     float64
+	WGsRetired     uint64  `json:"wgs_retired"`
+	MemOpsIssued   uint64  `json:"mem_ops_issued"`
+	FabricBytes    uint64  `json:"fabric_bytes"`
+	FabricMessages uint64  `json:"fabric_messages"`
+	FabricUtil     float64 `json:"fabric_util"`
 
-	RemoteCacheHits, RemoteCacheMisses uint64
-	HasRemoteCache                     bool
+	RemoteCacheHits   uint64 `json:"remote_cache_hits,omitempty"`
+	RemoteCacheMisses uint64 `json:"remote_cache_misses,omitempty"`
+	HasRemoteCache    bool   `json:"has_remote_cache,omitempty"`
 }
 
-// CollectStats gathers counters from every component.
+// StatsFromSnapshot derives the aggregate view from a metrics snapshot,
+// using the registry's hierarchical paths ("gpu1/l2_0/hits") via glob
+// aggregation.
+func StatsFromSnapshot(s metrics.Snapshot) Stats {
+	st := Stats{
+		ExecCycles: uint64(s.Value("sim/cycles")),
+
+		L1Hits:      uint64(s.SumMatch("gpu*/l1_*/hits")),
+		L1Misses:    uint64(s.SumMatch("gpu*/l1_*/misses")),
+		L1Coalesced: uint64(s.SumMatch("gpu*/l1_*/coalesced")),
+		L1Bypassed:  uint64(s.SumMatch("gpu*/l1_*/bypassed")),
+		L2Hits:      uint64(s.SumMatch("gpu*/l2_*/hits")),
+		L2Misses:    uint64(s.SumMatch("gpu*/l2_*/misses")),
+		DRAMReads:   uint64(s.SumMatch("gpu*/dram_*/reads")),
+		DRAMWrites:  uint64(s.SumMatch("gpu*/dram_*/writes")),
+
+		// "*/rdma/..." covers the per-GPU engines and the host engine.
+		RDMAReadsSent:    uint64(s.SumMatch("*/rdma/reads_sent")),
+		RDMAWritesSent:   uint64(s.SumMatch("*/rdma/writes_sent")),
+		RDMAReadsServed:  uint64(s.SumMatch("*/rdma/reads_served")),
+		RDMAWritesServed: uint64(s.SumMatch("*/rdma/writes_served")),
+
+		WGsRetired: uint64(s.SumMatch("gpu*/cu_*/wgs_retired")),
+		MemOpsIssued: uint64(s.SumMatch("gpu*/cu_*/mem_reads_issued") +
+			s.SumMatch("gpu*/cu_*/mem_writes_issued")),
+		FabricBytes:    uint64(s.Value("fabric/bytes")),
+		FabricMessages: uint64(s.Value("fabric/messages")),
+
+		RemoteCacheHits:   uint64(s.SumMatch("gpu*/l15/hits")),
+		RemoteCacheMisses: uint64(s.SumMatch("gpu*/l15/misses")),
+		HasRemoteCache:    s.CountMatch("gpu*/l15/hits") > 0,
+	}
+	// Same expression the fabrics use (busy/elapsed, averaged over links),
+	// with the divisions in the same order so the floats match bit for bit.
+	if cycles := s.Value("sim/cycles"); cycles > 0 {
+		if links := s.Value("fabric/links"); links > 0 {
+			st.FabricUtil = s.Value("fabric/busy_cycles") / cycles / links
+		}
+	}
+	return st
+}
+
+// CollectStats gathers the counters from the platform's metric registry.
 func (p *Platform) CollectStats() Stats {
+	return StatsFromSnapshot(p.Metrics.Snapshot())
+}
+
+// directStats walks the component structs and sums their counter fields —
+// the pre-registry aggregation path, kept as a test oracle proving the
+// snapshot view neither drops nor double counts anything.
+func (p *Platform) directStats() Stats {
 	s := Stats{
 		ExecCycles:     uint64(p.ExecCycles()),
 		FabricBytes:    p.Bus.TotalBytes(),

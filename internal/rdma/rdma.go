@@ -6,6 +6,7 @@ import (
 	"mgpucompress/internal/comp"
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/mem"
+	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/sim"
 	"mgpucompress/internal/stats"
 )
@@ -96,6 +97,25 @@ type Engine struct {
 type pendingRead struct {
 	req    *mem.ReadReq
 	issued sim.Time
+}
+
+// RegisterMetrics exposes the engine's counters under prefix (e.g.
+// "gpu2/rdma", "host/rdma"), plus the output-queue depth and the remote
+// read-latency distribution.
+func (e *Engine) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/reads_sent", func() uint64 { return e.ReadsSent })
+	reg.CounterFunc(prefix+"/writes_sent", func() uint64 { return e.WritesSent })
+	reg.CounterFunc(prefix+"/reads_served", func() uint64 { return e.ReadsServed })
+	reg.CounterFunc(prefix+"/writes_served", func() uint64 { return e.WritesServed })
+	reg.GaugeFunc(prefix+"/queue_depth", func() float64 { return float64(len(e.outQueue)) })
+	reg.DistributionFunc(prefix+"/read_latency", func() metrics.DistValue {
+		return metrics.DistValue{
+			Count: uint64(e.ReadLatency.Count()),
+			Sum:   e.ReadLatency.Sum(),
+			Min:   e.ReadLatency.Min(),
+			Max:   e.ReadLatency.Max(),
+		}
+	})
 }
 
 // New creates an RDMA engine for the given GPU index.

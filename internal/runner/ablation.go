@@ -29,7 +29,7 @@ func customAdaptiveKey(bench string, o ExpOptions, cfg core.Config) sweep.JobKey
 
 // adaptiveKey is the paper's adaptive controller at λ=6 under extra options.
 func adaptiveKey(bench string, opts Options) sweep.JobKey {
-	opts.Policy = "adaptive"
+	opts.Policy = core.PolicyAdaptive
 	opts.Lambda = core.DefaultLambda
 	return Key(bench, opts)
 }
@@ -124,11 +124,11 @@ func (s *Sweep) OnOffAblation(benches []string, o ExpOptions) ([]OnOffAblationRo
 			staticOpts := o.base()
 			switch alg {
 			case comp.FPC:
-				staticOpts.Policy = "fpc"
+				staticOpts.Policy = core.PolicyFPC
 			case comp.BDI:
-				staticOpts.Policy = "bdi"
+				staticOpts.Policy = core.PolicyBDI
 			case comp.CPackZ:
-				staticOpts.Policy = "cpackz"
+				staticOpts.Policy = core.PolicyCPackZ
 			}
 			keys = append(keys, Key(b, staticOpts))
 			keys = append(keys, customAdaptiveKey(b, o, core.Config{
@@ -260,7 +260,7 @@ func (s *Sweep) ExtensionAblation(benches []string, o ExpOptions) ([]ExtensionRo
 			Candidates: comp.ExtendedCompressors(),
 		}))
 		dynOpts := o.base()
-		dynOpts.Policy = "dynamic"
+		dynOpts.Policy = core.PolicyDynamic
 		keys = append(keys, Key(b, dynOpts))
 	}
 	ms, err := s.All(keys)
@@ -272,7 +272,7 @@ func (s *Sweep) ExtensionAblation(benches []string, o ExpOptions) ([]ExtensionRo
 	for i, b := range benches {
 		group := ms[i*stride : (i+1)*stride]
 		base := group[0]
-		norm := func(m *Metrics) (float64, float64) {
+		norm := func(m *Result) (float64, float64) {
 			return float64(m.FabricBytes) / float64(base.FabricBytes),
 				float64(m.ExecCycles) / float64(base.ExecCycles)
 		}
@@ -388,7 +388,7 @@ type RemoteCacheRow struct {
 // RemoteCacheAblation quantifies how the two bandwidth mechanisms compose:
 // the remote cache removes repeat transfers, compression shrinks the rest.
 func (s *Sweep) RemoteCacheAblation(benches []string, o ExpOptions) ([]RemoteCacheRow, error) {
-	variantKey := func(b, policy string, rc bool) sweep.JobKey {
+	variantKey := func(b string, policy core.PolicyID, rc bool) sweep.JobKey {
 		opts := o.base()
 		opts.Policy = policy
 		opts.Lambda = core.DefaultLambda
@@ -398,10 +398,10 @@ func (s *Sweep) RemoteCacheAblation(benches []string, o ExpOptions) ([]RemoteCac
 	var keys []sweep.JobKey
 	for _, b := range benches {
 		keys = append(keys,
-			variantKey(b, "none", false),
-			variantKey(b, "adaptive", false),
-			variantKey(b, "none", true),
-			variantKey(b, "adaptive", true))
+			variantKey(b, core.PolicyNone, false),
+			variantKey(b, core.PolicyAdaptive, false),
+			variantKey(b, core.PolicyNone, true),
+			variantKey(b, core.PolicyAdaptive, true))
 	}
 	ms, err := s.All(keys)
 	if err != nil {
@@ -412,7 +412,7 @@ func (s *Sweep) RemoteCacheAblation(benches []string, o ExpOptions) ([]RemoteCac
 	for i, b := range benches {
 		group := ms[i*stride : (i+1)*stride]
 		base := group[0]
-		norm := func(m *Metrics) (float64, float64) {
+		norm := func(m *Result) (float64, float64) {
 			return float64(m.ExecCycles) / float64(base.ExecCycles),
 				float64(m.FabricBytes) / float64(base.FabricBytes)
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mgpucompress/internal/comp"
+	"mgpucompress/internal/core"
 	"mgpucompress/internal/energy"
 	"mgpucompress/internal/fabric"
 	"mgpucompress/internal/workloads"
@@ -146,7 +147,7 @@ func TestExtensionAblation(t *testing.T) {
 
 func TestDynamicPolicyEndToEnd(t *testing.T) {
 	for _, b := range []string{"MT", "AES"} {
-		opts := Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: "dynamic"}
+		opts := Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: core.PolicyDynamic}
 		m, err := Run(b, opts)
 		if err != nil {
 			t.Fatalf("%s: %v", b, err)

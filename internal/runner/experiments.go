@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"mgpucompress/internal/comp"
+	"mgpucompress/internal/core"
 	"mgpucompress/internal/energy"
 	"mgpucompress/internal/stats"
 	"mgpucompress/internal/workloads"
@@ -15,10 +16,14 @@ import (
 type ExpOptions struct {
 	Scale     workloads.Scale
 	CUsPerGPU int
+	// Seed pins every job's input-generation seed (0 = derive each job's
+	// seed from its key fingerprint). Pinning changes the job fingerprints,
+	// so a seeded experiment never collides with an unseeded journal.
+	Seed int64
 }
 
 func (o ExpOptions) base() Options {
-	return Options{Scale: o.Scale, CUsPerGPU: o.CUsPerGPU}
+	return Options{Scale: o.Scale, CUsPerGPU: o.CUsPerGPU, Seed: o.Seed}
 }
 
 // ---------------------------------------------------------------------------
@@ -143,7 +148,7 @@ func FormatTableVI(rows []TableVIRow) string {
 // benchmark (the paper uses SC and FIR, n = 500) with per-codec compressed
 // sizes and per-transfer entropy.
 func (s *Sweep) Fig1(benchmark string, n int, o ExpOptions) (*stats.Series, error) {
-	m, err := s.Metrics(fig1Key(benchmark, n, o))
+	m, err := s.Result(fig1Key(benchmark, n, o))
 	if err != nil {
 		return nil, err
 	}
@@ -212,9 +217,9 @@ type NormalizedResult struct {
 	Energy    float64
 }
 
-// normalize folds one benchmark's (baseline, per-spec) metrics into the
+// normalize folds one benchmark's (baseline, per-spec) results into the
 // Fig. 5/6/7 bars.
-func normalize(benchmark string, specs []policySpec, base *Metrics, ms []*Metrics) []NormalizedResult {
+func normalize(benchmark string, specs []policySpec, base *Result, ms []*Result) []NormalizedResult {
 	out := make([]NormalizedResult, 0, len(specs))
 	for i, spec := range specs {
 		m := ms[i]
@@ -231,20 +236,20 @@ func normalize(benchmark string, specs []policySpec, base *Metrics, ms []*Metric
 
 type policySpec struct {
 	label  string
-	policy string
+	policy core.PolicyID
 	lambda float64
 }
 
 var staticSpecs = []policySpec{
-	{"FPC", "fpc", 0},
-	{"BDI", "bdi", 0},
-	{"C-Pack+Z", "cpackz", 0},
+	{"FPC", core.PolicyFPC, 0},
+	{"BDI", core.PolicyBDI, 0},
+	{"C-Pack+Z", core.PolicyCPackZ, 0},
 }
 
 var adaptiveSpecs = []policySpec{
-	{"Adaptive λ=0", "adaptive", 0},
-	{"Adaptive λ=6", "adaptive", 6},
-	{"Adaptive λ=32", "adaptive", 32},
+	{"Adaptive λ=0", core.PolicyAdaptive, 0},
+	{"Adaptive λ=6", core.PolicyAdaptive, 6},
+	{"Adaptive λ=32", core.PolicyAdaptive, 32},
 }
 
 // Fig5 measures inter-GPU traffic and execution time for the static

@@ -1,0 +1,114 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mgpucompress/internal/trace"
+)
+
+// This file is the observability export surface: it turns a Result (or a
+// whole Sweep) into the -metrics-out and -trace-out artifacts. Both formats
+// are deterministic — a sweep exported at jobs=1 and jobs=16, or exported
+// twice, produces byte-identical files — because snapshots are sorted by
+// metric path and completed jobs are listed in canonical key order.
+
+// TraceProcess folds the run's span timeline — controller phases, kernels,
+// workload stages, and (in Trace mode) fabric transfers — into one Chrome
+// trace process.
+func (m *Result) TraceProcess(name string) trace.Process {
+	p := trace.Process{Name: name}
+	if m.Spans != nil {
+		p.Spans = append(p.Spans, m.Spans.Spans()...)
+	}
+	if m.TraceLog != nil {
+		p.Spans = append(p.Spans, m.TraceLog.Spans()...)
+	}
+	return p
+}
+
+// WriteTrace exports the run as Chrome trace-event JSON (load it at
+// chrome://tracing or ui.perfetto.dev).
+func (m *Result) WriteTrace(w io.Writer) error {
+	return trace.ExportChrome(w, []trace.Process{m.TraceProcess(m.Workload)})
+}
+
+// WriteMetrics exports the run's full metric snapshot as sorted JSON.
+func (m *Result) WriteMetrics(w io.Writer) error { return m.Snapshot.WriteJSON(w) }
+
+// WriteTraceFile is WriteTrace to a file path.
+func (m *Result) WriteTraceFile(path string) error {
+	return writeFile(path, m.WriteTrace)
+}
+
+// WriteMetricsFile is WriteMetrics to a file path.
+func (m *Result) WriteMetricsFile(path string) error {
+	return writeFile(path, m.WriteMetrics)
+}
+
+// sweepMetricsEntry is one completed job in a sweep metrics file.
+type sweepMetricsEntry struct {
+	Key         string          `json:"key"`
+	Fingerprint string          `json:"fingerprint"`
+	Snapshot    json.RawMessage `json:"snapshot"`
+}
+
+// WriteMetrics exports every completed job's snapshot, ordered by canonical
+// key. The bytes are a pure function of the completed job set: scheduling,
+// worker count and cache hits leave no imprint.
+func (s *Sweep) WriteMetrics(w io.Writer) error {
+	jobs := s.Completed()
+	entries := make([]sweepMetricsEntry, 0, len(jobs))
+	for _, j := range jobs {
+		snap, err := json.MarshalIndent(j.Result.Snapshot, "    ", "  ")
+		if err != nil {
+			return err
+		}
+		entries = append(entries, sweepMetricsEntry{
+			Key:         j.Key.Canonical(),
+			Fingerprint: j.Key.Fingerprint(),
+			Snapshot:    snap,
+		})
+	}
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// WriteTrace exports every completed job as one Chrome trace process named
+// by its canonical key, in canonical order.
+func (s *Sweep) WriteTrace(w io.Writer) error {
+	jobs := s.Completed()
+	procs := make([]trace.Process, 0, len(jobs))
+	for _, j := range jobs {
+		procs = append(procs, j.Result.TraceProcess(j.Key.Canonical()))
+	}
+	return trace.ExportChrome(w, procs)
+}
+
+// WriteMetricsFile is WriteMetrics to a file path.
+func (s *Sweep) WriteMetricsFile(path string) error {
+	return writeFile(path, s.WriteMetrics)
+}
+
+// WriteTraceFile is WriteTrace to a file path.
+func (s *Sweep) WriteTraceFile(path string) error {
+	return writeFile(path, s.WriteTrace)
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return fmt.Errorf("runner: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"mgpucompress/internal/core"
+	"mgpucompress/internal/sweep"
+	"mgpucompress/internal/workloads"
+)
+
+func exportKeys() []sweep.JobKey {
+	var keys []sweep.JobKey
+	for _, b := range []string{"MT", "FIR"} {
+		for _, pol := range []core.PolicyID{core.PolicyNone, core.PolicyAdaptive} {
+			keys = append(keys, Key(b, Options{
+				Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: pol, Lambda: 6,
+			}))
+		}
+	}
+	return keys
+}
+
+func sweepMetricsBytes(t *testing.T, jobs int) []byte {
+	t.Helper()
+	s := NewSweep(SweepConfig{Jobs: jobs})
+	if err := s.Prefetch(exportKeys()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepMetricsExportDeterministic is the artifact-determinism gate: the
+// metrics file is byte-identical whether the sweep ran serially, in
+// parallel, or in another process entirely.
+func TestSweepMetricsExportDeterministic(t *testing.T) {
+	serial := sweepMetricsBytes(t, 1)
+	parallel := sweepMetricsBytes(t, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Error("sweep metrics differ between jobs=1 and jobs=4")
+	}
+	rerun := sweepMetricsBytes(t, 4)
+	if !bytes.Equal(parallel, rerun) {
+		t.Error("sweep metrics differ between identical reruns")
+	}
+	// The file must parse back and list jobs in canonical order.
+	var entries []struct {
+		Key         string          `json:"key"`
+		Fingerprint string          `json:"fingerprint"`
+		Snapshot    json.RawMessage `json:"snapshot"`
+	}
+	if err := json.Unmarshal(serial, &entries); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if len(entries) != len(exportKeys()) {
+		t.Fatalf("exported %d jobs, want %d", len(entries), len(exportKeys()))
+	}
+	if !sort.SliceIsSorted(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key }) {
+		t.Error("exported jobs are not in canonical key order")
+	}
+}
+
+// TestResultExports checks the single-run export surface: a sorted snapshot
+// and a Chrome-loadable trace with the expected span categories.
+func TestResultExports(t *testing.T) {
+	m, err := Run("FIR", Options{
+		Scale: workloads.ScaleTiny, CUsPerGPU: 2,
+		Policy: core.PolicyAdaptive, Lambda: 6, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mbuf bytes.Buffer
+	if err := m.WriteMetrics(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	var samples []struct {
+		Path string `json:"path"`
+	}
+	if err := json.Unmarshal(mbuf.Bytes(), &samples); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	if !sort.SliceIsSorted(samples, func(i, j int) bool { return samples[i].Path < samples[j].Path }) {
+		t.Error("snapshot paths are not sorted")
+	}
+	paths := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		paths[s.Path] = true
+	}
+	for _, want := range []string{
+		"sim/cycles", "fabric/bytes", "traffic/remote_reads",
+		"energy/fabric_pj", "energy/codec_pj", "ctrl0/sampling_rounds",
+	} {
+		if !paths[want] {
+			t.Errorf("snapshot is missing %q", want)
+		}
+	}
+
+	var tbuf bytes.Buffer
+	if err := m.WriteTrace(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			Cat   string `json:"cat,omitempty"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tbuf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace file is not valid Chrome JSON: %v", err)
+	}
+	cats := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			cats[ev.Cat]++
+		}
+	}
+	for _, want := range []string{"kernel", "phase", "stage", "transfer"} {
+		if cats[want] == 0 {
+			t.Errorf("trace has no %q spans (got %v)", want, cats)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/energy"
 	"mgpucompress/internal/fabric"
+	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/platform"
 	"mgpucompress/internal/stats"
 	"mgpucompress/internal/trace"
@@ -24,8 +25,9 @@ type Options struct {
 	Scale workloads.Scale
 	// CUsPerGPU overrides the platform CU count (0 = default).
 	CUsPerGPU int
-	// Policy is one of "none", "fpc", "bdi", "cpackz", "adaptive".
-	Policy string
+	// Policy selects the compression policy (zero value = PolicyNone).
+	// CLIs parse user strings with core.ParsePolicy at the flag boundary.
+	Policy core.PolicyID
 	// Lambda is the adaptive λ.
 	Lambda float64
 	// Characterize additionally runs every codec on every transferred
@@ -62,52 +64,102 @@ type Options struct {
 	Seed int64
 }
 
-// CodecStats aggregates one codec's behaviour over all transferred lines.
-type CodecStats struct {
-	CompressedBytes uint64
-	Patterns        comp.PatternHistogram
+// Validate reports the first configuration error, consolidating the checks
+// that used to be scattered across Run, the CLIs and the sweep layer. A zero
+// Options is valid.
+func (o Options) Validate() error {
+	if o.Scale < 0 {
+		return fmt.Errorf("negative workload scale %d", o.Scale)
+	}
+	if !o.Policy.Valid() {
+		return fmt.Errorf("invalid policy %v", o.Policy)
+	}
+	if o.Lambda < 0 {
+		return fmt.Errorf("negative lambda %g", o.Lambda)
+	}
+	if o.CUsPerGPU < 0 {
+		return fmt.Errorf("negative CUs per GPU %d", o.CUsPerGPU)
+	}
+	if o.NumGPUs != 0 && o.NumGPUs < 2 {
+		return fmt.Errorf("NumGPUs = %d: a multi-GPU system needs at least 2", o.NumGPUs)
+	}
+	if o.SeriesLimit < 0 {
+		return fmt.Errorf("negative series limit %d", o.SeriesLimit)
+	}
+	if o.FabricBytesPerCycle < 0 {
+		return fmt.Errorf("negative fabric bytes/cycle %d", o.FabricBytesPerCycle)
+	}
+	switch o.Topology {
+	case "", fabric.TopologyBus, fabric.TopologyCrossbar:
+	default:
+		return fmt.Errorf("unknown topology %q", o.Topology)
+	}
+	if o.Link < energy.OnChip || o.Link > energy.Node {
+		return fmt.Errorf("invalid link class %d", o.Link)
+	}
+	if o.Adaptive != nil && o.Policy != core.PolicyNone && o.Policy != core.PolicyAdaptive {
+		return fmt.Errorf("Adaptive config conflicts with policy %v", o.Policy)
+	}
+	return nil
 }
 
-// Metrics is the result of one run.
-type Metrics struct {
-	Workload string
-	Policy   string
+// CodecStats aggregates one codec's behaviour over all transferred lines.
+type CodecStats struct {
+	CompressedBytes uint64                `json:"compressed_bytes"`
+	Patterns        comp.PatternHistogram `json:"patterns"`
+}
 
-	ExecCycles  uint64
-	FabricBytes uint64 // everything on the bus, headers and control included
-	Traffic     stats.Traffic
+// Result is the outcome of one run: the paper-facing measurements, the
+// aggregated platform counters, and the full metrics snapshot they are
+// views over.
+type Result struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+
+	ExecCycles  uint64        `json:"exec_cycles"`
+	FabricBytes uint64        `json:"fabric_bytes"` // everything on the bus, headers and control included
+	Traffic     stats.Traffic `json:"traffic"`
 
 	// CodecEnergyPJ is the compression-hardware energy actually spent by
 	// the policy; FabricEnergyPJ is the link transfer energy.
-	CodecEnergyPJ  float64
-	FabricEnergyPJ float64
+	CodecEnergyPJ  float64 `json:"codec_energy_pj"`
+	FabricEnergyPJ float64 `json:"fabric_energy_pj"`
 
 	// PerCodec holds characterization results (Characterize mode).
-	PerCodec map[comp.Algorithm]*CodecStats
+	PerCodec map[comp.Algorithm]*CodecStats `json:"per_codec,omitempty"`
 
 	// Series is the Fig. 1 time series (SeriesLimit mode).
-	Series *stats.Series
+	Series *stats.Series `json:"series,omitempty"`
 
 	// ReadLatency aggregates the end-to-end remote read latency (cycles)
-	// across every RDMA engine.
-	ReadLatency stats.Histogram
+	// across every RDMA engine. In-memory only: the sample list is too
+	// large to journal, and its aggregates live in the snapshot
+	// ("*/rdma/read_latency").
+	ReadLatency stats.Histogram `json:"-"`
 
-	// TraceLog holds the fabric transfer timeline (Trace mode).
-	TraceLog *trace.Log
+	// TraceLog holds the fabric transfer timeline (Trace mode) and Spans
+	// the phase/kernel/workload span timeline. Both export to Chrome trace
+	// JSON via WriteTraceFile; neither is journaled.
+	TraceLog *trace.Log      `json:"-"`
+	Spans    *trace.Recorder `json:"-"`
 
 	// Platform holds the aggregated hardware counters of the run.
-	Platform platform.Stats
+	Platform platform.Stats `json:"platform"`
+
+	// Snapshot is the full metric registry at end of run, sorted by path.
+	// Platform (and every other aggregate) is derived from it.
+	Snapshot metrics.Snapshot `json:"snapshot,omitempty"`
 }
 
 // TotalEnergyPJ is the Fig. 7 quantity: fabric plus codec energy.
-func (m *Metrics) TotalEnergyPJ() float64 { return m.FabricEnergyPJ + m.CodecEnergyPJ }
+func (m *Result) TotalEnergyPJ() float64 { return m.FabricEnergyPJ + m.CodecEnergyPJ }
 
 // CompressionRatio returns the achieved payload compression ratio.
-func (m *Metrics) CompressionRatio() float64 { return m.Traffic.CompressionRatio() }
+func (m *Result) CompressionRatio() float64 { return m.Traffic.CompressionRatio() }
 
 // CodecRatio returns the characterization compression ratio for one codec
 // (Table V columns).
-func (m *Metrics) CodecRatio(alg comp.Algorithm) float64 {
+func (m *Result) CodecRatio(alg comp.Algorithm) float64 {
 	cs, ok := m.PerCodec[alg]
 	if !ok || cs.CompressedBytes == 0 {
 		return 1
@@ -139,6 +191,17 @@ func newRecorder(opts Options) *recorder {
 	return r
 }
 
+// registerMetrics publishes the recorder's traffic accounting under
+// "traffic/*" so the snapshot carries the paper's Table V quantities.
+func (r *recorder) registerMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("traffic/remote_reads", func() uint64 { return r.traffic.RemoteReads })
+	reg.CounterFunc("traffic/remote_writes", func() uint64 { return r.traffic.RemoteWrites })
+	reg.CounterFunc("traffic/header_bytes", func() uint64 { return r.traffic.HeaderBytes })
+	reg.CounterFunc("traffic/payload_bytes", func() uint64 { return r.traffic.PayloadBytes })
+	reg.CounterFunc("traffic/uncompressed_payload_bytes", func() uint64 { return r.traffic.UncompressedPayloadBytes })
+	reg.CounterFunc("traffic/messages", func() uint64 { return r.traffic.Messages })
+}
+
 func (r *recorder) RemoteRead(int)  { r.traffic.RemoteReads++ }
 func (r *recorder) RemoteWrite(int) { r.traffic.RemoteWrites++ }
 func (r *recorder) Header(n int)    { r.traffic.HeaderBytes += uint64(n) }
@@ -159,14 +222,13 @@ func (r *recorder) Payload(line []byte, d core.Decision) {
 	}
 }
 
-// Run executes the named workload under the options and returns the
-// metrics.
-func Run(abbrev string, opts Options) (*Metrics, error) {
+// Run executes the named workload under the options and returns the result.
+func Run(abbrev string, opts Options) (*Result, error) {
 	if opts.Scale == 0 {
 		opts.Scale = workloads.ScaleSmall
 	}
-	if opts.Policy == "" {
-		opts.Policy = "none"
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("runner: %s: %w", abbrev, err)
 	}
 	w, err := workloads.ByAbbrev(abbrev, opts.Scale)
 	if err != nil {
@@ -178,8 +240,14 @@ func Run(abbrev string, opts Options) (*Metrics, error) {
 		}
 	}
 
+	reg := metrics.NewRegistry()
+	spans := &trace.Recorder{}
 	rec := newRecorder(opts)
+	rec.registerMetrics(reg)
+
 	cfg := platform.DefaultConfig()
+	cfg.Metrics = reg
+	cfg.Spans = spans
 	if opts.CUsPerGPU > 0 {
 		cfg.CUsPerGPU = opts.CUsPerGPU
 	}
@@ -205,9 +273,9 @@ func Run(abbrev string, opts Options) (*Metrics, error) {
 	if opts.Adaptive != nil {
 		acfg := *opts.Adaptive
 		cfg.NewPolicy = func(int) core.Policy { return core.NewAdaptive(acfg) }
-	} else if opts.Policy != "none" {
-		// Validate the spec here, where the error can propagate; the
-		// factory itself cannot fail per endpoint.
+	} else if opts.Policy != core.PolicyNone {
+		// Validate already vetted the ID; the factory cannot fail per
+		// endpoint.
 		newPolicy, err := core.PolicyFactory(opts.Policy, opts.Lambda)
 		if err != nil {
 			return nil, fmt.Errorf("runner: %s: %w", abbrev, err)
@@ -216,19 +284,40 @@ func Run(abbrev string, opts Options) (*Metrics, error) {
 	}
 	p := platform.New(cfg)
 
-	if err := w.Setup(p); err != nil {
+	link := opts.Link
+	if link == energy.OnChip {
+		// The zero value selects the paper's MCM fabric (Sec. VII-B).
+		link = energy.MCM
+	}
+	// Lazily evaluated at snapshot time, after the run has accumulated.
+	reg.GaugeFunc("energy/fabric_pj", func() float64 {
+		return float64(p.Bus.TotalBytes()*8) * link.PJPerBit()
+	})
+	reg.GaugeFunc("energy/codec_pj", func() float64 { return rec.energy })
+
+	stage := func(name string, fn func(*platform.Platform) error) error {
+		start := p.Engine.Now()
+		err := fn(p)
+		spans.Record(trace.Span{
+			Track: "workload", Name: name, Cat: "stage",
+			Start: start, End: p.Engine.Now(),
+		})
+		return err
+	}
+	if err := stage("setup", w.Setup); err != nil {
 		return nil, fmt.Errorf("runner: %s setup: %w", abbrev, err)
 	}
-	if err := w.Run(p); err != nil {
+	if err := stage("run", w.Run); err != nil {
 		return nil, fmt.Errorf("runner: %s run: %w", abbrev, err)
 	}
-	if err := w.Verify(p); err != nil {
+	if err := stage("verify", w.Verify); err != nil {
 		return nil, fmt.Errorf("runner: %s verify: %w", abbrev, err)
 	}
+	p.FinishTrace()
 
-	m := &Metrics{
+	m := &Result{
 		Workload:      abbrev,
-		Policy:        opts.Policy,
+		Policy:        opts.Policy.String(),
 		ExecCycles:    uint64(p.ExecCycles()),
 		FabricBytes:   p.Bus.TotalBytes(),
 		Traffic:       rec.traffic,
@@ -236,18 +325,17 @@ func Run(abbrev string, opts Options) (*Metrics, error) {
 		PerCodec:      rec.per,
 		Series:        rec.series,
 		TraceLog:      traceLog,
-	}
-	link := opts.Link
-	if link == energy.OnChip {
-		// The zero value selects the paper's MCM fabric (Sec. VII-B).
-		link = energy.MCM
+		Spans:         spans,
 	}
 	m.FabricEnergyPJ = float64(m.FabricBytes*8) * link.PJPerBit()
 	for _, dev := range p.GPUs {
 		m.ReadLatency.Merge(&dev.RDMA.ReadLatency)
 	}
 	m.ReadLatency.Merge(&p.HostRDMA.ReadLatency)
-	m.Platform = p.CollectStats()
+	// One snapshot feeds every aggregate view, so the journal, the stats
+	// report and a -metrics-out file can never disagree.
+	m.Snapshot = reg.Snapshot()
+	m.Platform = platform.StatsFromSnapshot(m.Snapshot)
 	return m, nil
 }
 

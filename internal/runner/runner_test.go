@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mgpucompress/internal/comp"
+	"mgpucompress/internal/core"
 	"mgpucompress/internal/workloads"
 )
 
@@ -14,7 +15,7 @@ func tinyOpts() ExpOptions {
 }
 
 func TestRunProducesMetrics(t *testing.T) {
-	m, err := Run("MT", Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: "bdi"})
+	m, err := Run("MT", Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: core.PolicyBDI})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestCompressionReducesRemoteReadLatencyUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bdi, err := Run("SC", Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: "bdi"})
+	bdi, err := Run("SC", Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: core.PolicyBDI})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +399,7 @@ func TestPolicyNamesAndPick(t *testing.T) {
 // requests, responses and control messages implied by the RDMA counters
 // and the kernel count.
 func TestFabricMessageConservation(t *testing.T) {
-	m, err := Run("MT", Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: "bdi", Trace: true})
+	m, err := Run("MT", Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: core.PolicyBDI, Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package runner
 import (
 	"testing"
 
+	"mgpucompress/internal/core"
 	"mgpucompress/internal/workloads"
 )
 
@@ -12,7 +13,7 @@ func TestWorkloadsAcrossGPUCounts(t *testing.T) {
 	for _, n := range []int{2, 8} {
 		for _, b := range Benchmarks() {
 			opts := Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, NumGPUs: n,
-				Policy: "adaptive", Lambda: 6}
+				Policy: core.PolicyAdaptive, Lambda: 6}
 			if _, err := Run(b, opts); err != nil {
 				t.Errorf("%s at %d GPUs: %v", b, n, err)
 			}

@@ -46,7 +46,7 @@ func TestSweepJobsSeedFromFingerprint(t *testing.T) {
 	}
 	run := func() []byte {
 		s := NewSweep(SweepConfig{Jobs: 1})
-		m, err := s.Metrics(k)
+		m, err := s.Result(k)
 		if err != nil {
 			t.Fatal(err)
 		}

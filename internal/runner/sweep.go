@@ -27,28 +27,35 @@ type SweepConfig struct {
 	Journal io.Writer
 	// OnProgress is called after every completed job.
 	OnProgress func(sweep.Progress)
+	// Trace records fabric transfers on every job for WriteTraceFile.
+	// It is applied when a job executes, after key normalization, so it
+	// never perturbs fingerprints (tracing is measurement-only).
+	Trace bool
 }
 
 // Sweep schedules simulation jobs through the orchestration engine.
 type Sweep struct {
-	eng *sweep.Engine[*Metrics]
+	eng   *sweep.Engine[*Result]
+	trace bool
 }
 
 // NewSweep builds a sweep session.
 func NewSweep(cfg SweepConfig) *Sweep {
-	return &Sweep{eng: sweep.New(sweep.Config[*Metrics]{
+	s := &Sweep{trace: cfg.Trace}
+	s.eng = sweep.New(sweep.Config[*Result]{
 		Workers:    cfg.Jobs,
-		Run:        executeJob,
+		Run:        s.executeJob,
 		Journal:    cfg.Journal,
 		OnProgress: cfg.OnProgress,
-	})}
+	})
+	return s
 }
 
-// Metrics returns the (memoized) metrics for one job.
-func (s *Sweep) Metrics(k sweep.JobKey) (*Metrics, error) { return s.eng.Get(k) }
+// Result returns the (memoized) result for one job.
+func (s *Sweep) Result(k sweep.JobKey) (*Result, error) { return s.eng.Get(k) }
 
 // All runs the keys across the worker pool, returning results in key order.
-func (s *Sweep) All(keys []sweep.JobKey) ([]*Metrics, error) { return s.eng.GetAll(keys) }
+func (s *Sweep) All(keys []sweep.JobKey) ([]*Result, error) { return s.eng.GetAll(keys) }
 
 // Prefetch warms the cache with the keys (the parallel phase of
 // cmd/reproduce; artifact assembly afterwards is pure cache hits).
@@ -61,13 +68,17 @@ func (s *Sweep) Resume(r io.Reader) (int, error) { return s.eng.Resume(r) }
 // Stats snapshots the engine counters.
 func (s *Sweep) Stats() sweep.Progress { return s.eng.Stats() }
 
+// Completed lists every finished job with its key, sorted by canonical form
+// (independent of scheduling), for the metrics/trace exporters.
+func (s *Sweep) Completed() []sweep.CompletedJob[*Result] { return s.eng.Completed() }
+
 // Key builds the normalized JobKey for one benchmark run under the options.
-// Normalization (empty policy, zero scale, the OnChip→MCM link default)
-// keeps equal runs on equal fingerprints no matter how callers spell them.
+// Normalization (zero scale, the OnChip→MCM link default) keeps equal runs
+// on equal fingerprints no matter how callers spell them.
 func Key(bench string, opts Options) sweep.JobKey {
 	k := sweep.JobKey{
 		Workload:            bench,
-		Policy:              opts.Policy,
+		Policy:              opts.Policy.String(),
 		Lambda:              opts.Lambda,
 		Scale:               int(opts.Scale),
 		CUsPerGPU:           opts.CUsPerGPU,
@@ -78,18 +89,16 @@ func Key(bench string, opts Options) sweep.JobKey {
 		FabricBytesPerCycle: opts.FabricBytesPerCycle,
 		Characterize:        opts.Characterize,
 		SeriesLimit:         opts.SeriesLimit,
+		SeedOverride:        opts.Seed,
 	}
 	if opts.Adaptive != nil {
-		k.Policy = "adaptive"
+		k.Policy = core.PolicyAdaptive.String()
 		k.Lambda = opts.Adaptive.Lambda
 		k.SampleCount = opts.Adaptive.SampleCount
 		k.RunLength = opts.Adaptive.RunLength
 		for _, c := range opts.Adaptive.Candidates {
 			k.Candidates = append(k.Candidates, c.Algorithm().String())
 		}
-	}
-	if k.Policy == "" {
-		k.Policy = "none"
 	}
 	if k.Scale == 0 {
 		k.Scale = int(workloads.ScaleSmall)
@@ -101,11 +110,15 @@ func Key(bench string, opts Options) sweep.JobKey {
 }
 
 // executeJob is the engine's run function: the inverse of Key.
-func executeJob(k sweep.JobKey) (*Metrics, error) {
+func (s *Sweep) executeJob(k sweep.JobKey) (*Result, error) {
+	pol, err := core.ParsePolicy(k.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("runner: job %s: %w", k.Fingerprint(), err)
+	}
 	opts := Options{
 		Scale:               workloads.Scale(k.Scale),
 		CUsPerGPU:           k.CUsPerGPU,
-		Policy:              k.Policy,
+		Policy:              pol,
 		Lambda:              k.Lambda,
 		Characterize:        k.Characterize,
 		SeriesLimit:         k.SeriesLimit,
@@ -114,10 +127,14 @@ func executeJob(k sweep.JobKey) (*Metrics, error) {
 		RemoteCache:         k.RemoteCache,
 		NumGPUs:             k.NumGPUs,
 		FabricBytesPerCycle: k.FabricBytesPerCycle,
-		// The seed is derived from the key's fingerprint, not a key
-		// dimension: equal jobs always generate identical inputs, and
-		// distinct jobs draw from domain-separated streams.
+		// The seed is derived from the key's fingerprint (or pinned by
+		// SeedOverride), not a scheduling artifact: equal jobs always
+		// generate identical inputs, and distinct jobs draw from
+		// domain-separated streams.
 		Seed: k.Seed(),
+		// Tracing is a sweep-level switch, applied after normalization so
+		// it never reaches the fingerprint.
+		Trace: s.trace,
 	}
 	if k.SampleCount > 0 || k.RunLength > 0 || len(k.Candidates) > 0 {
 		cands, err := compressorsFor(k.Candidates)

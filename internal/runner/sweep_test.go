@@ -17,14 +17,14 @@ func tinySweep(jobs int) *Sweep {
 func TestKeyNormalization(t *testing.T) {
 	// Every spelling of "the default baseline run" must share a fingerprint.
 	bare := Key("SC", Options{})
-	spelled := Key("SC", Options{Policy: "none", Scale: workloads.ScaleSmall, Link: energy.MCM})
+	spelled := Key("SC", Options{Policy: core.PolicyNone, Scale: workloads.ScaleSmall, Link: energy.MCM})
 	if bare.Fingerprint() != spelled.Fingerprint() {
 		t.Fatalf("default-run spellings diverge:\n  %s\n  %s", bare.Canonical(), spelled.Canonical())
 	}
 
 	// An adaptive run via the policy string and via a default-geometry custom
 	// config are the same simulation, so they must share a key.
-	viaPolicy := Key("SC", Options{Policy: "adaptive", Lambda: 6})
+	viaPolicy := Key("SC", Options{Policy: core.PolicyAdaptive, Lambda: 6})
 	viaConfig := Key("SC", Options{Adaptive: &core.Config{Lambda: 6}})
 	if viaPolicy.Fingerprint() != viaConfig.Fingerprint() {
 		t.Fatalf("adaptive spellings diverge:\n  %s\n  %s",
@@ -156,7 +156,7 @@ func TestSweepResumeSkipsFinishedJobs(t *testing.T) {
 
 	// A fresh process resuming from the journal must rebuild Table V from
 	// the JSONL records alone — zero re-simulation, identical bytes. This
-	// exercises the full Metrics JSON round trip (histograms included).
+	// exercises the full Result JSON round trip (histograms included).
 	second := tinySweep(4)
 	loaded, err := second.Resume(bytes.NewReader(journal.Bytes()))
 	if err != nil {
@@ -177,11 +177,11 @@ func TestSweepResumeSkipsFinishedJobs(t *testing.T) {
 	}
 }
 
-func TestMetricsJSONRoundTripStable(t *testing.T) {
-	// The journal stores Metrics as JSON; resume feeds them back through the
+func TestResultJSONRoundTripStable(t *testing.T) {
+	// The journal stores Result as JSON; resume feeds them back through the
 	// same formatters. marshal(unmarshal(marshal(m))) must equal marshal(m)
 	// or resumed artifacts would drift from simulated ones.
-	m, err := Run("MT", Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: "adaptive", Characterize: true})
+	m, err := Run("MT", Options{Scale: workloads.ScaleTiny, CUsPerGPU: 2, Policy: core.PolicyAdaptive, Characterize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestMetricsJSONRoundTripStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var back Metrics
+	var back Result
 	if err := json.Unmarshal(first, &back); err != nil {
 		t.Fatal(err)
 	}
@@ -198,6 +198,6 @@ func TestMetricsJSONRoundTripStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(first, second) {
-		t.Fatalf("Metrics JSON not stable under round trip:\n%s\n---\n%s", first, second)
+		t.Fatalf("Result JSON not stable under round trip:\n%s\n---\n%s", first, second)
 	}
 }

@@ -1,0 +1,59 @@
+package runner
+
+import (
+	"testing"
+
+	"mgpucompress/internal/core"
+	"mgpucompress/internal/energy"
+	"mgpucompress/internal/fabric"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		opts    Options
+		wantErr bool
+	}{
+		{"zero value", Options{}, false},
+		{"full valid", Options{
+			Policy: core.PolicyAdaptive, Lambda: 6, CUsPerGPU: 8, NumGPUs: 8,
+			Topology: fabric.TopologyCrossbar, Link: energy.Node,
+			SeriesLimit: 500, FabricBytesPerCycle: 40,
+		}, false},
+		{"adaptive config with matching policy", Options{
+			Policy: core.PolicyAdaptive, Adaptive: &core.Config{Lambda: 6},
+		}, false},
+		{"adaptive config with none policy", Options{
+			Adaptive: &core.Config{Lambda: 6},
+		}, false},
+		{"negative scale", Options{Scale: -1}, true},
+		{"invalid policy", Options{Policy: core.PolicyID(99)}, true},
+		{"negative policy", Options{Policy: core.PolicyID(-1)}, true},
+		{"negative lambda", Options{Lambda: -0.5}, true},
+		{"negative CUs", Options{CUsPerGPU: -2}, true},
+		{"single GPU", Options{NumGPUs: 1}, true},
+		{"negative series limit", Options{SeriesLimit: -1}, true},
+		{"negative link width", Options{FabricBytesPerCycle: -20}, true},
+		{"unknown topology", Options{Topology: "torus"}, true},
+		{"invalid link class", Options{Link: energy.Node + 1}, true},
+		{"adaptive config conflicts with static policy", Options{
+			Policy: core.PolicyBDI, Adaptive: &core.Config{Lambda: 6},
+		}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunRejectsInvalidOptions(t *testing.T) {
+	if _, err := Run("MT", Options{NumGPUs: 1}); err == nil {
+		t.Error("Run accepted a single-GPU system")
+	}
+	if _, err := Run("MT", Options{Policy: core.PolicyID(42)}); err == nil {
+		t.Error("Run accepted an invalid policy ID")
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"mgpucompress/internal/metrics"
 )
 
 // Time is a point in simulated time, in cycles.
@@ -147,6 +149,16 @@ func (e *Engine) Run() error {
 		}
 	}
 	return nil
+}
+
+// RegisterMetrics exposes the engine's event-loop counters under prefix
+// (conventionally "sim"). The closures read the engine's live fields, so a
+// snapshot always reflects the state at snapshot time.
+func (e *Engine) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/cycles", func() uint64 { return uint64(e.now) })
+	reg.CounterFunc(prefix+"/events_handled", func() uint64 { return e.handled })
+	reg.CounterFunc(prefix+"/events_scheduled", func() uint64 { return e.scheduled })
+	reg.GaugeFunc(prefix+"/events_pending", func() float64 { return float64(len(e.queue)) })
 }
 
 // RunUntil runs events up to and including time t.

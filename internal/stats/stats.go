@@ -233,6 +233,26 @@ func (h *Histogram) Max() float64 {
 	return m
 }
 
+// Min returns the minimum, or 0 when empty.
+func (h *Histogram) Min() float64 {
+	m := 0.0
+	for i, v := range h.values {
+		if i == 0 || v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum returns the total of all values.
+func (h *Histogram) Sum() float64 {
+	s := 0.0
+	for _, v := range h.values {
+		s += v
+	}
+	return s
+}
+
 // FormatKilo renders a count the way Table V does (in thousands, with a
 // thousands separator for readability).
 func FormatKilo(n uint64) string {

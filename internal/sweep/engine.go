@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -61,8 +62,16 @@ type Record struct {
 // job is one cache entry; done is closed once res/err are final.
 type job[R any] struct {
 	done chan struct{}
+	key  JobKey
 	res  R
 	err  error
+}
+
+// CompletedJob pairs a finished job's key with its result, for callers that
+// want to walk everything the engine has produced (metrics export, audits).
+type CompletedJob[R any] struct {
+	Key    JobKey
+	Result R
 }
 
 // Engine schedules jobs across a worker pool with a fingerprint-keyed memo
@@ -112,7 +121,7 @@ func (e *Engine[R]) Get(key JobKey) (R, error) {
 		<-j.done
 		return j.res, j.err
 	}
-	j := &job[R]{done: make(chan struct{})}
+	j := &job[R]{done: make(chan struct{}), key: key}
 	e.jobs[fp] = j
 	e.stats.Scheduled++
 	e.mu.Unlock()
@@ -175,6 +184,37 @@ func (e *Engine[R]) Prefetch(keys []JobKey) error {
 	return err
 }
 
+// Completed returns every successfully finished job, sorted by the key's
+// canonical form so the listing is independent of scheduling order. Jobs
+// still in flight and jobs that failed are omitted.
+func (e *Engine[R]) Completed() []CompletedJob[R] {
+	e.mu.Lock()
+	fps := make([]string, 0, len(e.jobs))
+	for fp := range e.jobs {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	jobs := make([]*job[R], 0, len(fps))
+	for _, fp := range fps {
+		jobs = append(jobs, e.jobs[fp])
+	}
+	e.mu.Unlock()
+	out := make([]CompletedJob[R], 0, len(jobs))
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+			if j.err == nil {
+				out = append(out, CompletedJob[R]{Key: j.key, Result: j.res})
+			}
+		default: // still running
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Key.Canonical() < out[j].Key.Canonical()
+	})
+	return out
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine[R]) Stats() Progress {
 	e.mu.Lock()
@@ -235,7 +275,7 @@ func (e *Engine[R]) Resume(r io.Reader) (int, error) {
 		if err := json.Unmarshal(rec.Result, &res); err != nil {
 			continue
 		}
-		j := &job[R]{done: make(chan struct{}), res: res}
+		j := &job[R]{done: make(chan struct{}), key: rec.Key, res: res}
 		close(j.done)
 		e.mu.Lock()
 		if _, ok := e.jobs[fp]; !ok {

@@ -60,6 +60,11 @@ type JobKey struct {
 	SampleCount int      `json:"sample_count,omitempty"`
 	RunLength   int      `json:"run_length,omitempty"`
 	Candidates  []string `json:"candidates,omitempty"`
+
+	// SeedOverride pins the job's seed instead of deriving it from the
+	// fingerprint (0 = derive). It participates in the canonical form only
+	// when set, so keys predating the field keep their fingerprints.
+	SeedOverride int64 `json:"seed_override,omitempty"`
 }
 
 // Canonical returns the canonical textual form of the key: every field in a
@@ -75,6 +80,9 @@ func (k JobKey) Canonical() string {
 	if len(k.Candidates) > 0 {
 		b.WriteString("|cand=")
 		b.WriteString(strings.Join(k.Candidates, ","))
+	}
+	if k.SeedOverride != 0 {
+		fmt.Fprintf(&b, "|seed=%d", k.SeedOverride)
 	}
 	return b.String()
 }
@@ -92,8 +100,12 @@ func (k JobKey) Fingerprint() string {
 // sweeps — or two shards of one sweep on different machines — always hand a
 // given job the same seed, so stochastic components reproduce regardless of
 // scheduling. The seed basis is domain-separated from Fingerprint so the
-// two values are not trivially equal.
+// two values are not trivially equal. A SeedOverride short-circuits the
+// derivation.
 func (k JobKey) Seed() int64 {
+	if k.SeedOverride != 0 {
+		return k.SeedOverride
+	}
 	h := fnv.New64a()
 	h.Write([]byte("seed/"))
 	h.Write([]byte(k.Canonical()))

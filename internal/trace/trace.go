@@ -5,6 +5,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,12 +15,12 @@ import (
 
 // Transfer is one completed fabric transmission.
 type Transfer struct {
-	Start sim.Time
-	End   sim.Time
-	Src   string
-	Dst   string
-	Bytes int
-	Kind  string // message type name
+	Start sim.Time `json:"start"`
+	End   sim.Time `json:"end"`
+	Src   string   `json:"src"`
+	Dst   string   `json:"dst"`
+	Bytes int      `json:"bytes"`
+	Kind  string   `json:"kind"` // message type name
 }
 
 // Log accumulates transfers. A zero Log is ready to use; Cap bounds memory
@@ -44,6 +45,29 @@ func (l *Log) Transfers() []Transfer { return l.transfers }
 
 // Dropped returns how many transfers did not fit under Cap.
 func (l *Log) Dropped() uint64 { return l.dropped }
+
+// logJSON is the exported wire form of a Log.
+type logJSON struct {
+	Cap       int        `json:"cap,omitempty"`
+	Transfers []Transfer `json:"transfers"`
+	Dropped   uint64     `json:"dropped,omitempty"`
+}
+
+// MarshalJSON exports the full transfer list and the drop accounting, so a
+// capped log round-trips without losing how much it dropped.
+func (l Log) MarshalJSON() ([]byte, error) {
+	return json.Marshal(logJSON{Cap: l.Cap, Transfers: l.transfers, Dropped: l.dropped})
+}
+
+// UnmarshalJSON restores a marshaled log.
+func (l *Log) UnmarshalJSON(b []byte) error {
+	var w logJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	l.Cap, l.transfers, l.dropped = w.Cap, w.Transfers, w.Dropped
+	return nil
+}
 
 // UtilizationTimeline bins the busy time of the link into windows of bin
 // cycles, returning per-bin utilization in [0, 1]. For a crossbar the
