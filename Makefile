@@ -1,6 +1,11 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci lint test short race cover bench reproduce ablations examples fmt vet
+.PHONY: all ci lint test short race cover bench bench-smoke reproduce ablations examples fmt vet
+
+# Packages whose hot paths must stay clean of lint suppressions: the
+# zero-allocation fast paths are exactly where a silenced analyzer would
+# hide a determinism bug.
+HOT_PKGS := internal/bitstream internal/comp internal/sim
 
 all: vet lint test
 
@@ -17,6 +22,11 @@ ci:
 	go build -o bin/mgpulint ./cmd/mgpulint
 	./bin/mgpulint ./...
 	go test -race -short ./...
+	@if grep -rn "lint:ignore" $(HOT_PKGS); then \
+		echo "hot-path packages must not carry lint:ignore suppressions"; exit 1; \
+	fi
+	@echo "hot-path lint-suppression gate: OK"
+	$(MAKE) bench-smoke
 	@mkdir -p bin
 	go run ./examples/quickstart -metrics-out bin/metrics-a.json >/dev/null
 	go run ./examples/quickstart -metrics-out bin/metrics-b.json >/dev/null
@@ -40,8 +50,19 @@ race:
 cover:
 	go test -cover ./...
 
+# Full benchmark pass: every Go benchmark with allocation reporting, then
+# the committed hot-path report (micro numbers, baseline speedups, and the
+# workload × policy macro table) regenerated into BENCH_PR4.json.
 bench:
 	go test -bench=. -benchmem ./...
+	go run ./cmd/benchreport -out BENCH_PR4.json
+
+# Cheap pre-merge benchmark smoke: one iteration of the hot-path
+# microbenchmarks at the smallest scale, purely to catch benchmarks that no
+# longer compile or crash — timings are meaningless at -benchtime=1x.
+bench-smoke:
+	BENCH_SCALE=1 go test -run='^$$' -bench=. -benchtime=1x -benchmem \
+		./internal/bitstream ./internal/comp ./internal/sim
 
 reproduce:
 	go run ./cmd/reproduce -out results -scale 4

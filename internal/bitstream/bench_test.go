@@ -1,0 +1,91 @@
+package bitstream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for the two hot primitives. Run with -benchmem: every case in
+// this file must report 0 allocs/op in steady state (the Writer is Reset,
+// never reallocated).
+
+var benchWidths = []int{1, 7, 8, 32, 64}
+
+func BenchmarkWriteBits(b *testing.B) {
+	for _, n := range benchWidths {
+		b.Run(fmt.Sprintf("width%d", n), func(b *testing.B) {
+			w := NewWriter()
+			// Prime the buffer so steady state never grows it.
+			for i := 0; i < 512; i++ {
+				w.WriteBits(0xA5A5A5A5A5A5A5A5, n)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Reset()
+				for j := 0; j < 512; j++ {
+					w.WriteBits(0xA5A5A5A5A5A5A5A5, n)
+				}
+			}
+			b.SetBytes(int64(512*n) / 8)
+		})
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, 4096+8)
+	rng.Read(buf)
+	for _, n := range benchWidths {
+		b.Run(fmt.Sprintf("width%d", n), func(b *testing.B) {
+			r := NewReader(buf)
+			reads := (4096 * 8) / n
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset(buf)
+				for j := 0; j < reads; j++ {
+					if _, err := r.ReadBits(n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.SetBytes(int64(reads*n) / 8)
+		})
+	}
+}
+
+func BenchmarkWriteBytesAligned(b *testing.B) {
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	w := NewWriter()
+	w.WriteBytes(payload)
+	b.ReportAllocs()
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.WriteBytes(payload)
+	}
+}
+
+func BenchmarkWriteBytesUnaligned(b *testing.B) {
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	w := NewWriter()
+	w.WriteBits(1, 3)
+	w.WriteBytes(payload)
+	b.ReportAllocs()
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		w.WriteBits(1, 3)
+		w.WriteBytes(payload)
+	}
+}

@@ -2,18 +2,61 @@
 // the hardware compression codecs to produce bit-accurate encodings: the
 // compressed size the paper reports for each pattern (Table II) is exactly
 // the number of bits written here.
+//
+// Both directions have a word-level fast path: the Writer shifts whole
+// fields into a 64-bit accumulator and flushes it eight bytes at a time, and
+// the Reader serves most calls from a single unaligned 64-bit load. The
+// bit-by-bit formulation the codecs were originally verified against is
+// retained in reference_test.go, and differential fuzz tests pin the fast
+// paths to it bit for bit.
 package bitstream
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
-// Writer accumulates bits MSB-first into a byte slice.
+// Writer accumulates bits MSB-first. Pending bits live right-aligned in a
+// 64-bit accumulator and are flushed to the byte buffer eight bytes at a
+// time, so a WriteBits call is a shift and an or in the common case. The
+// zero Writer is ready to use, and Reset makes one reusable without
+// reallocating its buffer — the codec hot paths hold one Writer per codec
+// instance for the lifetime of the codec.
 type Writer struct {
-	buf  []byte
-	bits int // total bits written
+	buf []byte
+	acc uint64 // pending bits, right-aligned (earlier bits more significant)
+	n   int    // number of pending bits in acc, always in [0, 64)
 }
 
 // NewWriter returns an empty Writer.
 func NewWriter() *Writer { return &Writer{} }
+
+// Reset clears the writer for reuse, keeping the buffer capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.n = 0
+}
+
+// flushAcc appends the full 64-bit accumulator to the buffer. Callers
+// guarantee w.n == 64 conceptually (the accumulator holds exactly 8 bytes).
+func (w *Writer) flushAcc() {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], w.acc)
+	w.buf = append(w.buf, b[:]...)
+	w.acc = 0
+	w.n = 0
+}
+
+// flushWholeBytes moves the pending whole bytes (w.n must be a multiple of
+// 8) from the accumulator into the buffer.
+func (w *Writer) flushWholeBytes() {
+	for w.n > 0 {
+		w.n -= 8
+		w.buf = append(w.buf, byte(w.acc>>uint(w.n)))
+	}
+	w.acc = 0
+}
 
 // WriteBits appends the low n bits of v, most significant bit first.
 // n must be in [0, 64].
@@ -24,36 +67,62 @@ func (w *Writer) WriteBits(v uint64, n int) {
 	if n < 64 {
 		v &= (uint64(1) << uint(n)) - 1
 	}
-	for n > 0 {
-		bitPos := w.bits % 8
-		if bitPos == 0 {
-			w.buf = append(w.buf, 0)
-		}
-		space := 8 - bitPos
-		take := space
-		if n < take {
-			take = n
-		}
-		chunk := byte(v >> uint(n-take))
-		w.buf[len(w.buf)-1] |= chunk << uint(space-take)
-		w.bits += take
-		n -= take
+	if w.n+n < 64 {
+		w.acc = w.acc<<uint(n) | v
+		w.n += n
+		return
 	}
+	// Fill the accumulator to exactly 64 bits, flush, keep the remainder.
+	hi := 64 - w.n
+	w.acc = w.acc<<uint(hi) | v>>uint(n-hi)
+	rem := n - hi // in [0, 63]
+	w.n = 64
+	w.flushAcc()
+	w.acc = v & (uint64(1)<<uint(rem) - 1)
+	w.n = rem
 }
 
-// WriteBytes appends whole bytes (8 bits each, in order).
+// WriteBytes appends whole bytes (8 bits each, in order). When the writer is
+// byte-aligned the bytes are block-copied instead of looping WriteBits.
 func (w *Writer) WriteBytes(p []byte) {
+	if w.n%8 == 0 {
+		if w.n > 0 {
+			w.flushWholeBytes()
+		}
+		w.buf = append(w.buf, p...)
+		return
+	}
 	for _, b := range p {
 		w.WriteBits(uint64(b), 8)
 	}
 }
 
 // Len returns the number of bits written so far.
-func (w *Writer) Len() int { return w.bits }
+func (w *Writer) Len() int { return len(w.buf)*8 + w.n }
+
+// AppendTo appends the packed bitstream to dst and returns the extended
+// slice. The final byte is zero-padded on the right. The writer state is
+// unchanged, so writing may continue afterwards.
+func (w *Writer) AppendTo(dst []byte) []byte {
+	dst = append(dst, w.buf...)
+	if w.n > 0 {
+		pend := w.acc << uint(64-w.n) // left-align the pending bits
+		for i := 0; i < (w.n+7)/8; i++ {
+			dst = append(dst, byte(pend>>uint(56-8*i)))
+		}
+	}
+	return dst
+}
 
 // Bytes returns the packed buffer. The final byte is zero-padded on the
-// right. The returned slice aliases the writer's storage.
-func (w *Writer) Bytes() []byte { return w.buf }
+// right. The returned slice is freshly allocated and does not alias the
+// writer's storage, so it stays valid across Reset.
+func (w *Writer) Bytes() []byte {
+	if w.Len() == 0 {
+		return w.buf[:0]
+	}
+	return w.AppendTo(make([]byte, 0, (w.Len()+7)/8))
+}
 
 // Reader consumes bits MSB-first from a byte slice.
 type Reader struct {
@@ -63,6 +132,12 @@ type Reader struct {
 
 // NewReader reads from buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Reset makes the reader consume buf from the start, for reuse.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+}
 
 // ReadBits reads n bits (MSB-first) and returns them in the low bits of the
 // result. It returns an error if the stream is exhausted.
@@ -74,10 +149,20 @@ func (r *Reader) ReadBits(n int) (uint64, error) {
 		return 0, fmt.Errorf("bitstream: read of %d bits at position %d overruns %d-bit stream",
 			n, r.pos, len(r.buf)*8)
 	}
+	byteIdx := r.pos >> 3
+	bit := r.pos & 7
+	// Fast path: the whole field sits inside one 64-bit load.
+	if byteIdx+8 <= len(r.buf) && bit+n <= 64 {
+		v := binary.BigEndian.Uint64(r.buf[byteIdx:])
+		r.pos += n
+		return v << uint(bit) >> uint(64-n), nil
+	}
+	// Tail path: assemble byte by byte (also covers bit+n > 64).
 	var v uint64
+	pos := r.pos
 	for n > 0 {
-		byteIdx := r.pos / 8
-		bitPos := r.pos % 8
+		byteIdx := pos / 8
+		bitPos := pos % 8
 		avail := 8 - bitPos
 		take := avail
 		if n < take {
@@ -85,9 +170,10 @@ func (r *Reader) ReadBits(n int) (uint64, error) {
 		}
 		chunk := (r.buf[byteIdx] >> uint(avail-take)) & byte((uint(1)<<uint(take))-1)
 		v = v<<uint(take) | uint64(chunk)
-		r.pos += take
+		pos += take
 		n -= take
 	}
+	r.pos = pos
 	return v, nil
 }
 

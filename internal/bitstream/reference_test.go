@@ -1,0 +1,204 @@
+package bitstream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// This file retains the original bit-by-bit Writer/Reader formulation as a
+// reference implementation. The production fast paths (accumulator writer,
+// 64-bit-load reader) are pinned to it by the differential tests and fuzz
+// targets below: any divergence in packed bytes, bit counts, or read values
+// is a bug in the fast path, never in the reference.
+
+// refWriter is the pre-optimization Writer: one append/or per partial byte.
+type refWriter struct {
+	buf  []byte
+	bits int
+}
+
+func (w *refWriter) WriteBits(v uint64, n int) {
+	if n < 64 {
+		v &= (uint64(1) << uint(n)) - 1
+	}
+	for n > 0 {
+		bitPos := w.bits % 8
+		if bitPos == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		space := 8 - bitPos
+		take := space
+		if n < take {
+			take = n
+		}
+		chunk := byte(v >> uint(n-take))
+		w.buf[len(w.buf)-1] |= chunk << uint(space-take)
+		w.bits += take
+		n -= take
+	}
+}
+
+func (w *refWriter) WriteBytes(p []byte) {
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// refReadBits is the pre-optimization Reader loop.
+func refReadBits(buf []byte, pos, n int) (uint64, int) {
+	var v uint64
+	for n > 0 {
+		byteIdx := pos / 8
+		bitPos := pos % 8
+		avail := 8 - bitPos
+		take := avail
+		if n < take {
+			take = n
+		}
+		chunk := (buf[byteIdx] >> uint(avail-take)) & byte((uint(1)<<uint(take))-1)
+		v = v<<uint(take) | uint64(chunk)
+		pos += take
+		n -= take
+	}
+	return v, pos
+}
+
+// fieldSequence derives a deterministic (width, value) sequence from raw
+// fuzz bytes: each input byte yields one field.
+func fieldSequence(data []byte) (widths []int, values []uint64) {
+	rng := rand.New(rand.NewSource(int64(len(data)) + 7))
+	for _, b := range data {
+		n := int(b%64) + 1 // width in [1, 64]
+		v := rng.Uint64()
+		if n < 64 {
+			v &= (1 << uint(n)) - 1
+		}
+		widths = append(widths, n)
+		values = append(values, v)
+	}
+	return widths, values
+}
+
+// FuzzWriteBitsDifferential: for any field sequence, the accumulator writer
+// produces byte-identical output and bit counts to the naive reference.
+func FuzzWriteBitsDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 7, 8, 31, 32, 63, 64, 255})
+	f.Add(bytes.Repeat([]byte{3}, 100))
+	f.Add([]byte{63, 63, 63, 0, 0, 0, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		widths, values := fieldSequence(data)
+		fast := NewWriter()
+		ref := &refWriter{}
+		for i := range widths {
+			fast.WriteBits(values[i], widths[i])
+			ref.WriteBits(values[i], widths[i])
+			if fast.Len() != ref.bits {
+				t.Fatalf("after field %d: Len = %d, reference %d", i, fast.Len(), ref.bits)
+			}
+		}
+		if got := fast.Bytes(); !bytes.Equal(got, ref.buf) {
+			t.Fatalf("packed bytes diverge:\n fast %x\n ref  %x", got, ref.buf)
+		}
+	})
+}
+
+// FuzzReadBitsDifferential: for any buffer and read-width schedule, the
+// fast reader returns the same values and positions as the reference.
+func FuzzReadBitsDifferential(f *testing.F) {
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF}, []byte{3, 16, 1, 4})
+	f.Add(bytes.Repeat([]byte{0xA5}, 64), []byte{64, 64, 64})
+	f.Add([]byte{0xFF}, []byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, buf, schedule []byte) {
+		if len(buf) > 4096 || len(schedule) > 4096 {
+			return
+		}
+		r := NewReader(buf)
+		pos := 0
+		for i, b := range schedule {
+			n := int(b % 65)
+			if pos+n > len(buf)*8 {
+				if _, err := r.ReadBits(n); err == nil {
+					t.Fatalf("read %d: overrun not detected", i)
+				}
+				return
+			}
+			got, err := r.ReadBits(n)
+			if err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+			want, newPos := refReadBits(buf, pos, n)
+			if got != want || r.Pos() != newPos {
+				t.Fatalf("read %d (n=%d at %d): got %#x pos %d, reference %#x pos %d",
+					i, n, pos, got, r.Pos(), want, newPos)
+			}
+			pos = newPos
+		}
+	})
+}
+
+// TestWriteBytesMatchesReference covers the aligned-copy fast path against
+// the byte-by-byte reference at every pre-alignment.
+func TestWriteBytesMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	payload := make([]byte, 64)
+	rng.Read(payload)
+	for lead := 0; lead <= 16; lead++ {
+		fast := NewWriter()
+		ref := &refWriter{}
+		fast.WriteBits(0x5A5A, lead)
+		ref.WriteBits(0x5A5A, lead)
+		fast.WriteBytes(payload)
+		ref.WriteBytes(payload)
+		fast.WriteBits(1, 3)
+		ref.WriteBits(1, 3)
+		if fast.Len() != ref.bits {
+			t.Fatalf("lead %d: Len = %d, reference %d", lead, fast.Len(), ref.bits)
+		}
+		if got := fast.Bytes(); !bytes.Equal(got, ref.buf) {
+			t.Fatalf("lead %d: bytes diverge:\n fast %x\n ref  %x", lead, got, ref.buf)
+		}
+	}
+}
+
+// TestWriterResetReuse: a Reset writer produces identical output to a fresh
+// one, with no stale state bleeding through.
+func TestWriterResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	w := NewWriter()
+	for trial := 0; trial < 50; trial++ {
+		w.Reset()
+		fresh := NewWriter()
+		for i := 0; i < 20; i++ {
+			n := rng.Intn(64) + 1
+			v := rng.Uint64()
+			w.WriteBits(v, n)
+			fresh.WriteBits(v, n)
+		}
+		if w.Len() != fresh.Len() || !bytes.Equal(w.Bytes(), fresh.Bytes()) {
+			t.Fatalf("trial %d: reused writer diverged from fresh writer", trial)
+		}
+	}
+}
+
+// TestAppendToDoesNotDisturbState: AppendTo mid-stream must match the final
+// prefix and leave subsequent writes intact.
+func TestAppendToDoesNotDisturbState(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b10110, 5)
+	mid := w.AppendTo(nil)
+	if len(mid) != 1 || mid[0] != 0b10110000 {
+		t.Fatalf("mid snapshot = %08b", mid)
+	}
+	w.WriteBits(0xFFF, 12)
+	ref := &refWriter{}
+	ref.WriteBits(0b10110, 5)
+	ref.WriteBits(0xFFF, 12)
+	if !bytes.Equal(w.Bytes(), ref.buf) {
+		t.Fatalf("writes after AppendTo diverged: %x vs %x", w.Bytes(), ref.buf)
+	}
+}

@@ -219,7 +219,7 @@ type hitRspEvent struct {
 // Handle implements sim.Handler.
 func (c *Cache) Handle(e sim.Event) error {
 	switch evt := e.(type) {
-	case sim.TickEvent:
+	case *sim.TickEvent:
 		c.tick(e.Time())
 		return nil
 	case hitRspEvent:

@@ -25,14 +25,17 @@ import (
 //
 // The metadata is the 4-bit prefix plus one mask bit per value. The encoder
 // evaluates every applicable configuration and keeps the smallest.
-type bdi struct{}
+type bdi struct {
+	w    bitstream.Writer // encode scratch, reused across lines
+	plan bdiPlan          // winning-config scratch, reused across lines
+}
 
 // NewBDI returns the BDI codec.
-func NewBDI() Compressor { return bdi{} }
+func NewBDI() Compressor { return &bdi{} }
 
-func (bdi) Algorithm() Algorithm { return BDI }
+func (*bdi) Algorithm() Algorithm { return BDI }
 
-func (bdi) Cost() Cost { return bdiCost }
+func (*bdi) Cost() Cost { return bdiCost }
 
 // bdiConfig describes one base-delta configuration.
 type bdiConfig struct {
@@ -61,25 +64,27 @@ const (
 	bdiRepeated  = 0b0001
 )
 
-// bdiPlan is the result of trying one configuration on a line.
+// bdiMaxVals is the largest value count of any configuration (2-byte base).
+const bdiMaxVals = LineSize / 2
+
+// bdiPlan is the result of trying one configuration on a line. The arrays
+// are sized for the widest configuration so a plan needs no allocation;
+// only the first nVals entries are meaningful.
 type bdiPlan struct {
 	cfg    bdiConfig
 	base   uint64
-	mask   []bool  // per value: true = explicit base, false = zero base
-	deltas []int64 // signed deltas
+	nVals  int
+	mask   [bdiMaxVals]bool  // per value: true = explicit base, false = zero base
+	deltas [bdiMaxVals]int64 // signed deltas
 }
 
-// tryBDIConfig attempts to encode the line with cfg. The base is the first
-// value that is not representable as an immediate (delta from zero); values
-// before it use the zero base.
-func tryBDIConfig(line []byte, cfg bdiConfig) (bdiPlan, bool) {
+// tryBDIConfig attempts to encode the line with cfg, filling plan. The base
+// is the first value that is not representable as an immediate (delta from
+// zero); values before it use the zero base.
+func tryBDIConfig(line []byte, cfg bdiConfig, plan *bdiPlan) bool {
 	nVals := LineSize / cfg.baseBytes
 	deltaBits := cfg.deltaByte * 8
-	plan := bdiPlan{
-		cfg:    cfg,
-		mask:   make([]bool, nVals),
-		deltas: make([]int64, nVals),
-	}
+	*plan = bdiPlan{cfg: cfg, nVals: nVals}
 	valueBits := cfg.baseBytes * 8
 	haveBase := false
 	for i := 0; i < nVals; i++ {
@@ -99,12 +104,86 @@ func tryBDIConfig(line []byte, cfg bdiConfig) (bdiPlan, bool) {
 		}
 		d := bitstream.SignExtend(v-plan.base, valueBits)
 		if !bitstream.FitsSigned(d, deltaBits) {
-			return bdiPlan{}, false
+			return false
 		}
 		plan.mask[i] = true
 		plan.deltas[i] = d
 	}
-	return plan, true
+	return true
+}
+
+// bdiFeasible is the size-only twin of tryBDIConfig: the same scan without
+// recording the plan, so CompressedBits and the encoder's config selection
+// agree by construction. The scan is specialized per value width so the
+// selection loop — which runs on every sampled line for every candidate
+// codec — stays free of the generic readUint dispatch.
+func bdiFeasible(line []byte, cfg bdiConfig) bool {
+	deltaBits := cfg.deltaByte * 8
+	switch cfg.baseBytes {
+	case 8:
+		return bdiFeasible64(line, deltaBits)
+	case 4:
+		return bdiFeasible32(line, deltaBits)
+	default:
+		return bdiFeasible16(line, deltaBits)
+	}
+}
+
+func bdiFeasible64(line []byte, deltaBits int) bool {
+	haveBase := false
+	var base uint64
+	for i := 0; i < LineSize; i += 8 {
+		v := binary.LittleEndian.Uint64(line[i:])
+		if bitstream.FitsSigned(int64(v), deltaBits) {
+			continue
+		}
+		if !haveBase {
+			haveBase, base = true, v
+			continue
+		}
+		if !bitstream.FitsSigned(int64(v-base), deltaBits) {
+			return false
+		}
+	}
+	return true
+}
+
+func bdiFeasible32(line []byte, deltaBits int) bool {
+	haveBase := false
+	var base uint32
+	for i := 0; i < LineSize; i += 4 {
+		v := binary.LittleEndian.Uint32(line[i:])
+		if bitstream.FitsSigned(int64(int32(v)), deltaBits) {
+			continue
+		}
+		if !haveBase {
+			haveBase, base = true, v
+			continue
+		}
+		if !bitstream.FitsSigned(int64(int32(v-base)), deltaBits) {
+			return false
+		}
+	}
+	return true
+}
+
+func bdiFeasible16(line []byte, deltaBits int) bool {
+	haveBase := false
+	var base uint16
+	for i := 0; i < LineSize; i += 2 {
+		v := binary.LittleEndian.Uint16(line[i:])
+		if bitstream.FitsSigned(int64(int16(v)), deltaBits) {
+			continue
+		}
+		if !haveBase {
+			haveBase, base = true, v
+			continue
+		}
+		if !bitstream.FitsSigned(int64(int16(v-base)), deltaBits) {
+			return false
+		}
+	}
+	return true
 }
 
 func readUint(line []byte, off, size int) uint64 {
@@ -120,12 +199,17 @@ func readUint(line []byte, off, size int) uint64 {
 	}
 }
 
-func (b bdi) Compress(line []byte) Encoded {
+func (b *bdi) Compress(line []byte) Encoded {
+	return b.CompressInto(make([]byte, 0, LineSize), line)
+}
+
+func (b *bdi) CompressInto(dst, line []byte) Encoded {
 	checkLine(line)
+	w := &b.w
+	w.Reset()
 	if isZeroLine(line) {
-		w := bitstream.NewWriter()
 		w.WriteBits(bdiZeroBlock, 4)
-		e := Encoded{Alg: BDI, Bits: w.Len(), Data: w.Bytes()}
+		e := Encoded{Alg: BDI, Bits: w.Len(), Data: w.AppendTo(dst)}
 		e.Patterns[1]++
 		return e
 	}
@@ -138,36 +222,37 @@ func (b bdi) Compress(line []byte) Encoded {
 		}
 	}
 	if repeated {
-		w := bitstream.NewWriter()
 		w.WriteBits(bdiRepeated, 4)
 		w.WriteBits(w64[0], 64)
-		e := Encoded{Alg: BDI, Bits: w.Len(), Data: w.Bytes()}
+		e := Encoded{Alg: BDI, Bits: w.Len(), Data: w.AppendTo(dst)}
 		e.Patterns[2]++
 		return e
 	}
 
 	bestBits := LineBits
-	var best bdiPlan
+	var bestCfg bdiConfig
 	found := false
 	for _, cfg := range bdiConfigs {
 		if cfg.totalBits() >= bestBits {
 			continue // cannot improve; configs checked in pattern order
 		}
-		plan, ok := tryBDIConfig(line, cfg)
-		if ok {
-			best = plan
+		if bdiFeasible(line, cfg) {
+			bestCfg = cfg
 			bestBits = cfg.totalBits()
 			found = true
 		}
 	}
 	if !found {
-		return rawEncoded(BDI, line, 9)
+		return rawEncodedInto(BDI, dst, line, 9)
 	}
 
-	w := bitstream.NewWriter()
+	best := &b.plan
+	if !tryBDIConfig(line, bestCfg, best) {
+		panic(fmt.Sprintf("comp: BDI config %04b feasible but plan failed", bestCfg.prefix))
+	}
 	w.WriteBits(best.cfg.prefix, 4)
 	w.WriteBits(best.base, best.cfg.baseBytes*8)
-	for _, m := range best.mask {
+	for _, m := range best.mask[:best.nVals] {
 		if m {
 			w.WriteBits(1, 1)
 		} else {
@@ -175,18 +260,46 @@ func (b bdi) Compress(line []byte) Encoded {
 		}
 	}
 	deltaBits := best.cfg.deltaByte * 8
-	for _, d := range best.deltas {
+	for _, d := range best.deltas[:best.nVals] {
 		w.WriteBits(uint64(d)&((1<<uint(deltaBits))-1), deltaBits)
 	}
 	if w.Len() != best.cfg.totalBits() {
 		panic(fmt.Sprintf("comp: BDI size mismatch: wrote %d, expected %d", w.Len(), best.cfg.totalBits()))
 	}
-	e := Encoded{Alg: BDI, Bits: w.Len(), Data: w.Bytes()}
+	e := Encoded{Alg: BDI, Bits: w.Len(), Data: w.AppendTo(dst)}
 	e.Patterns[best.cfg.pattern]++
 	return e
 }
 
-func (b bdi) Decompress(enc Encoded) ([]byte, error) {
+func (b *bdi) CompressedBits(line []byte) int {
+	checkLine(line)
+	if isZeroLine(line) {
+		return 4
+	}
+	w64 := words64(line)
+	repeated := true
+	for _, v := range w64[1:] {
+		if v != w64[0] {
+			repeated = false
+			break
+		}
+	}
+	if repeated {
+		return 68
+	}
+	best := LineBits
+	for _, cfg := range bdiConfigs {
+		if cfg.totalBits() >= best {
+			continue
+		}
+		if bdiFeasible(line, cfg) {
+			best = cfg.totalBits()
+		}
+	}
+	return best
+}
+
+func (b *bdi) Decompress(enc Encoded) ([]byte, error) {
 	if enc.Alg != BDI {
 		return nil, fmt.Errorf("comp: BDI decompressor fed %v data", enc.Alg)
 	}
@@ -237,7 +350,8 @@ func (b bdi) Decompress(enc Encoded) ([]byte, error) {
 		return nil, err
 	}
 	nVals := LineSize / cfg.baseBytes
-	mask := make([]bool, nVals)
+	var maskArr [bdiMaxVals]bool
+	mask := maskArr[:nVals]
 	for i := range mask {
 		bit, err := r.ReadBits(1)
 		if err != nil {

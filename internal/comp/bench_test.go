@@ -1,0 +1,109 @@
+package comp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Per-codec benchmarks over entropy-graded lines: "zero" (best case),
+// "patterned" (the Sec. III-A families the codecs target), and "random"
+// (incompressible, exercises the raw fallback). Run with -benchmem;
+// CompressInto and CompressedBits must report 0 allocs/op.
+
+func benchLines(grade string) [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	lines := make([][]byte, 64)
+	for i := range lines {
+		switch grade {
+		case "zero":
+			lines[i] = make([]byte, LineSize)
+		case "patterned":
+			lines[i] = patternedLine(rng)
+		case "random":
+			lines[i] = randomLine(rng)
+		default:
+			panic("unknown grade " + grade)
+		}
+	}
+	return lines
+}
+
+var benchGrades = []string{"zero", "patterned", "random"}
+
+// BenchmarkCompressAlloc measures the allocating convenience API, which by
+// contract returns freshly allocated Data (1 alloc/op by design). The
+// steady-state paths are BenchmarkCompressInto and BenchmarkCompressedBits.
+func BenchmarkCompressAlloc(b *testing.B) {
+	for _, c := range ExtendedCompressors() {
+		for _, grade := range benchGrades {
+			lines := benchLines(grade)
+			b.Run(fmt.Sprintf("%v/%s", c.Algorithm(), grade), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(LineSize)
+				for i := 0; i < b.N; i++ {
+					c.Compress(lines[i%len(lines)])
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkCompressInto(b *testing.B) {
+	for _, c := range ExtendedCompressors() {
+		for _, grade := range benchGrades {
+			lines := benchLines(grade)
+			b.Run(fmt.Sprintf("%v/%s", c.Algorithm(), grade), func(b *testing.B) {
+				buf := make([]byte, 0, LineSize)
+				b.ReportAllocs()
+				b.SetBytes(LineSize)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					enc := c.CompressInto(buf[:0], lines[i%len(lines)])
+					buf = enc.Data
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkCompressedBits(b *testing.B) {
+	for _, c := range ExtendedCompressors() {
+		for _, grade := range benchGrades {
+			lines := benchLines(grade)
+			b.Run(fmt.Sprintf("%v/%s", c.Algorithm(), grade), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(LineSize)
+				sink := 0
+				for i := 0; i < b.N; i++ {
+					sink += c.CompressedBits(lines[i%len(lines)])
+				}
+				benchSink = sink
+			})
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	for _, c := range ExtendedCompressors() {
+		for _, grade := range benchGrades {
+			lines := benchLines(grade)
+			encs := make([]Encoded, len(lines))
+			for i, line := range lines {
+				encs[i] = c.Compress(line)
+			}
+			b.Run(fmt.Sprintf("%v/%s", c.Algorithm(), grade), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(LineSize)
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Decompress(encs[i%len(encs)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchSink defeats dead-code elimination of the size-only loop.
+var benchSink int

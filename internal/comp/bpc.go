@@ -42,15 +42,17 @@ import (
 // decompressor pipeline at well under a mW per lane in 28 nm; the numbers
 // below are scaled estimates in the spirit of Table III and are clearly
 // extension-grade rather than paper-reproduced.
-type bpc struct{}
+type bpc struct {
+	w bitstream.Writer // encode scratch, reused across lines
+}
 
 // NewBPC returns the Bit-Plane Compression codec (extension).
-func NewBPC() Compressor { return bpc{} }
+func NewBPC() Compressor { return &bpc{} }
 
 // BPC is the wire identifier for the extension codec.
 const BPC = bpcWireValue
 
-func (bpc) Algorithm() Algorithm { return BPC }
+func (*bpc) Algorithm() Algorithm { return BPC }
 
 var bpcCost = Cost{
 	CompressionCycles:   9,
@@ -60,7 +62,7 @@ var bpcCost = Cost{
 	DecompressorMW:      0.8,
 }
 
-func (bpc) Cost() Cost { return bpcCost }
+func (*bpc) Cost() Cost { return bpcCost }
 
 const (
 	bpcPlanes    = 33 // 33-bit deltas
@@ -78,19 +80,35 @@ func bpcTransform(line []byte) (base uint32, dbx [bpcPlanes]uint16) {
 	for j := 0; j < bpcPlaneBits; j++ {
 		deltas[j] = int64(w[j+1]) - int64(w[j])
 	}
-	var dbp [bpcPlanes]uint16
-	for k := 0; k < bpcPlanes; k++ {
-		var plane uint16
-		for j := 0; j < bpcPlaneBits; j++ {
-			bit := (uint64(deltas[j]) >> uint(k)) & 1
-			plane |= uint16(bit) << uint(j)
-		}
-		dbp[k] = plane
+	// DBX[k] = DBP[k] ^ DBP[k+1] is bit k of delta ^ (delta >> 1), so the
+	// XOR transform folds into the deltas before the transpose, and the OR
+	// across all folded deltas flags which planes are non-zero: only those
+	// need the 15-element bit gather (on compressible data most planes are
+	// zero, which is the whole point of the transform).
+	var x [bpcPlaneBits]uint64
+	var or uint64
+	for j := 0; j < bpcPlaneBits; j++ {
+		d := uint64(deltas[j])
+		x[j] = d ^ d>>1
+		or |= x[j]
 	}
 	for k := 0; k < bpcPlanes-1; k++ {
-		dbx[k] = dbp[k] ^ dbp[k+1]
+		if or>>uint(k)&1 == 0 {
+			continue
+		}
+		var plane uint16
+		for j := 0; j < bpcPlaneBits; j++ {
+			plane |= uint16(x[j]>>uint(k)&1) << uint(j)
+		}
+		dbx[k] = plane
 	}
-	dbx[bpcPlanes-1] = dbp[bpcPlanes-1]
+	// The last plane has no successor: it is DBP[32] itself.
+	last := bpcPlanes - 1
+	var plane uint16
+	for j := 0; j < bpcPlaneBits; j++ {
+		plane |= uint16(uint64(deltas[j])>>uint(last)&1) << uint(j)
+	}
+	dbx[last] = plane
 	return base, dbx
 }
 
@@ -123,11 +141,16 @@ const bpcAllOnes = uint16(1<<bpcPlaneBits) - 1
 
 func isPow2u16(v uint16) bool { return v != 0 && v&(v-1) == 0 }
 
-func (b bpc) Compress(line []byte) Encoded {
+func (b *bpc) Compress(line []byte) Encoded {
+	return b.CompressInto(make([]byte, 0, LineSize), line)
+}
+
+func (b *bpc) CompressInto(dst, line []byte) Encoded {
 	checkLine(line)
 	base, dbx := bpcTransform(line)
 
-	w := bitstream.NewWriter()
+	w := &b.w
+	w.Reset()
 	var hist PatternHistogram
 
 	// Base word header.
@@ -186,12 +209,59 @@ func (b bpc) Compress(line []byte) Encoded {
 		}
 	}
 	if w.Len() >= LineBits {
-		return rawEncoded(BPC, line, 9)
+		return rawEncodedInto(BPC, dst, line, 9)
 	}
-	return Encoded{Alg: BPC, Bits: w.Len(), Data: w.Bytes(), Patterns: hist}
+	return Encoded{Alg: BPC, Bits: w.Len(), Data: w.AppendTo(dst), Patterns: hist}
 }
 
-func (b bpc) Decompress(enc Encoded) ([]byte, error) {
+func (b *bpc) CompressedBits(line []byte) int {
+	checkLine(line)
+	base, dbx := bpcTransform(line)
+
+	var bits int
+	switch {
+	case base == 0:
+		bits = 2
+	case bitstream.FitsSigned(int64(int32(base)), 8):
+		bits = 2 + 8
+	case bitstream.FitsSigned(int64(int32(base)), 16):
+		bits = 2 + 16
+	default:
+		bits = 2 + 32
+	}
+
+	for k := 0; k < bpcPlanes; {
+		plane := dbx[k]
+		switch {
+		case plane == 0:
+			run := 1
+			for k+run < bpcPlanes && dbx[k+run] == 0 {
+				run++
+			}
+			if run >= 2 {
+				bits += 2 + 5
+			} else {
+				bits += 3
+			}
+			k += run
+		case plane == bpcAllOnes:
+			bits += 4
+			k++
+		case isPow2u16(plane):
+			bits += 5 + 4
+			k++
+		default:
+			bits += 1 + bpcPlaneBits
+			k++
+		}
+	}
+	if bits >= LineBits {
+		return LineBits
+	}
+	return bits
+}
+
+func (b *bpc) Decompress(enc Encoded) ([]byte, error) {
 	if enc.Alg != BPC {
 		return nil, fmt.Errorf("comp: BPC decompressor fed %v data", enc.Alg)
 	}

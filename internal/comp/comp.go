@@ -141,11 +141,28 @@ func (e Encoded) WireBytes() int { return (e.Bits + 7) / 8 }
 func (e Encoded) Ratio() float64 { return float64(LineBits) / float64(e.Bits) }
 
 // Compressor compresses and decompresses single cache lines.
+//
+// Each instance owns reusable encode scratch (a bitstream.Writer and, for
+// some codecs, plan buffers), so Compress, CompressInto, and CompressedBits
+// are not safe for concurrent use on one instance — give each goroutine its
+// own codec (AllCompressors returns fresh instances). Decompress is
+// stateless and safe to share.
 type Compressor interface {
 	// Algorithm returns the wire identifier.
 	Algorithm() Algorithm
-	// Compress encodes a LineSize-byte line.
+	// Compress encodes a LineSize-byte line into freshly allocated storage,
+	// so the result outlives any further use of the codec.
 	Compress(line []byte) Encoded
+	// CompressInto encodes like Compress but appends the packed bytes to
+	// dst (pass buf[:0] to reuse a buffer); the returned Encoded.Data is
+	// the extended slice. Steady-state compression through CompressInto
+	// does not allocate.
+	CompressInto(dst, line []byte) Encoded
+	// CompressedBits returns exactly Compress(line).Bits — including the
+	// uncompressed fallback to LineBits — without materializing any
+	// bitstream. Size-only consumers (the controller's sampling phase,
+	// ratio statistics) run on this path.
+	CompressedBits(line []byte) int
 	// Decompress reconstructs the original line from enc.Data/enc.Bits.
 	Decompress(enc Encoded) ([]byte, error)
 	// Cost returns the hardware cost parameters (Table III).
@@ -203,21 +220,41 @@ func words64(line []byte) [8]uint64 {
 }
 
 func isZeroLine(line []byte) bool {
-	for _, b := range line {
-		if b != 0 {
-			return false
-		}
+	var or uint64
+	for i := 0; i < LineSize; i += 8 {
+		or |= binary.LittleEndian.Uint64(line[i:])
 	}
-	return true
+	return or == 0
 }
 
-func rawEncoded(alg Algorithm, line []byte, pattern int) Encoded {
+// rawEncodedInto builds the uncompressed fallback, appending the raw line
+// to dst.
+func rawEncodedInto(alg Algorithm, dst, line []byte, pattern int) Encoded {
 	e := Encoded{
 		Alg:          alg,
 		Bits:         LineBits,
-		Data:         append([]byte(nil), line...),
+		Data:         append(dst, line...),
 		Uncompressed: true,
 	}
 	e.Patterns[pattern]++
 	return e
+}
+
+// decoders are package-shared instances used only for Decompress, which
+// never touches per-codec scratch, so sharing them across goroutines is
+// safe.
+var decoders = [NumAlgorithms]Compressor{
+	FPC:    NewFPC(),
+	BDI:    NewBDI(),
+	CPackZ: NewCPackZ(),
+	BPC:    NewBPC(),
+}
+
+// Decode decompresses enc with a shared stateless decoder for enc.Alg,
+// sparing receive paths a codec allocation per message.
+func Decode(enc Encoded) ([]byte, error) {
+	if int(enc.Alg) >= len(decoders) || decoders[enc.Alg] == nil {
+		return nil, fmt.Errorf("comp: no decoder for algorithm %v", enc.Alg)
+	}
+	return decoders[enc.Alg].Decompress(enc)
 }

@@ -24,14 +24,16 @@ import (
 // full match 8b < narrow 12b < 3-byte match 16b < halfword match 24b < new
 // word 34b). Only unmatched ("new") words enter the dictionary, which is
 // what lets the decompressor reconstruct it deterministically.
-type cpackZ struct{}
+type cpackZ struct {
+	w bitstream.Writer // encode scratch, reused across lines
+}
 
 // NewCPackZ returns the C-Pack+Z codec.
-func NewCPackZ() Compressor { return cpackZ{} }
+func NewCPackZ() Compressor { return &cpackZ{} }
 
-func (cpackZ) Algorithm() Algorithm { return CPackZ }
+func (*cpackZ) Algorithm() Algorithm { return CPackZ }
 
-func (cpackZ) Cost() Cost { return cpackCost }
+func (*cpackZ) Cost() Cost { return cpackCost }
 
 const cpackDictEntries = 16
 
@@ -62,7 +64,9 @@ func findMatch(dict []uint32, w uint32) cpackMatch {
 		var kind int
 		switch {
 		case e == w:
-			kind = 4
+			// A full match cannot be beaten, and the lowest index wins
+			// ties, so the scan can stop here.
+			return cpackMatch{index: i, kind: 4}
 		case e>>8 == w>>8:
 			kind = 3
 		case e>>16 == w>>16:
@@ -105,19 +109,24 @@ func planWord(dict []uint32, w uint32) cpackWordPlan {
 	}
 }
 
-func (c cpackZ) Compress(line []byte) Encoded {
+func (c *cpackZ) Compress(line []byte) Encoded {
+	return c.CompressInto(make([]byte, 0, LineSize), line)
+}
+
+func (c *cpackZ) CompressInto(dst, line []byte) Encoded {
 	checkLine(line)
+	w := &c.w
+	w.Reset()
 	if isZeroLine(line) {
-		w := bitstream.NewWriter()
 		w.WriteBits(cpackZeroBlock, 2)
-		e := Encoded{Alg: CPackZ, Bits: w.Len(), Data: w.Bytes()}
+		e := Encoded{Alg: CPackZ, Bits: w.Len(), Data: w.AppendTo(dst)}
 		e.Patterns[1]++
 		return e
 	}
 	ws := words32(line)
-	w := bitstream.NewWriter()
 	var hist PatternHistogram
-	dict := make([]uint32, 0, cpackDictEntries)
+	var dictArr [cpackDictEntries]uint32
+	dict := dictArr[:0]
 	for _, word := range ws {
 		plan := planWord(dict, word)
 		hist[plan.pattern]++
@@ -147,14 +156,36 @@ func (c cpackZ) Compress(line []byte) Encoded {
 		}
 	}
 	if w.Len() >= LineBits {
-		e := rawEncoded(CPackZ, line, 8)
+		e := rawEncodedInto(CPackZ, dst, line, 8)
 		e.Patterns[8] = 16
 		return e
 	}
-	return Encoded{Alg: CPackZ, Bits: w.Len(), Data: w.Bytes(), Patterns: hist}
+	return Encoded{Alg: CPackZ, Bits: w.Len(), Data: w.AppendTo(dst), Patterns: hist}
 }
 
-func (c cpackZ) Decompress(enc Encoded) ([]byte, error) {
+func (c *cpackZ) CompressedBits(line []byte) int {
+	checkLine(line)
+	if isZeroLine(line) {
+		return 2
+	}
+	ws := words32(line)
+	var dictArr [cpackDictEntries]uint32
+	dict := dictArr[:0]
+	bits := 0
+	for _, word := range ws {
+		plan := planWord(dict, word)
+		bits += plan.bits
+		if plan.pattern == 3 && len(dict) < cpackDictEntries {
+			dict = append(dict, word)
+		}
+	}
+	if bits >= LineBits {
+		return LineBits
+	}
+	return bits
+}
+
+func (c *cpackZ) Decompress(enc Encoded) ([]byte, error) {
 	if enc.Alg != CPackZ {
 		return nil, fmt.Errorf("comp: C-Pack+Z decompressor fed %v data", enc.Alg)
 	}
@@ -166,7 +197,8 @@ func (c cpackZ) Decompress(enc Encoded) ([]byte, error) {
 	}
 	r := bitstream.NewReader(enc.Data)
 	line := make([]byte, LineSize)
-	dict := make([]uint32, 0, cpackDictEntries)
+	var dictArr [cpackDictEntries]uint32
+	dict := dictArr[:0]
 	for word := 0; word < 16; word++ {
 		t2, err := r.ReadBits(2)
 		if err != nil {

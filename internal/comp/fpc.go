@@ -25,14 +25,16 @@ import (
 // which any word matches no pattern ships uncompressed. This matches the
 // ratios the paper reports (e.g. FPC ≈ 1.00 on FIR while C-Pack+Z still
 // compresses it).
-type fpc struct{}
+type fpc struct {
+	w bitstream.Writer // encode scratch, reused across lines
+}
 
 // NewFPC returns the FPC codec.
-func NewFPC() Compressor { return fpc{} }
+func NewFPC() Compressor { return &fpc{} }
 
-func (fpc) Algorithm() Algorithm { return FPC }
+func (*fpc) Algorithm() Algorithm { return FPC }
 
-func (fpc) Cost() Cost { return fpcCost }
+func (*fpc) Cost() Cost { return fpcCost }
 
 // FPC prefixes, by Table II pattern number (index 1..8).
 const (
@@ -81,12 +83,21 @@ func fitsTwoHalfSignExt(w uint32) bool {
 	return bitstream.FitsSigned(lo, 8) && bitstream.FitsSigned(hi, 8)
 }
 
-func (f fpc) Compress(line []byte) Encoded {
+// fpcDataBits[p] is the data-bit count following the 3-bit prefix for word
+// pattern p (Table II).
+var fpcDataBits = [MaxPattern + 1]int{2: 0, 3: 8, 4: 4, 5: 8, 6: 16, 7: 16, 8: 16}
+
+func (f *fpc) Compress(line []byte) Encoded {
+	return f.CompressInto(make([]byte, 0, LineSize), line)
+}
+
+func (f *fpc) CompressInto(dst, line []byte) Encoded {
 	checkLine(line)
+	w := &f.w
+	w.Reset()
 	if isZeroLine(line) {
-		w := bitstream.NewWriter()
 		w.WriteBits(fpcZeroBlock, 3)
-		e := Encoded{Alg: FPC, Bits: w.Len(), Data: w.Bytes()}
+		e := Encoded{Alg: FPC, Bits: w.Len(), Data: w.AppendTo(dst)}
 		e.Patterns[1]++
 		return e
 	}
@@ -99,14 +110,13 @@ func (f fpc) Compress(line []byte) Encoded {
 			// One incompressible word forces the raw line (see doc above).
 			// Table VI counts each word of an uncompressed line as a
 			// pattern-9 detection.
-			e := rawEncoded(FPC, line, 9)
+			e := rawEncodedInto(FPC, dst, line, 9)
 			e.Patterns[9] = 16
 			return e
 		}
 		patterns[i] = p
 	}
 
-	w := bitstream.NewWriter()
 	var hist PatternHistogram
 	for i, word := range ws {
 		p := patterns[i]
@@ -136,14 +146,34 @@ func (f fpc) Compress(line []byte) Encoded {
 		}
 	}
 	if w.Len() >= LineBits {
-		e := rawEncoded(FPC, line, 9)
+		e := rawEncodedInto(FPC, dst, line, 9)
 		e.Patterns[9] = 16
 		return e
 	}
-	return Encoded{Alg: FPC, Bits: w.Len(), Data: w.Bytes(), Patterns: hist}
+	return Encoded{Alg: FPC, Bits: w.Len(), Data: w.AppendTo(dst), Patterns: hist}
 }
 
-func (f fpc) Decompress(enc Encoded) ([]byte, error) {
+func (f *fpc) CompressedBits(line []byte) int {
+	checkLine(line)
+	if isZeroLine(line) {
+		return 3
+	}
+	ws := words32(line)
+	bits := 0
+	for _, word := range ws {
+		p := classifyFPCWord(word)
+		if p == 9 {
+			return LineBits
+		}
+		bits += 3 + fpcDataBits[p]
+	}
+	if bits >= LineBits {
+		return LineBits
+	}
+	return bits
+}
+
+func (f *fpc) Decompress(enc Encoded) ([]byte, error) {
 	if enc.Alg != FPC {
 		return nil, fmt.Errorf("comp: FPC decompressor fed %v data", enc.Alg)
 	}

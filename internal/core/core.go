@@ -242,22 +242,22 @@ func (a *Adaptive) processSample(line []byte) Decision {
 
 	// Run every candidate on this transfer; all compressors run
 	// concurrently in hardware, so the added latency is the slowest
-	// compressor, and every compressor burns its compression energy.
-	encs := make([]comp.Encoded, nCand)
+	// compressor, and every compressor burns its compression energy. The
+	// penalty function consumes only the compressed size, so candidates run
+	// through the exact size-only estimator (CompressedBits(line) ==
+	// Compress(line).Bits, including the fallback to LineBits) and no
+	// losing bitstream is ever materialized; only the winner is encoded.
 	energy := 0.0
 	bestIdx := nCand // bypass
+	bestBits := comp.LineBits
 	bestPen := Penalty(a.cfg.Lambda, comp.LineBits, 0, 0)
 	for i, c := range a.cfg.Candidates {
-		encs[i] = c.Compress(line)
 		cost := c.Cost()
 		energy += cost.CompressionEnergyPJ()
-		bits := encs[i].Bits
-		if encs[i].Uncompressed {
-			bits = comp.LineBits
-		}
+		bits := c.CompressedBits(line)
 		pen := Penalty(a.cfg.Lambda, bits, cost.CompressionCycles, cost.DecompressionCycles)
 		if pen < bestPen {
-			bestPen, bestIdx = pen, i
+			bestPen, bestIdx, bestBits = pen, i, bits
 		}
 		a.votePen[i] += pen
 	}
@@ -266,13 +266,13 @@ func (a *Adaptive) processSample(line []byte) Decision {
 
 	// The sampled transfer itself ships with the per-sample winner.
 	d := Decision{Sampling: true, CompressionCycles: a.maxCompressionCycles, CodecEnergyPJ: energy}
-	if bestIdx == nCand || encs[bestIdx].Uncompressed {
+	if bestIdx == nCand || bestBits == comp.LineBits {
 		d.Alg = comp.None
 		d.Enc = rawLine(line)
 	} else {
 		winner := a.cfg.Candidates[bestIdx]
 		d.Alg = winner.Algorithm()
-		d.Enc = encs[bestIdx]
+		d.Enc = winner.Compress(line)
 		d.DecompressionCycles = winner.Cost().DecompressionCycles
 		d.CodecEnergyPJ += winner.Cost().DecompressionEnergyPJ()
 	}

@@ -135,7 +135,7 @@ type xbarDeliverEvent struct {
 // Handle implements sim.Handler.
 func (c *Crossbar) Handle(e sim.Event) error {
 	switch evt := e.(type) {
-	case sim.TickEvent:
+	case *sim.TickEvent:
 		c.schedule(e.Time())
 		return nil
 	case xbarDeliverEvent:

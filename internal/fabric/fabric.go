@@ -123,7 +123,7 @@ type transferDoneEvent struct {
 // Handle implements sim.Handler.
 func (b *Bus) Handle(e sim.Event) error {
 	switch e.(type) {
-	case sim.TickEvent:
+	case *sim.TickEvent:
 		b.arbitrate(e.Time())
 		return nil
 	case transferDoneEvent:

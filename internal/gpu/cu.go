@@ -125,7 +125,7 @@ func (c *CU) NotifyPortFree(now sim.Time, _ *sim.Port) { c.ticker.TickNow(now) }
 // Handle implements sim.Handler.
 func (c *CU) Handle(e sim.Event) error {
 	switch e.(type) {
-	case sim.TickEvent:
+	case *sim.TickEvent:
 		return c.tick(e.Time())
 	default:
 		return fmt.Errorf("%s: unexpected event %T", c.Name(), e)

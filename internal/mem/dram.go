@@ -87,7 +87,7 @@ type dramDoneEvent struct {
 // responses.
 func (d *DRAM) Handle(e sim.Event) error {
 	switch evt := e.(type) {
-	case sim.TickEvent:
+	case *sim.TickEvent:
 		d.tick(e.Time())
 		return nil
 	case dramDoneEvent:

@@ -57,7 +57,7 @@ func (p Payload) Decode() ([]byte, error) {
 	if p.Alg == comp.None {
 		return p.Raw, nil
 	}
-	return comp.NewCompressor(p.Alg).Decompress(p.Enc)
+	return comp.Decode(p.Enc)
 }
 
 // DataReady answers a ReadReq.

@@ -163,7 +163,7 @@ type delayedDeliverEvent struct {
 // Handle implements sim.Handler.
 func (e *Engine) Handle(ev sim.Event) error {
 	switch evt := ev.(type) {
-	case sim.TickEvent:
+	case *sim.TickEvent:
 		return e.tick(ev.Time())
 	case delayedSendEvent:
 		e.outQueue = append(e.outQueue, evt.msg)

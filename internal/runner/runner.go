@@ -175,6 +175,7 @@ type recorder struct {
 	energy  float64
 	per     map[comp.Algorithm]*CodecStats
 	series  *stats.Series
+	scratch []byte // characterization encode buffer, reused across lines
 }
 
 func newRecorder(opts Options) *recorder {
@@ -211,7 +212,10 @@ func (r *recorder) Payload(line []byte, d core.Decision) {
 	r.energy += d.CodecEnergyPJ
 	if len(line) == comp.LineSize {
 		for _, c := range r.codecs {
-			enc := c.Compress(line)
+			// Characterization needs sizes and pattern histograms but never
+			// ships the encoding, so the bitstream lands in a reused buffer.
+			enc := c.CompressInto(r.scratch[:0], line)
+			r.scratch = enc.Data
 			cs := r.per[c.Algorithm()]
 			cs.CompressedBytes += uint64(enc.WireBytes())
 			cs.Patterns.Add(enc.Patterns)

@@ -29,6 +29,9 @@ func NewComponentBase(name string) ComponentBase {
 func (c *ComponentBase) Name() string { return c.name }
 
 // TickEvent asks a ticking component to make progress at a certain cycle.
+// Ticks dispatched through Engine.ScheduleTick arrive as a *TickEvent that
+// the engine reuses across dispatches; handlers must read what they need
+// (typically just Time) during Handle and not retain the pointer.
 type TickEvent struct {
 	EventBase
 }
@@ -69,7 +72,10 @@ func (t *Ticker) TickAt(when Time) {
 	}
 	t.hasAsked = true
 	t.nextAsked = when
-	t.Engine.Schedule(TickEvent{EventBase: NewEventBase(when, tickerTrampoline{t})})
+	// tickerTrampoline is a single-pointer struct, so converting it to
+	// Handler is a direct interface — together with ScheduleTick's reusable
+	// event this makes a tick request allocation-free.
+	t.Engine.ScheduleTick(when, tickerTrampoline{t})
 }
 
 // tickerTrampoline filters stale tick events: only the event matching the

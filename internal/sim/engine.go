@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -55,45 +54,97 @@ func (e EventBase) Time() Time { return e.EvtTime }
 // Handler returns the handler that processes the event.
 func (e EventBase) Handler() Handler { return e.EvtHandler }
 
+// queuedEvent is one pending entry. The time is cached so ordering never
+// calls through the Event interface, and lightweight ticks scheduled with
+// ScheduleTick carry only a Handler (evt is nil), avoiding the interface
+// boxing allocation that scheduling a concrete event value would cost.
 type queuedEvent struct {
-	evt Event
-	seq uint64 // tie-breaker for determinism
+	time Time
+	seq  uint64 // tie-breaker for determinism
+	evt  Event  // nil for lightweight ticks
+	h    Handler
 }
 
-type eventHeap []queuedEvent
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	ti, tj := h[i].evt.Time(), h[j].evt.Time()
-	if ti != tj {
-		return ti < tj
+func (q queuedEvent) less(o queuedEvent) bool {
+	if q.time != o.time {
+		return q.time < o.time
 	}
-	return h[i].seq < h[j].seq
+	return q.seq < o.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// eventQueue is a hand-rolled 4-ary min-heap over queuedEvent. Compared to
+// container/heap it is monomorphic (no `any` boxing, no interface-method
+// dispatch per comparison) and shallower (4 children per node), which
+// matters because every simulated event passes through it. The order is the
+// same (time, seq) total order the binary heap used, so runs stay
+// deterministic.
+type eventQueue []queuedEvent
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(queuedEvent)) }
+func (q *eventQueue) push(qe queuedEvent) {
+	h := append(*q, qe)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !qe.less(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = qe
+	*q = h
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (q *eventQueue) pop() queuedEvent {
+	h := *q
+	top := h[0]
+	last := h[len(h)-1]
+	h[len(h)-1] = queuedEvent{} // release the Event/Handler references
+	h = h[:len(h)-1]
+	n := len(h)
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].less(h[m]) {
+					m = j
+				}
+			}
+			if !h[m].less(last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	*q = h
+	return top
 }
 
 // Engine drives the simulation. It is not safe for concurrent use; the
 // entire simulation runs on one goroutine, which keeps runs deterministic.
 type Engine struct {
-	queue     eventHeap
+	queue     eventQueue
 	now       Time
 	seq       uint64
 	scheduled uint64
 	handled   uint64
 	paused    bool
 	maxTime   Time
+	// tick is the reusable event dispatched for ScheduleTick entries. It is
+	// rewritten before every lightweight dispatch, so handlers must not
+	// retain it past Handle.
+	tick TickEvent
 }
 
 // NewEngine creates an empty engine at time 0.
@@ -113,12 +164,27 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Schedule enqueues an event. Scheduling an event in the past panics: it is
 // always a model bug and silently reordering would corrupt results.
 func (e *Engine) Schedule(evt Event) {
-	if evt.Time() < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", evt.Time(), e.now))
+	t := evt.Time()
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
 	e.scheduled++
-	heap.Push(&e.queue, queuedEvent{evt: evt, seq: e.seq})
+	e.queue.push(queuedEvent{time: t, seq: e.seq, evt: evt})
+}
+
+// ScheduleTick enqueues a lightweight tick for h at time t without
+// allocating: the handler receives a reusable *TickEvent owned by the
+// engine, valid only for the duration of Handle. It shares Schedule's
+// (time, seq) order and counters, so a run is indistinguishable from one
+// that scheduled equivalent TickEvent values.
+func (e *Engine) ScheduleTick(t Time, h Handler) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling tick at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.scheduled++
+	e.queue.push(queuedEvent{time: t, seq: e.seq, h: h})
 }
 
 // Pause stops Run before the next event is dispatched. It may be called from
@@ -135,16 +201,23 @@ func (e *Engine) SetMaxTime(t Time) { e.maxTime = t }
 func (e *Engine) Run() error {
 	e.paused = false
 	for len(e.queue) > 0 && !e.paused {
-		next := heap.Pop(&e.queue).(queuedEvent)
-		t := next.evt.Time()
-		if t > e.maxTime {
-			// Put it back so a later Run with a larger deadline can resume.
-			heap.Push(&e.queue, next)
+		// Peek first: an event past the deadline stays queued so a later
+		// Run with a larger deadline can resume.
+		if e.queue[0].time > e.maxTime {
 			return nil
 		}
+		next := e.queue.pop()
+		t := next.time
 		e.now = t
 		e.handled++
-		if err := next.evt.Handler().Handle(next.evt); err != nil {
+		var err error
+		if next.evt != nil {
+			err = next.evt.Handler().Handle(next.evt)
+		} else {
+			e.tick = TickEvent{EventBase: NewEventBase(t, next.h)}
+			err = next.h.Handle(&e.tick)
+		}
+		if err != nil {
 			return fmt.Errorf("sim: event at %d: %w", t, err)
 		}
 	}

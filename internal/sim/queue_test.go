@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Tests pinning the hand-rolled 4-ary event queue and the allocation-free
+// ScheduleTick path to the semantics of the container/heap implementation
+// they replaced.
+
+// TestEventQueuePopsSortedOrder: pushing random (time, seq) entries and
+// popping them all yields exactly the (time, seq) sort — the total order the
+// engine's determinism rests on.
+func TestEventQueuePopsSortedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		var q eventQueue
+		entries := make([]queuedEvent, 0, n)
+		for seq := 0; seq < n; seq++ {
+			qe := queuedEvent{time: Time(rng.Intn(32)), seq: uint64(seq)}
+			entries = append(entries, qe)
+			q.push(qe)
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].less(entries[j]) })
+		for i, want := range entries {
+			got := q.pop()
+			if got.time != want.time || got.seq != want.seq {
+				t.Fatalf("trial %d: pop %d = (%d,%d), want (%d,%d)",
+					trial, i, got.time, got.seq, want.time, want.seq)
+			}
+		}
+		if len(q) != 0 {
+			t.Fatalf("trial %d: queue not drained", trial)
+		}
+	}
+}
+
+// TestEventQueueInterleavedPushPop exercises the heap under the engine's
+// actual access pattern: pops interleaved with pushes of later times.
+func TestEventQueueInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var q eventQueue
+	seq := uint64(0)
+	now := Time(0)
+	var last queuedEvent
+	popped := 0
+	for step := 0; step < 10000; step++ {
+		if len(q) == 0 || rng.Intn(3) > 0 {
+			seq++
+			q.push(queuedEvent{time: now + Time(rng.Intn(16)), seq: seq})
+			continue
+		}
+		got := q.pop()
+		if popped > 0 && got.less(last) {
+			t.Fatalf("step %d: pop (%d,%d) after (%d,%d)", step, got.time, got.seq, last.time, last.seq)
+		}
+		if got.time < now {
+			t.Fatalf("step %d: time went backwards", step)
+		}
+		now = got.time
+		last = got
+		popped++
+	}
+}
+
+// TestScheduleTickInterleavesWithSchedule: lightweight ticks and boxed
+// events share one (time, seq) order, so mixing the two APIs preserves FIFO
+// at equal timestamps.
+func TestScheduleTickInterleavesWithSchedule(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	mk := func(id int) Handler {
+		return handlerFunc(func(Event) error {
+			order = append(order, id)
+			return nil
+		})
+	}
+	e.ScheduleTick(3, mk(0))
+	e.Schedule(TickEvent{EventBase: NewEventBase(3, mk(1))})
+	e.ScheduleTick(1, mk(2))
+	e.Schedule(TickEvent{EventBase: NewEventBase(3, mk(3))})
+	e.ScheduleTick(3, mk(4))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 0, 1, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.EventCount() != 5 {
+		t.Fatalf("EventCount = %d, want 5", e.EventCount())
+	}
+}
+
+// TestScheduleTickEventCarriesTime: the reusable tick event reports the
+// scheduled time of each dispatch, even when one handler has several ticks
+// in flight.
+func TestScheduleTickEventCarriesTime(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	h := handlerFunc(func(ev Event) error {
+		times = append(times, ev.Time())
+		if _, ok := ev.(*TickEvent); !ok {
+			t.Fatalf("tick dispatched as %T, want *TickEvent", ev)
+		}
+		return nil
+	})
+	for _, tm := range []Time{7, 2, 2, 9} {
+		e.ScheduleTick(tm, h)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{2, 2, 7, 9}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+// TestScheduleTickInPastPanics mirrors the Schedule contract.
+func TestScheduleTickInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleTick(10, handlerFunc(func(Event) error { return nil }))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling a tick in the past did not panic")
+		}
+	}()
+	e.ScheduleTick(5, handlerFunc(func(Event) error { return nil }))
+}
+
+// TestRunUntilLeavesTickQueued: the peek-based deadline check must also hold
+// for lightweight ticks.
+func TestRunUntilLeavesTickQueued(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	h := handlerFunc(func(ev Event) error {
+		fired = append(fired, ev.Time())
+		return nil
+	})
+	e.ScheduleTick(5, h)
+	e.ScheduleTick(15, h)
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || e.Pending() != 1 {
+		t.Fatalf("fired %v pending %d, want 1 event fired and 1 pending", fired, e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[1] != 15 {
+		t.Fatalf("fired = %v after resume", fired)
+	}
+}
+
+// BenchmarkEngineScheduleTickChurn measures the lightweight tick path —
+// schedule and dispatch with the engine-owned reusable event. Must be
+// 0 allocs/op in steady state.
+func BenchmarkEngineScheduleTickChurn(b *testing.B) {
+	e := NewEngine()
+	h := handlerFunc(func(Event) error { return nil })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleTick(e.Now()+Time(i%64), h)
+		if i%1024 == 1023 {
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineDeepQueueChurn keeps the queue at a constant 4096 pending
+// entries (every handled tick re-schedules one) and measures dispatch in
+// the heap's O(log n) regime. Must be 0 allocs/op in steady state.
+func BenchmarkEngineDeepQueueChurn(b *testing.B) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(8))
+	var h handlerFunc
+	h = func(ev Event) error {
+		e.ScheduleTick(ev.Time()+1+Time(rng.Intn(1024)), h)
+		return nil
+	}
+	const depth = 4096
+	for i := 0; i < depth; i++ {
+		e.ScheduleTick(1+Time(rng.Intn(1024)), h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.RunUntil(e.queue[0].time); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

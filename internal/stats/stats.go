@@ -160,7 +160,9 @@ func (s *Series) Observe(line []byte) {
 		Size:    make(map[comp.Algorithm]int, len(s.codecs)),
 	}
 	for _, c := range s.codecs {
-		smp.Size[c.Algorithm()] = c.Compress(line).WireBytes()
+		// The figure only needs sizes, so the exact size-only estimator
+		// avoids materializing a bitstream per codec per transfer.
+		smp.Size[c.Algorithm()] = (c.CompressedBits(line) + 7) / 8
 	}
 	s.Samples = append(s.Samples, smp)
 }
