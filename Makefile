@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci lint test short race cover bench bench-smoke reproduce ablations examples fmt vet
+.PHONY: all ci lint test short race cover fuzz-smoke bench bench-smoke reproduce ablations examples fmt vet
 
 # Packages whose hot paths must stay clean of lint suppressions: the
 # zero-allocation fast paths are exactly where a silenced analyzer would
@@ -26,6 +26,8 @@ ci:
 		echo "hot-path packages must not carry lint:ignore suppressions"; exit 1; \
 	fi
 	@echo "hot-path lint-suppression gate: OK"
+	$(MAKE) cover
+	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
 	@mkdir -p bin
 	go run ./examples/quickstart -metrics-out bin/metrics-a.json >/dev/null
@@ -47,8 +49,25 @@ short:
 race:
 	go test -race ./...
 
+# Coverage with a floor: the short suite must keep total statement coverage
+# at or above COVER_FLOOR so new subsystems land with their tests.
+COVER_FLOOR := 75
+
 cover:
-	go test -cover ./...
+	@mkdir -p bin
+	go test -short -coverprofile=bin/cover.out ./...
+	@total=$$(go tool cover -func=bin/cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v floor=$(COVER_FLOOR) 'BEGIN { exit (t + 0 >= floor) ? 0 : 1 }' || \
+		{ echo "total coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Short fuzz passes over the committed seed corpora (testdata/fuzz) plus ten
+# seconds of new exploration per target: enough to catch encoder/bitstream
+# regressions pre-merge without turning ci into a fuzzing campaign.
+fuzz-smoke:
+	go test ./internal/comp -run='^$$' -fuzz='^FuzzCompressedBits$$' -fuzztime=10s
+	go test ./internal/bitstream -run='^$$' -fuzz='^FuzzWriteBitsDifferential$$' -fuzztime=10s
+	go test ./internal/bitstream -run='^$$' -fuzz='^FuzzReadBitsDifferential$$' -fuzztime=10s
 
 # Full benchmark pass: every Go benchmark with allocation reporting, then
 # the committed hot-path report (micro numbers, baseline speedups, and the

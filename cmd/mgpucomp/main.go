@@ -17,6 +17,7 @@ import (
 	"mgpucompress/internal/comp"
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/fabric"
+	"mgpucompress/internal/fault"
 	"mgpucompress/internal/runner"
 	"mgpucompress/internal/sim"
 	"mgpucompress/internal/stats"
@@ -40,11 +41,16 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "print a fabric transfer timeline summary")
 	statsFlag := flag.Bool("stats", false, "print the hardware counter report")
 	seed := flag.Int64("seed", 0, "workload input-generation seed (0 = the workload's fixed default)")
+	faultProfile := flag.String("fault-profile", "off", "fault-injection profile: off|light|aggressive or k=v list (corrupt=,drop=,delay=,delaycycles=,timeout=,attempts=,degradek=)")
 	metricsOut := flag.String("metrics-out", "", "write the full metric snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
 	flag.Parse()
 
 	pol, err := core.ParsePolicy(strings.ToLower(*policy))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := fault.Parse(*faultProfile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +65,7 @@ func main() {
 		RemoteCache:  *remoteCache,
 		Trace:        *traceFlag || *traceOut != "",
 		Seed:         *seed,
+		Fault:        prof,
 	}
 	if err := opts.Validate(); err != nil {
 		log.Fatal(err)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mgpucompress/internal/comp"
+	"mgpucompress/internal/fault"
 	"mgpucompress/internal/runner"
 	"mgpucompress/internal/sweep"
 	"mgpucompress/internal/workloads"
@@ -43,18 +44,23 @@ func main() {
 	seed := flag.Int64("seed", 0, "pin every job's input seed (0 = per-job fingerprint seeds)")
 	metricsOut := flag.String("metrics-out", "", "write every job's metric snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of all jobs to this file")
+	faultProfile := flag.String("fault-profile", "off", "fault-injection profile: off|light|aggressive or k=v list")
 	flag.Parse()
 
-	if err := run(*out, *scale, *cus, *jobs, *resume, *quiet, *seed, *metricsOut, *traceOut); err != nil {
+	prof, err := fault.Parse(*faultProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run(*out, *scale, *cus, *jobs, *resume, *quiet, *seed, prof, *metricsOut, *traceOut); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(out string, scale, cus, jobs int, resume string, quiet bool, seed int64, metricsOut, traceOut string) error {
+func run(out string, scale, cus, jobs int, resume string, quiet bool, seed int64, prof fault.Profile, metricsOut, traceOut string) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	o := runner.ExpOptions{Scale: workloads.Scale(scale), CUsPerGPU: cus, Seed: seed}
+	o := runner.ExpOptions{Scale: workloads.Scale(scale), CUsPerGPU: cus, Seed: seed, Fault: prof}
 	start := time.Now()
 
 	if jobs <= 0 {

@@ -1,0 +1,24 @@
+// Package fault is the wallclock fixture for the fault-injection domain:
+// injected faults must derive from the job seed, never the host clock or a
+// shared global stream, or same-seed replay stops being byte-identical.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sneakySeed() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic package"
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want "package-global math/rand.Float64"
+}
+
+// perLink builds a private stream from the link-derived seed: the sanctioned
+// injector idiom, never flagged.
+func perLink(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

@@ -30,7 +30,7 @@ var deterministic = map[string]bool{
 	"sim": true, "comp": true, "fabric": true, "gpu": true, "mem": true,
 	"rdma": true, "stats": true, "workloads": true, "energy": true,
 	"core": true, "cache": true, "platform": true, "bitstream": true,
-	"trace": true,
+	"trace": true, "fault": true,
 }
 
 // bannedTime are the time package functions that read or wait on the host

@@ -11,6 +11,12 @@ func TestWallclockFixture(t *testing.T) {
 	analysis.RunFixture(t, "testdata/src/sim", wallclock.Analyzer)
 }
 
+// TestWallclockFaultFixture: the fault-injection package family is part of
+// the deterministic domain — injector randomness must be seed-derived.
+func TestWallclockFaultFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/fault", wallclock.Analyzer)
+}
+
 // TestWallclockAllowsOrchestration checks the zero-diagnostic fixture: the
 // sweep package family may read the host clock.
 func TestWallclockAllowsOrchestration(t *testing.T) {
@@ -22,6 +28,7 @@ func TestDeterministicDomain(t *testing.T) {
 		"mgpucompress/internal/sim":       true,
 		"mgpucompress/internal/comp":      true,
 		"mgpucompress/internal/workloads": true,
+		"mgpucompress/internal/fault":     true,
 		"mgpucompress/internal/sweep":     false,
 		"mgpucompress/internal/runner":    false,
 		"mgpucompress/internal/analysis":  false,

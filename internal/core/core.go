@@ -136,6 +136,11 @@ type Config struct {
 	// degenerating into an on/off decision; that is supported by passing
 	// one candidate.
 	Candidates []comp.Compressor
+	// DegradeK is the graceful-degradation threshold: after K consecutive
+	// codec-attributed integrity failures (ObserveIntegrity(false) from the
+	// transport's reliability guard) the controller forces bypass for its
+	// next running phase. Default 3.
+	DegradeK int
 }
 
 func (c *Config) fillDefaults() {
@@ -151,6 +156,17 @@ func (c *Config) fillDefaults() {
 	if len(c.Candidates) == 0 {
 		c.Candidates = comp.AllCompressors()
 	}
+	if c.DegradeK <= 0 {
+		c.DegradeK = 3
+	}
+}
+
+// IntegrityObserver is implemented by policies that react to end-to-end
+// payload integrity outcomes. The RDMA engine's reliability guard calls it
+// with false for every codec-attributed CRC failure (a NACK naming a
+// nonzero Comp Alg) and true when a compressed transfer completes cleanly.
+type IntegrityObserver interface {
+	ObserveIntegrity(ok bool)
 }
 
 // PhaseHook observes the controller's phase transitions: it fires when a
@@ -173,6 +189,11 @@ type Adaptive struct {
 
 	processed uint64
 	hook      PhaseHook
+
+	// integrity / graceful-degradation state
+	integFails     int  // consecutive codec-attributed failures
+	degradePending bool // force bypass at the next sampling-phase close
+	degradedPhases uint64
 
 	// maxCompressionCycles is the sampling-phase latency: the paper notes
 	// that running all codecs concurrently costs the slowest codec's
@@ -227,6 +248,36 @@ func (a *Adaptive) SelectionHistory() []comp.Algorithm {
 
 // SetPhaseHook installs the phase-transition observer.
 func (a *Adaptive) SetPhaseHook(h PhaseHook) { a.hook = h }
+
+// SetDegradeK overrides the degradation threshold after construction (the
+// fault profile's degradek knob reaches the controller this way).
+func (a *Adaptive) SetDegradeK(k int) {
+	if k > 0 {
+		a.cfg.DegradeK = k
+	}
+}
+
+// ObserveIntegrity implements IntegrityObserver. K consecutive failures arm
+// graceful degradation: the next sampling phase closes on bypass regardless
+// of the votes, so the following running phase ships every line raw while
+// the (possibly faulty) compression path sits out. The event is counted in
+// DegradedPhases.
+func (a *Adaptive) ObserveIntegrity(ok bool) {
+	if ok {
+		a.integFails = 0
+		return
+	}
+	a.integFails++
+	if a.integFails >= a.cfg.DegradeK && !a.degradePending {
+		a.degradePending = true
+		a.degradedPhases++
+		a.integFails = 0
+	}
+}
+
+// DegradedPhases returns how many running phases were forced to bypass by
+// integrity failures.
+func (a *Adaptive) DegradedPhases() uint64 { return a.degradedPhases }
 
 // Process implements Policy.
 func (a *Adaptive) Process(line []byte) Decision {
@@ -294,6 +345,13 @@ func (a *Adaptive) closeSamplingPhase() {
 			(a.votes[i] == a.votes[best] && a.votePen[i] < a.votePen[best]) {
 			best = i
 		}
+	}
+	if a.degradePending {
+		// Graceful degradation: repeated integrity failures overrule the
+		// votes and force bypass for the upcoming running phase. Sampling
+		// resumes normally afterwards.
+		best = len(a.cfg.Candidates)
+		a.degradePending = false
 	}
 	a.selected = best
 	if best == len(a.cfg.Candidates) {
@@ -365,6 +423,14 @@ func (a *Adaptive) RegisterMetrics(reg *metrics.Registry, prefix string) {
 		return n
 	})
 	reg.GaugeFunc(prefix+"/lambda", func() float64 { return a.cfg.Lambda })
+}
+
+// RegisterIntegrityMetrics exposes the degradation counter under prefix. It
+// is split from RegisterMetrics because registered paths shape snapshot
+// bytes: the path exists only when the fault layer is enabled, keeping
+// fault-free snapshots byte-identical to pre-guard builds.
+func (a *Adaptive) RegisterIntegrityMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/degraded_phases", func() uint64 { return a.degradedPhases })
 }
 
 // PolicyFactory validates id once and returns a constructor that builds

@@ -133,6 +133,18 @@ func (d *DynamicAdaptive) Selected() (alg fmt.Stringer, sampling bool) {
 // SetPhaseHook forwards the phase observer to the inner controller.
 func (d *DynamicAdaptive) SetPhaseHook(h PhaseHook) { d.inner.SetPhaseHook(h) }
 
+// ObserveIntegrity forwards the transport's integrity signal to the inner
+// controller (IntegrityObserver).
+func (d *DynamicAdaptive) ObserveIntegrity(ok bool) { d.inner.ObserveIntegrity(ok) }
+
+// SetDegradeK forwards the degradation threshold to the inner controller.
+func (d *DynamicAdaptive) SetDegradeK(k int) { d.inner.SetDegradeK(k) }
+
+// RegisterIntegrityMetrics forwards to the inner controller.
+func (d *DynamicAdaptive) RegisterIntegrityMetrics(reg *metrics.Registry, prefix string) {
+	d.inner.RegisterIntegrityMetrics(reg, prefix)
+}
+
 // RegisterMetrics exposes the inner controller's counters plus the
 // dynamic-λ recalibration count under prefix.
 func (d *DynamicAdaptive) RegisterMetrics(reg *metrics.Registry, prefix string) {

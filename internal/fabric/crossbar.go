@@ -151,8 +151,11 @@ func (c *Crossbar) Handle(e sim.Event) error {
 				Kind:  fmt.Sprintf("%T", evt.msg),
 			})
 		}
-		evt.msg.Meta().Dst.Deliver(e.Time(), evt.msg)
+		deliverFaulty(c.engine, c, c.cfg.Fault, e.Time(), evt.msg)
 		c.schedule(e.Time())
+		return nil
+	case faultDeliverEvent:
+		redeliver(c.engine, c, e.Time(), evt.msg)
 		return nil
 	default:
 		return fmt.Errorf("fabric %s: unexpected event %T", c.Name(), e)

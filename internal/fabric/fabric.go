@@ -9,6 +9,7 @@ package fabric
 import (
 	"fmt"
 
+	"mgpucompress/internal/fault"
 	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/sim"
 	"mgpucompress/internal/trace"
@@ -26,6 +27,11 @@ type Config struct {
 	// Trace, when non-nil, records every completed transfer for offline
 	// timeline analysis.
 	Trace *trace.Log
+	// Fault, when non-nil, is consulted at every delivery and may drop,
+	// delay, or corrupt injectable messages. Transfer accounting (bytes,
+	// messages, busy cycles, trace records) always reflects the transmission
+	// as sent: a dropped message still burned its bus cycles.
+	Fault *fault.Injector
 }
 
 // DefaultConfig returns the Table VII fabric (shared bus).
@@ -120,14 +126,62 @@ type transferDoneEvent struct {
 	sim.EventBase
 }
 
+// faultDeliverEvent finishes a fault-delayed delivery. It is shared by the
+// bus and the crossbar; the handler is whichever fabric scheduled it.
+type faultDeliverEvent struct {
+	sim.EventBase
+	msg sim.Msg
+}
+
+// redeliver lands a delayed message. Arriving this late, the destination's
+// CanAccept reservation from arbitration time no longer holds, so the
+// delivery is re-checked and pushed back a few cycles while the input
+// buffer is full.
+func redeliver(engine *sim.Engine, h sim.Handler, now sim.Time, msg sim.Msg) {
+	if !msg.Meta().Dst.CanAccept(msg.Meta().Bytes) {
+		engine.Schedule(faultDeliverEvent{
+			EventBase: sim.NewEventBase(now+8, h),
+			msg:       msg,
+		})
+		return
+	}
+	msg.Meta().Dst.Deliver(now, msg)
+}
+
+// deliverFaulty routes one completed transfer through the injector (when
+// configured) and delivers what survives. It reports whether the message
+// was delivered immediately (false: dropped or postponed).
+func deliverFaulty(engine *sim.Engine, h sim.Handler, inj *fault.Injector, now sim.Time, msg sim.Msg) bool {
+	if inj == nil {
+		msg.Meta().Dst.Deliver(now, msg)
+		return true
+	}
+	out := inj.Apply(msg)
+	if out.Msg == nil {
+		return false // dropped; the RDMA guard's timeout recovers
+	}
+	if out.Delay > 0 {
+		engine.Schedule(faultDeliverEvent{
+			EventBase: sim.NewEventBase(now+out.Delay, h),
+			msg:       out.Msg,
+		})
+		return false
+	}
+	out.Msg.Meta().Dst.Deliver(now, out.Msg)
+	return true
+}
+
 // Handle implements sim.Handler.
 func (b *Bus) Handle(e sim.Event) error {
-	switch e.(type) {
+	switch evt := e.(type) {
 	case *sim.TickEvent:
 		b.arbitrate(e.Time())
 		return nil
 	case transferDoneEvent:
 		b.completeTransfer(e.Time())
+		return nil
+	case faultDeliverEvent:
+		redeliver(b.engine, b, e.Time(), evt.msg)
 		return nil
 	default:
 		return fmt.Errorf("fabric %s: unexpected event %T", b.Name(), e)
@@ -185,7 +239,7 @@ func (b *Bus) completeTransfer(now sim.Time) {
 			Kind:  fmt.Sprintf("%T", msg),
 		})
 	}
-	msg.Meta().Dst.Deliver(now, msg)
+	deliverFaulty(b.engine, b, b.cfg.Fault, now, msg)
 	b.arbitrate(now)
 }
 

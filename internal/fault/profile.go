@@ -1,0 +1,204 @@
+// Package fault is the deterministic fault-injection engine for the
+// inter-GPU fabric. It perturbs message delivery — corrupting payload bits,
+// dropping messages, and adding delay — at configurable per-link rates, with
+// every decision drawn from per-link PRNG streams seeded from the job's
+// sweep-derived seed. Faults are therefore a pure function of the (profile,
+// seed, traffic) triple: two runs of the same job inject byte-identical
+// fault sequences, so faulty runs are as reproducible as clean ones.
+//
+// Only messages that opt in via the Injectable marker (the RDMA wire
+// messages, which sit under a CRC/NACK/retry protocol) are ever touched;
+// control traffic such as kernel launches has no recovery path and is never
+// injected.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Profile describes the fault rates on every fabric link plus the recovery
+// knobs of the RDMA guard protocol that accompanies them. The zero value is
+// "off": no injection, no guard, no behavioural change anywhere.
+type Profile struct {
+	// CorruptRate is the per-delivery probability of flipping one payload
+	// bit of a corruptible message.
+	CorruptRate float64
+	// DropRate is the per-delivery probability of losing the message.
+	DropRate float64
+	// DelayRate is the per-delivery probability of late delivery.
+	DelayRate float64
+	// DelayCycles is how late a delayed message arrives.
+	DelayCycles int
+
+	// TimeoutCycles is the RDMA guard's base retransmit timeout; attempt n
+	// waits TimeoutCycles<<(n-1) (exponential backoff). 0 = default 4096.
+	TimeoutCycles int
+	// MaxAttempts bounds transmissions per request (initial send included)
+	// before the engine gives up with a hard error. 0 = default 10.
+	MaxAttempts int
+	// DegradeK is the number of consecutive codec-attributed integrity
+	// failures after which the adaptive controller degrades to bypass for
+	// its next running phase. 0 = default 3.
+	DegradeK int
+}
+
+// Guard protocol defaults, applied by the consumers of a Profile when the
+// corresponding field is zero.
+const (
+	DefaultTimeoutCycles = 4096
+	DefaultMaxAttempts   = 10
+	DefaultDegradeK      = 3
+)
+
+// Enabled reports whether the profile injects any faults. A disabled
+// profile must leave the simulated system byte-identical to one that never
+// heard of this package.
+func (p Profile) Enabled() bool {
+	return p.CorruptRate > 0 || p.DropRate > 0 || p.DelayRate > 0
+}
+
+// Validate reports the first out-of-range field.
+func (p Profile) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"corrupt", p.CorruptRate}, {"drop", p.DropRate}, {"delay", p.DelayRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s rate %g outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.DelayCycles < 0 {
+		return fmt.Errorf("fault: negative delay cycles %d", p.DelayCycles)
+	}
+	if p.TimeoutCycles < 0 {
+		return fmt.Errorf("fault: negative timeout %d", p.TimeoutCycles)
+	}
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("fault: negative max attempts %d", p.MaxAttempts)
+	}
+	if p.DegradeK < 0 {
+		return fmt.Errorf("fault: negative degrade threshold %d", p.DegradeK)
+	}
+	return nil
+}
+
+// Timeout returns the effective base timeout.
+func (p Profile) Timeout() int {
+	if p.TimeoutCycles > 0 {
+		return p.TimeoutCycles
+	}
+	return DefaultTimeoutCycles
+}
+
+// Attempts returns the effective transmission bound.
+func (p Profile) Attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+// Degrade returns the effective consecutive-failure threshold.
+func (p Profile) Degrade() int {
+	if p.DegradeK > 0 {
+		return p.DegradeK
+	}
+	return DefaultDegradeK
+}
+
+// Canonical returns the profile's canonical textual form: "" when disabled,
+// otherwise a fixed-order k=v list that round-trips through Parse. The
+// canonical form is what enters sweep.JobKey, so spelling a profile two ways
+// ("light" vs its explicit rates) lands on one fingerprint.
+func (p Profile) Canonical() string {
+	if !p.Enabled() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "corrupt=%g,drop=%g,delay=%g,delaycycles=%d",
+		p.CorruptRate, p.DropRate, p.DelayRate, p.DelayCycles)
+	if p.TimeoutCycles != 0 {
+		fmt.Fprintf(&b, ",timeout=%d", p.TimeoutCycles)
+	}
+	if p.MaxAttempts != 0 {
+		fmt.Fprintf(&b, ",attempts=%d", p.MaxAttempts)
+	}
+	if p.DegradeK != 0 {
+		fmt.Fprintf(&b, ",degradek=%d", p.DegradeK)
+	}
+	return b.String()
+}
+
+// presets are the named profiles accepted by Parse.
+var presets = map[string]Profile{
+	"off": {},
+	"light": {
+		CorruptRate: 0.01, DropRate: 0.005, DelayRate: 0.02, DelayCycles: 64,
+	},
+	"aggressive": {
+		CorruptRate: 0.05, DropRate: 0.02, DelayRate: 0.05, DelayCycles: 128,
+	},
+}
+
+// PresetNames lists the named profiles for usage strings.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse turns a -fault-profile flag value into a Profile. It accepts a
+// preset name (off, light, aggressive), the empty string (off), or an
+// explicit comma-separated k=v list, e.g.
+//
+//	corrupt=0.05,drop=0.02,delay=0.1,delaycycles=128,timeout=4096,attempts=10,degradek=3
+func Parse(s string) (Profile, error) {
+	s = strings.TrimSpace(s)
+	if p, ok := presets[strings.ToLower(s)]; ok || s == "" {
+		return p, nil
+	}
+	var p Profile
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("fault: %q is not a preset (%s) or k=v pair",
+				field, strings.Join(PresetNames(), "|"))
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "corrupt":
+			p.CorruptRate, err = strconv.ParseFloat(v, 64)
+		case "drop":
+			p.DropRate, err = strconv.ParseFloat(v, 64)
+		case "delay":
+			p.DelayRate, err = strconv.ParseFloat(v, 64)
+		case "delaycycles":
+			p.DelayCycles, err = strconv.Atoi(v)
+		case "timeout":
+			p.TimeoutCycles, err = strconv.Atoi(v)
+		case "attempts":
+			p.MaxAttempts, err = strconv.Atoi(v)
+		case "degradek":
+			p.DegradeK, err = strconv.Atoi(v)
+		default:
+			return Profile{}, fmt.Errorf("fault: unknown profile key %q", k)
+		}
+		if err != nil {
+			return Profile{}, fmt.Errorf("fault: bad value for %s: %w", k, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}

@@ -12,6 +12,7 @@ import (
 	"mgpucompress/internal/comp"
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/fabric"
+	"mgpucompress/internal/fault"
 	"mgpucompress/internal/gpu"
 	"mgpucompress/internal/mem"
 	"mgpucompress/internal/metrics"
@@ -55,6 +56,16 @@ type Config struct {
 	// Spans, when non-nil, receives kernel launches and adaptive
 	// controller phases as trace spans.
 	Spans *trace.Recorder
+	// Fault is the fault-injection profile. When enabled, the fabric
+	// injects faults into RDMA wire traffic, every RDMA engine runs the
+	// CRC/NACK/retry guard, adaptive controllers degrade on repeated
+	// integrity failures, and the fault/guard metric paths are registered.
+	// The zero profile leaves the platform byte-identical to a build
+	// without the fault layer.
+	Fault fault.Profile
+	// FaultSeed seeds the injector's per-link PRNG streams (sweep-derived,
+	// never wall clock).
+	FaultSeed int64
 }
 
 // RemoteCacheConfig returns a reasonable L1.5 geometry for the extension:
@@ -179,6 +190,17 @@ func (p *Platform) instrumentPolicy(unit int, pol core.Policy) {
 	if r, ok := pol.(registrar); ok {
 		r.RegisterMetrics(p.Metrics, prefix)
 	}
+	if p.cfg.Fault.Enabled() {
+		type integrity interface {
+			RegisterIntegrityMetrics(*metrics.Registry, string)
+		}
+		if ir, ok := pol.(integrity); ok {
+			ir.RegisterIntegrityMetrics(p.Metrics, prefix)
+		}
+		if dk, ok := pol.(interface{ SetDegradeK(int) }); ok {
+			dk.SetDegradeK(p.cfg.Fault.Degrade())
+		}
+	}
 	if h, ok := pol.(hooked); ok && p.Spans != nil {
 		t := &phaseTracker{
 			engine: p.Engine,
@@ -229,6 +251,16 @@ func New(cfg Config) *Platform {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 
+	// Fault layer: one injector shared by the fabric, guards on every RDMA
+	// engine, and the fault/* metric paths — all strictly gated on an
+	// enabled profile so that fault-free runs keep byte-identical
+	// snapshots.
+	var injector *fault.Injector
+	if cfg.Fault.Enabled() {
+		injector = fault.NewInjector(cfg.Fault, cfg.FaultSeed)
+		cfg.Fabric.Fault = injector
+	}
+
 	p := &Platform{
 		Engine:  sim.NewEngine(),
 		Metrics: cfg.Metrics,
@@ -237,6 +269,9 @@ func New(cfg Config) *Platform {
 	}
 	p.Space = mem.NewSpace(cfg.NumGPUs)
 	p.Bus = fabric.New("Fabric", p.Engine, cfg.Fabric)
+	if injector != nil {
+		injector.RegisterMetrics(p.Metrics, "fault")
+	}
 	p.Driver = gpu.NewDriver("Driver", p.Engine, p.Space)
 	p.Driver.Spans = cfg.Spans
 
@@ -260,6 +295,7 @@ func New(cfg Config) *Platform {
 		panic(fmt.Sprintf("platform: request for address %#x routed into the host", addr))
 	}
 	p.HostRDMA.RegisterMetrics(p.Metrics, "host/rdma")
+	p.enableGuard(p.HostRDMA, "host/rdma")
 
 	for g := 0; g < cfg.NumGPUs; g++ {
 		p.GPUs = append(p.GPUs, p.buildGPU(g, policy(g)))
@@ -318,6 +354,7 @@ func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 	dev.RDMA = rdma.New(name+".RDMA", p.Engine, g, policy, cfg.Recorder)
 	dev.RDMA.OwnerOf = p.Space.GPUOf
 	dev.RDMA.RegisterMetrics(p.Metrics, mpfx+"/rdma")
+	p.enableGuard(dev.RDMA, mpfx+"/rdma")
 
 	// DRAM channels and L2 banks.
 	dramConn := sim.NewDirectConnection(name+".dram", p.Engine, 2)
@@ -390,6 +427,20 @@ func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 	dev.CP = gpu.NewCommandProcessor(name+".CP", p.Engine, g)
 	dev.CP.CUs = dev.CUs
 	return dev
+}
+
+// enableGuard arms one RDMA engine's reliability protocol when the fault
+// profile is on, and registers its guard counters under prefix.
+func (p *Platform) enableGuard(e *rdma.Engine, prefix string) {
+	if !p.cfg.Fault.Enabled() {
+		return
+	}
+	e.Guard = &rdma.GuardConfig{
+		TimeoutCycles: sim.Time(p.cfg.Fault.Timeout()),
+		MaxAttempts:   p.cfg.Fault.Attempts(),
+	}
+	e.Spans = p.cfg.Spans
+	e.RegisterGuardMetrics(p.Metrics, prefix)
 }
 
 // TotalCUs returns the number of CUs across all GPUs.

@@ -18,6 +18,7 @@ const (
 	DataReadyHeaderBytes = 4  // MsgType(4) RspID(16) CompAlg(4) Reserved(8)
 	WriteReqHeaderBytes  = 16 // MsgType(4) MsgID(16) PhyAddr(48) CompAlg(4) Length(32) Reserved(24)
 	WriteACKHeaderBytes  = 4  // MsgType(4) RspID(16) Reserved(12)
+	NACKHeaderBytes      = 4  // MsgType(4) RspID(16) CompAlg(4) Reserved(8)
 )
 
 // ReadReq asks the owner GPU for N bytes at Addr.
@@ -42,6 +43,10 @@ type Payload struct {
 	Raw []byte
 	// RawLen is the original payload length in bytes.
 	RawLen int
+	// CRC is the CRC32C of the wire data, computed by the sender when the
+	// reliability guard is enabled (0 otherwise). It models the 4-byte
+	// trailer; receivers recompute and compare before accepting.
+	CRC uint32
 }
 
 // WireBytes is the payload's size on the fabric.
@@ -50,6 +55,34 @@ func (p Payload) WireBytes() int {
 		return len(p.Raw)
 	}
 	return p.Enc.WireBytes()
+}
+
+// wireData returns the bytes that travel on the fabric: the encoded
+// bitstream for compressed payloads, the raw line otherwise.
+func (p Payload) wireData() []byte {
+	if p.Alg == comp.None {
+		return p.Raw
+	}
+	return p.Enc.Data
+}
+
+// corrupt flips one wire-data bit chosen by pick, replacing the payload's
+// data with a modified clone so the sender's retransmission copy stays
+// intact. It reports false when there is no data to corrupt.
+func (p *Payload) corrupt(pick uint64) bool {
+	data := p.wireData()
+	if len(data) == 0 {
+		return false
+	}
+	clone := append([]byte(nil), data...)
+	bit := pick % uint64(len(clone)*8)
+	clone[bit/8] ^= 1 << (bit % 8)
+	if p.Alg == comp.None {
+		p.Raw = clone
+	} else {
+		p.Enc.Data = clone
+	}
+	return true
 }
 
 // Decode returns the original bytes, decompressing if needed.
@@ -89,3 +122,45 @@ type WriteACK struct {
 
 // Meta implements sim.Msg.
 func (m *WriteACK) Meta() *sim.MsgMeta { return &m.MsgMeta }
+
+// NACK rejects a payload whose CRC check failed, reporting the Comp Alg of
+// the offending payload so the compressing endpoint can attribute the
+// failure (comp.None = link fault on a raw payload, codec otherwise).
+type NACK struct {
+	sim.MsgMeta
+	RspTo uint64
+	Alg   comp.Algorithm
+}
+
+// Meta implements sim.Msg.
+func (m *NACK) Meta() *sim.MsgMeta { return &m.MsgMeta }
+
+// FaultInjectable marks the RDMA wire messages as legal fault-injection
+// targets (they sit under the guard's CRC/NACK/retry protocol). The methods
+// satisfy internal/fault's structural Injectable interface; control traffic
+// such as kernel launches never implements it and is never injected.
+func (m *ReadReq) FaultInjectable()   {}
+func (m *DataReady) FaultInjectable() {}
+func (m *WriteReq) FaultInjectable()  {}
+func (m *WriteACK) FaultInjectable()  {}
+func (m *NACK) FaultInjectable()      {}
+
+// CorruptCopy implements fault.Corruptible: a copy of the message with one
+// payload bit flipped. The original — still held by the sender for
+// retransmission — is untouched.
+func (m *DataReady) CorruptCopy(pick uint64) (sim.Msg, bool) {
+	c := *m
+	if !c.Payload.corrupt(pick) {
+		return nil, false
+	}
+	return &c, true
+}
+
+// CorruptCopy implements fault.Corruptible.
+func (m *WriteReq) CorruptCopy(pick uint64) (sim.Msg, bool) {
+	c := *m
+	if !c.Payload.corrupt(pick) {
+		return nil, false
+	}
+	return &c, true
+}

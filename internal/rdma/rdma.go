@@ -9,6 +9,7 @@ import (
 	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/sim"
 	"mgpucompress/internal/stats"
+	"mgpucompress/internal/trace"
 )
 
 // Recorder observes traffic at the compression points. The experiment
@@ -59,6 +60,18 @@ type Engine struct {
 	Policy core.Policy
 	Rec    Recorder
 
+	// Guard, when non-nil, enables the reliability protocol layered over
+	// the Fig. 4 wire messages: CRC32C trailers on payload-bearing
+	// messages, NACKs on CRC failure, and bounded retransmission with
+	// exponential backoff driven by per-request timeouts. It exists to
+	// recover from injected fabric faults (internal/fault); with no guard
+	// the engine behaves exactly as before — any loss or corruption is a
+	// hard error.
+	Guard *GuardConfig
+	// Spans, when non-nil alongside Guard, records every retransmission as
+	// a trace span on this engine's track.
+	Spans *trace.Recorder
+
 	ToL1     *sim.Port
 	ToFabric *sim.Port
 	ToL2     *sim.Port
@@ -77,8 +90,8 @@ type Engine struct {
 	outQueue []sim.Msg
 
 	// request tracking
-	pendingReads  map[uint64]pendingRead   // wire ReadReq ID -> original local request
-	pendingWrites map[uint64]*mem.WriteReq // wire WriteReq ID -> original
+	pendingReads  map[uint64]*pendingRead  // wire ReadReq ID -> original local request
+	pendingWrites map[uint64]*pendingWrite // wire WriteReq ID -> original
 	// incoming remote requests forwarded into local L2
 	serviceReads  map[uint64]*ReadReq  // local L2 ReadReq ID -> wire request
 	serviceWrites map[uint64]*WriteReq // local L2 WriteReq ID -> wire request
@@ -92,11 +105,37 @@ type Engine struct {
 	// request leaving this engine to the decompressed data reaching the
 	// requesting L1 — the end-to-end remote access latency.
 	ReadLatency stats.Histogram
+
+	// Guard stats (all zero while Guard is nil).
+	Retries       uint64 // retransmissions (timeout- and NACK-triggered)
+	CRCErrors     uint64 // incoming payloads that failed the CRC32C check
+	NACKsSent     uint64 // NACKs emitted for rejected payloads
+	StaleDrops    uint64 // duplicate/late responses dropped after completion
+	TimeoutsFired uint64 // retransmissions triggered by timeout (subset of Retries)
+}
+
+// GuardConfig parameterizes the reliability protocol.
+type GuardConfig struct {
+	// TimeoutCycles is the base retransmit timeout; attempt n waits
+	// TimeoutCycles<<(n-1).
+	TimeoutCycles sim.Time
+	// MaxAttempts bounds transmissions per request, the initial send
+	// included; exhausting it is a hard simulation error, never silent
+	// data loss.
+	MaxAttempts int
 }
 
 type pendingRead struct {
-	req    *mem.ReadReq
-	issued sim.Time
+	req      *mem.ReadReq
+	issued   sim.Time
+	wire     *ReadReq
+	attempts int
+}
+
+type pendingWrite struct {
+	req      *mem.WriteReq
+	wire     *WriteReq
+	attempts int
 }
 
 // RegisterMetrics exposes the engine's counters under prefix (e.g.
@@ -118,6 +157,19 @@ func (e *Engine) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	})
 }
 
+// RegisterGuardMetrics exposes the reliability-protocol counters under
+// prefix. It is a separate registration from RegisterMetrics on purpose:
+// snapshot bytes include every registered path, so the guard paths must
+// only exist when the fault layer is enabled, keeping fault-free snapshots
+// byte-identical to builds predating the guard.
+func (e *Engine) RegisterGuardMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/retries", func() uint64 { return e.Retries })
+	reg.CounterFunc(prefix+"/crc_errors", func() uint64 { return e.CRCErrors })
+	reg.CounterFunc(prefix+"/nacks", func() uint64 { return e.NACKsSent })
+	reg.CounterFunc(prefix+"/stale_drops", func() uint64 { return e.StaleDrops })
+	reg.CounterFunc(prefix+"/timeouts", func() uint64 { return e.TimeoutsFired })
+}
+
 // New creates an RDMA engine for the given GPU index.
 func New(name string, engine *sim.Engine, gpu int, policy core.Policy, rec Recorder) *Engine {
 	if rec == nil {
@@ -129,8 +181,8 @@ func New(name string, engine *sim.Engine, gpu int, policy core.Policy, rec Recor
 		GPU:           gpu,
 		Policy:        policy,
 		Rec:           rec,
-		pendingReads:  make(map[uint64]pendingRead),
-		pendingWrites: make(map[uint64]*mem.WriteReq),
+		pendingReads:  make(map[uint64]*pendingRead),
+		pendingWrites: make(map[uint64]*pendingWrite),
 		serviceReads:  make(map[uint64]*ReadReq),
 		serviceWrites: make(map[uint64]*WriteReq),
 	}
@@ -160,6 +212,17 @@ type delayedDeliverEvent struct {
 	deliver func(now sim.Time) error
 }
 
+// retryTimeoutEvent fires when a guarded request has waited long enough for
+// its response. The attempt number pins the event to one transmission: a
+// retransmission in the meantime (e.g. NACK-triggered) bumps the pending
+// entry's attempt count, turning the old timeout into a no-op.
+type retryTimeoutEvent struct {
+	sim.EventBase
+	id      uint64
+	attempt int
+	write   bool
+}
+
 // Handle implements sim.Handler.
 func (e *Engine) Handle(ev sim.Event) error {
 	switch evt := ev.(type) {
@@ -171,6 +234,8 @@ func (e *Engine) Handle(ev sim.Event) error {
 		return nil
 	case delayedDeliverEvent:
 		return evt.deliver(ev.Time())
+	case retryTimeoutEvent:
+		return e.handleTimeout(ev.Time(), evt)
 	default:
 		return fmt.Errorf("%s: unexpected event %T", e.Name(), ev)
 	}
@@ -228,12 +293,13 @@ func (e *Engine) handleLocal(now sim.Time, msg sim.Msg) error {
 		wire.Src, wire.Dst = e.ToFabric, e.RemotePort(owner)
 		wire.Bytes = ReadReqHeaderBytes
 		sim.AssignMsgID(wire)
-		e.pendingReads[wire.ID] = pendingRead{req: req, issued: now}
+		e.pendingReads[wire.ID] = &pendingRead{req: req, issued: now, wire: wire, attempts: 1}
 		e.ReadsSent++
 		e.Rec.RemoteRead(e.GPU)
 		e.Rec.Header(ReadReqHeaderBytes)
 		e.outQueue = append(e.outQueue, wire)
 		e.drainOutQueue(now)
+		e.scheduleTimeout(now, wire.ID, 1, false)
 		return nil
 	case *mem.WriteReq:
 		owner := e.OwnerOf(req.Addr)
@@ -241,12 +307,17 @@ func (e *Engine) handleLocal(now sim.Time, msg sim.Msg) error {
 		wire := &WriteReq{Addr: req.Addr, Payload: payload}
 		wire.Src, wire.Dst = e.ToFabric, e.RemotePort(owner)
 		wire.Bytes = WriteReqHeaderBytes + payload.WireBytes()
+		if e.Guard != nil {
+			wire.Payload.CRC = PayloadCRC(wire.Payload)
+			wire.Bytes += CRCTrailerBytes
+		}
 		sim.AssignMsgID(wire)
-		e.pendingWrites[wire.ID] = req
+		e.pendingWrites[wire.ID] = &pendingWrite{req: req, wire: wire, attempts: 1}
 		e.WritesSent++
 		e.Rec.RemoteWrite(e.GPU)
 		e.Rec.Header(WriteReqHeaderBytes)
 		e.scheduleSend(now, wire, d.CompressionCycles)
+		e.scheduleTimeout(now, wire.ID, 1, true)
 		return nil
 	default:
 		return fmt.Errorf("%s: unexpected local message %T", e.Name(), msg)
@@ -308,6 +379,14 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 		}
 		return nil
 	case *WriteReq:
+		if e.Guard != nil && PayloadCRC(wire.Payload) != wire.Payload.CRC {
+			// Reject the corrupt payload; the writer retransmits on NACK
+			// (or, failing that, on timeout) and attributes the failure to
+			// the codec named in the header.
+			e.CRCErrors++
+			e.sendNACK(now, wire.Meta().Src, wire.ID, wire.Payload.Alg)
+			return nil
+		}
 		// Decompress (if needed), then forward the write into local L2.
 		e.WritesServed++
 		latency := decompressionCycles(wire.Payload.Alg)
@@ -329,7 +408,21 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 		// Response to one of our outgoing reads.
 		pr, ok := e.pendingReads[wire.RspTo]
 		if !ok {
+			if e.Guard != nil {
+				// Duplicate response: a timeout retransmitted the request
+				// and both replies arrived. The first one won.
+				e.StaleDrops++
+				return nil
+			}
 			return fmt.Errorf("%s: DataReady for unknown request %d", e.Name(), wire.RspTo)
+		}
+		if e.Guard != nil && PayloadCRC(wire.Payload) != wire.Payload.CRC {
+			// Corrupt response: discard it, tell the responder (which
+			// compressed the payload) so it can attribute the failure, and
+			// retransmit our request.
+			e.CRCErrors++
+			e.sendNACK(now, wire.Meta().Src, wire.RspTo, wire.Payload.Alg)
+			return e.retransmitRead(now, wire.RspTo)
 		}
 		orig := pr.req
 		delete(e.pendingReads, wire.RspTo)
@@ -349,20 +442,153 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 		}
 		return e.afterDecompression(now, latency, deliver)
 	case *WriteACK:
-		orig, ok := e.pendingWrites[wire.RspTo]
+		pw, ok := e.pendingWrites[wire.RspTo]
 		if !ok {
+			if e.Guard != nil {
+				e.StaleDrops++
+				return nil
+			}
 			return fmt.Errorf("%s: WriteACK for unknown request %d", e.Name(), wire.RspTo)
 		}
 		delete(e.pendingWrites, wire.RspTo)
+		if e.Guard != nil && pw.wire.Payload.Alg != comp.None {
+			// A compressed write completed cleanly: reset the controller's
+			// consecutive-failure count.
+			e.observeIntegrity(true)
+		}
+		orig := pw.req
 		ack := mem.NewWriteACK(e.ToL1, orig.Src, orig.ID, orig.Addr)
 		sim.AssignMsgID(ack)
 		if !e.ToL1.Send(now, ack) {
 			return fmt.Errorf("%s: L1 rejected ack", e.Name())
 		}
 		return nil
+	case *NACK:
+		if e.Guard == nil {
+			return fmt.Errorf("%s: unexpected NACK without guard", e.Name())
+		}
+		if wire.Alg != comp.None {
+			// The rejected payload was compressed by this engine's policy:
+			// a codec-attributed integrity failure.
+			e.observeIntegrity(false)
+		}
+		if pw, ok := e.pendingWrites[wire.RspTo]; ok {
+			return e.retransmitWrite(now, wire.RspTo, pw)
+		}
+		// Read-path NACK: informational only — the requester already
+		// retransmitted its ReadReq, and this engine kept no state for the
+		// rejected DataReady.
+		return nil
 	default:
 		return fmt.Errorf("%s: unexpected wire message %T", e.Name(), msg)
 	}
+}
+
+// sendNACK rejects payload RspTo back to its sender, naming the Comp Alg of
+// the rejected payload for failure attribution.
+func (e *Engine) sendNACK(now sim.Time, dst *sim.Port, rspTo uint64, alg comp.Algorithm) {
+	n := &NACK{RspTo: rspTo, Alg: alg}
+	n.Src, n.Dst = e.ToFabric, dst
+	n.Bytes = NACKHeaderBytes
+	sim.AssignMsgID(n)
+	e.NACKsSent++
+	e.outQueue = append(e.outQueue, n)
+	e.drainOutQueue(now)
+}
+
+// observeIntegrity feeds the policy's integrity signal (when it cares).
+func (e *Engine) observeIntegrity(ok bool) {
+	if obs, has := e.Policy.(core.IntegrityObserver); has {
+		obs.ObserveIntegrity(ok)
+	}
+}
+
+// scheduleTimeout arms the retransmit timer for transmission `attempt` of a
+// guarded request, with exponential backoff. No-op without a guard.
+func (e *Engine) scheduleTimeout(now sim.Time, id uint64, attempt int, write bool) {
+	if e.Guard == nil {
+		return
+	}
+	shift := attempt - 1
+	if shift > 10 {
+		shift = 10 // backoff cap; MaxAttempts bounds attempts anyway
+	}
+	e.engine.Schedule(retryTimeoutEvent{
+		EventBase: sim.NewEventBase(now+e.Guard.TimeoutCycles<<shift, e),
+		id:        id,
+		attempt:   attempt,
+		write:     write,
+	})
+}
+
+// handleTimeout retransmits a request whose response never arrived. A stale
+// timeout — the request completed, or a NACK already retransmitted it — is
+// a no-op.
+func (e *Engine) handleTimeout(now sim.Time, evt retryTimeoutEvent) error {
+	if e.Guard == nil {
+		return nil
+	}
+	if evt.write {
+		pw, ok := e.pendingWrites[evt.id]
+		if !ok || pw.attempts != evt.attempt {
+			return nil
+		}
+		e.TimeoutsFired++
+		return e.retransmitWrite(now, evt.id, pw)
+	}
+	pr, ok := e.pendingReads[evt.id]
+	if !ok || pr.attempts != evt.attempt {
+		return nil
+	}
+	e.TimeoutsFired++
+	return e.retransmitRead(now, evt.id)
+}
+
+// retransmitRead re-sends the wire ReadReq for a still-pending read.
+// Retransmissions appear in the fabric byte counters and the guard stats,
+// not in the logical traffic/* accounting: they are transport overhead, not
+// new transfers.
+func (e *Engine) retransmitRead(now sim.Time, id uint64) error {
+	pr := e.pendingReads[id]
+	if pr.attempts >= e.Guard.MaxAttempts {
+		return fmt.Errorf("%s: remote read %#x: retry budget exhausted after %d attempts",
+			e.Name(), pr.wire.Addr, pr.attempts)
+	}
+	pr.attempts++
+	e.Retries++
+	e.recordRetrySpan(now, "retry:read", pr.wire.Addr, pr.attempts)
+	e.outQueue = append(e.outQueue, pr.wire)
+	e.drainOutQueue(now)
+	e.scheduleTimeout(now, id, pr.attempts, false)
+	return nil
+}
+
+// retransmitWrite re-sends the wire WriteReq for a still-pending write. The
+// payload was already encoded and checksummed on first send, so the
+// retransmission costs no additional compression latency.
+func (e *Engine) retransmitWrite(now sim.Time, id uint64, pw *pendingWrite) error {
+	if pw.attempts >= e.Guard.MaxAttempts {
+		return fmt.Errorf("%s: remote write %#x: retry budget exhausted after %d attempts",
+			e.Name(), pw.wire.Addr, pw.attempts)
+	}
+	pw.attempts++
+	e.Retries++
+	e.recordRetrySpan(now, "retry:write", pw.wire.Addr, pw.attempts)
+	e.outQueue = append(e.outQueue, pw.wire)
+	e.drainOutQueue(now)
+	e.scheduleTimeout(now, id, pw.attempts, true)
+	return nil
+}
+
+// recordRetrySpan marks one retransmission on the trace timeline.
+func (e *Engine) recordRetrySpan(now sim.Time, name string, addr uint64, attempt int) {
+	if e.Spans == nil {
+		return
+	}
+	e.Spans.Record(trace.Span{
+		Track: e.Name(), Name: fmt.Sprintf("%s @%#x #%d", name, addr, attempt),
+		Cat: "fault", Start: now, End: now + 1,
+	})
 }
 
 func (e *Engine) afterDecompression(now sim.Time, cycles int, deliver func(sim.Time) error) error {
@@ -394,6 +620,10 @@ func (e *Engine) handleL2Response(now sim.Time, msg sim.Msg) error {
 		out := &DataReady{RspTo: wireReq.ID, Addr: rsp.Addr, Payload: payload}
 		out.Src, out.Dst = e.ToFabric, wireReq.Src
 		out.Bytes = DataReadyHeaderBytes + payload.WireBytes()
+		if e.Guard != nil {
+			out.Payload.CRC = PayloadCRC(out.Payload)
+			out.Bytes += CRCTrailerBytes
+		}
 		sim.AssignMsgID(out)
 		e.Rec.Header(DataReadyHeaderBytes)
 		e.scheduleSend(now, out, d.CompressionCycles)

@@ -2,6 +2,7 @@ package rdma
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"mgpucompress/internal/bitstream"
 	"mgpucompress/internal/comp"
@@ -16,16 +17,22 @@ import (
 //	Data Ready  MsgType(4) RspID(16) CompAlg(4)  Reserved(8)
 //	Write Req   MsgType(4) MsgID(16) PhyAddr(48) CompAlg(4) Length(32) Reserved(24)
 //	Write ACK   MsgType(4) RspID(16) Reserved(12)
+//	NACK        MsgType(4) RspID(16) CompAlg(4)  Reserved(8)
+//
+// The NACK is this codebase's reliability extension (not in Fig. 4): a
+// receiver that fails the CRC32C payload check rejects the transfer and
+// reports the offending Comp Alg back to the compressing endpoint.
 
 // MsgType is the 4-bit wire message type.
 type MsgType uint8
 
-// Fig. 4 message types.
+// Fig. 4 message types, plus the NACK reliability extension.
 const (
 	MsgRead MsgType = iota
 	MsgDataReady
 	MsgWrite
 	MsgWriteACK
+	MsgNACK
 )
 
 // String names the message type.
@@ -39,6 +46,8 @@ func (t MsgType) String() string {
 		return "Write"
 	case MsgWriteACK:
 		return "Write-ACK"
+	case MsgNACK:
+		return "NACK"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -71,7 +80,7 @@ func EncodeHeader(h Header) ([]byte, error) {
 		w.WriteBits(h.Addr, 48)
 		w.WriteBits(uint64(h.Length), 32)
 		w.WriteBits(0, 28) // reserved
-	case MsgDataReady:
+	case MsgDataReady, MsgNACK:
 		w.WriteBits(uint64(h.CompAlg), 4)
 		w.WriteBits(0, 8) // reserved
 	case MsgWrite:
@@ -112,7 +121,7 @@ func DecodeHeader(data []byte) (Header, error) {
 		if _, err := r.ReadBits(28); err != nil {
 			return Header{}, err
 		}
-	case MsgDataReady:
+	case MsgDataReady, MsgNACK:
 		alg, err := r.ReadBits(4)
 		if err != nil {
 			return Header{}, err
@@ -167,4 +176,24 @@ func (m *WriteReq) Header() Header {
 // Header returns the decoded Fig. 4 header of a WriteACK.
 func (m *WriteACK) Header() Header {
 	return Header{Type: MsgWriteACK, Seq: uint16(m.RspTo)}
+}
+
+// Header returns the decoded header of a NACK.
+func (m *NACK) Header() Header {
+	return Header{Type: MsgNACK, Seq: uint16(m.RspTo), CompAlg: m.Alg}
+}
+
+// CRCTrailerBytes is the size of the CRC32C trailer appended to every
+// payload-bearing wire message when the reliability guard is enabled. The
+// trailer is charged to the message's fabric size only under an enabled
+// guard, so fault-free runs keep their exact Fig. 4 byte accounting.
+const CRCTrailerBytes = 4
+
+// crcTable is the Castagnoli polynomial table shared by all engines.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// PayloadCRC computes the CRC32C of the payload's wire bytes (the encoded
+// bitstream for compressed payloads, the raw line otherwise).
+func PayloadCRC(p Payload) uint32 {
+	return crc32.Checksum(p.wireData(), crcTable)
 }

@@ -8,6 +8,7 @@ import (
 	"mgpucompress/internal/comp"
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/energy"
+	"mgpucompress/internal/fault"
 	"mgpucompress/internal/stats"
 	"mgpucompress/internal/workloads"
 )
@@ -20,10 +21,13 @@ type ExpOptions struct {
 	// seed from its key fingerprint). Pinning changes the job fingerprints,
 	// so a seeded experiment never collides with an unseeded journal.
 	Seed int64
+	// Fault applies a fault-injection profile to every job (zero = off;
+	// like Seed, it changes the job fingerprints when set).
+	Fault fault.Profile
 }
 
 func (o ExpOptions) base() Options {
-	return Options{Scale: o.Scale, CUsPerGPU: o.CUsPerGPU, Seed: o.Seed}
+	return Options{Scale: o.Scale, CUsPerGPU: o.CUsPerGPU, Seed: o.Seed, Fault: o.Fault}
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mgpucompress/internal/core"
+	"mgpucompress/internal/fault"
+	"mgpucompress/internal/workloads"
+)
+
+func mustParseProfile(t *testing.T, s string) fault.Profile {
+	t.Helper()
+	p, err := fault.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFaultOffSnapshotHasNoFaultPaths: a disabled profile must not register
+// a single fault/guard metric — the off configuration stays byte-identical
+// to a build that never heard of fault injection.
+func TestFaultOffSnapshotHasNoFaultPaths(t *testing.T) {
+	m, err := Run("MT", Options{Scale: workloads.ScaleTiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range m.Snapshot {
+		for _, frag := range []string{"fault/", "/crc_errors", "/retries", "/nacks", "/stale_drops", "/timeouts", "/degraded_phases"} {
+			if strings.Contains(s.Path, frag) {
+				t.Errorf("fault-off snapshot contains %q", s.Path)
+			}
+		}
+	}
+}
+
+// TestFaultRunsAreDeterministic is the deterministic-replay guarantee: the
+// quickstart configuration run twice under an aggressive fault profile must
+// produce byte-identical results, and the faults must actually bite.
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	opts := Options{
+		Scale:  workloads.ScaleTiny,
+		Policy: core.PolicyAdaptive,
+		Lambda: 6,
+		Fault:  mustParseProfile(t, "aggressive"),
+	}
+	run := func() (*Result, []byte) {
+		m, err := Run("MT", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, data
+	}
+	m, a := run()
+	_, b := run()
+	if string(a) != string(b) {
+		t.Fatal("same fault profile and seed produced different metrics")
+	}
+
+	injected := m.Snapshot.Value("fault/injected")
+	if injected == 0 {
+		t.Error("aggressive profile injected nothing")
+	}
+	var recovered float64
+	for _, s := range m.Snapshot {
+		if strings.HasSuffix(s.Path, "/retries") || strings.HasSuffix(s.Path, "/crc_errors") {
+			recovered += s.Value
+		}
+	}
+	if recovered == 0 {
+		t.Error("faults were injected but never detected or retried")
+	}
+}
+
+// TestFaultSeedChangesInjection: the same profile under a different seed
+// must inject a different fault sequence.
+func TestFaultSeedChangesInjection(t *testing.T) {
+	run := func(seed int64) []byte {
+		m, err := Run("MT", Options{
+			Scale:  workloads.ScaleTiny,
+			Policy: core.PolicyAdaptive,
+			Lambda: 6,
+			Seed:   seed,
+			Fault:  mustParseProfile(t, "aggressive"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if string(run(1)) == string(run(2)) {
+		t.Fatal("different seeds produced identical faulty runs")
+	}
+}
+
+// TestFaultProfileEntersJobFingerprint: the profile participates in the
+// sweep key exactly when enabled, and survives the Key -> executeJob round
+// trip.
+func TestFaultProfileEntersJobFingerprint(t *testing.T) {
+	base := Options{Scale: workloads.ScaleTiny}
+	clean := Key("MT", base)
+	if clean.FaultProfile != "" {
+		t.Errorf("fault-off key carries profile %q", clean.FaultProfile)
+	}
+
+	faulty := base
+	faulty.Fault = mustParseProfile(t, "light")
+	fk := Key("MT", faulty)
+	if fk.FaultProfile == "" || fk.Fingerprint() == clean.Fingerprint() {
+		t.Fatal("fault profile did not change the job fingerprint")
+	}
+	// Spelling the preset explicitly lands on the same fingerprint.
+	expl := base
+	expl.Fault = mustParseProfile(t, "corrupt=0.01,drop=0.005,delay=0.02,delaycycles=64")
+	if Key("MT", expl).Fingerprint() != fk.Fingerprint() {
+		t.Error("preset and explicit spelling of one profile diverge")
+	}
+
+	s := NewSweep(SweepConfig{Jobs: 1})
+	m, err := s.Result(fk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot.Value("fault/injected") == 0 {
+		t.Error("sweep-executed faulty job injected nothing")
+	}
+}

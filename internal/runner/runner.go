@@ -12,6 +12,7 @@ import (
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/energy"
 	"mgpucompress/internal/fabric"
+	"mgpucompress/internal/fault"
 	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/platform"
 	"mgpucompress/internal/stats"
@@ -62,6 +63,11 @@ type Options struct {
 	// sweeps set the JobKey-derived seed so every job's inputs are a pure
 	// function of its fingerprint.
 	Seed int64
+	// Fault configures deterministic fault injection on the inter-GPU
+	// fabric (zero value = off). When enabled it also arms the RDMA
+	// reliability guard (CRC trailers, NACK/retry/timeout) and the
+	// controller's degradation rule.
+	Fault fault.Profile
 }
 
 // Validate reports the first configuration error, consolidating the checks
@@ -99,6 +105,9 @@ func (o Options) Validate() error {
 	}
 	if o.Adaptive != nil && o.Policy != core.PolicyNone && o.Policy != core.PolicyAdaptive {
 		return fmt.Errorf("Adaptive config conflicts with policy %v", o.Policy)
+	}
+	if err := o.Fault.Validate(); err != nil {
+		return fmt.Errorf("fault profile: %w", err)
 	}
 	return nil
 }
@@ -274,6 +283,16 @@ func Run(abbrev string, opts Options) (*Result, error) {
 		cfg.Fabric.Trace = traceLog
 	}
 	cfg.Recorder = rec
+	if opts.Fault.Enabled() {
+		cfg.Fault = opts.Fault
+		// Faults must be a pure function of the job fingerprint: reuse the
+		// workload seed, with a fixed fallback when the run keeps the
+		// default input streams.
+		cfg.FaultSeed = opts.Seed
+		if cfg.FaultSeed == 0 {
+			cfg.FaultSeed = 0x6d677075 // "mgpu"
+		}
+	}
 	if opts.Adaptive != nil {
 		acfg := *opts.Adaptive
 		cfg.NewPolicy = func(int) core.Policy { return core.NewAdaptive(acfg) }

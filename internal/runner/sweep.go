@@ -8,6 +8,7 @@ import (
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/energy"
 	"mgpucompress/internal/fabric"
+	"mgpucompress/internal/fault"
 	"mgpucompress/internal/sweep"
 	"mgpucompress/internal/workloads"
 )
@@ -90,6 +91,7 @@ func Key(bench string, opts Options) sweep.JobKey {
 		Characterize:        opts.Characterize,
 		SeriesLimit:         opts.SeriesLimit,
 		SeedOverride:        opts.Seed,
+		FaultProfile:        opts.Fault.Canonical(),
 	}
 	if opts.Adaptive != nil {
 		k.Policy = core.PolicyAdaptive.String()
@@ -135,6 +137,13 @@ func (s *Sweep) executeJob(k sweep.JobKey) (*Result, error) {
 		// Tracing is a sweep-level switch, applied after normalization so
 		// it never reaches the fingerprint.
 		Trace: s.trace,
+	}
+	if k.FaultProfile != "" {
+		prof, err := fault.Parse(k.FaultProfile)
+		if err != nil {
+			return nil, fmt.Errorf("runner: job %s: %w", k.Fingerprint(), err)
+		}
+		opts.Fault = prof
 	}
 	if k.SampleCount > 0 || k.RunLength > 0 || len(k.Candidates) > 0 {
 		cands, err := compressorsFor(k.Candidates)

@@ -65,6 +65,12 @@ type JobKey struct {
 	// fingerprint (0 = derive). It participates in the canonical form only
 	// when set, so keys predating the field keep their fingerprints.
 	SeedOverride int64 `json:"seed_override,omitempty"`
+
+	// FaultProfile is the canonical fault-injection profile string
+	// (fault.Profile.Canonical(); "" = no injection). Like SeedOverride it
+	// joins the canonical form only when set, preserving pre-existing
+	// fingerprints for fault-free jobs.
+	FaultProfile string `json:"fault_profile,omitempty"`
 }
 
 // Canonical returns the canonical textual form of the key: every field in a
@@ -83,6 +89,9 @@ func (k JobKey) Canonical() string {
 	}
 	if k.SeedOverride != 0 {
 		fmt.Fprintf(&b, "|seed=%d", k.SeedOverride)
+	}
+	if k.FaultProfile != "" {
+		fmt.Fprintf(&b, "|fault=%s", k.FaultProfile)
 	}
 	return b.String()
 }
@@ -135,6 +144,9 @@ func (k JobKey) String() string {
 	}
 	if k.SampleCount > 0 || k.RunLength > 0 {
 		parts = append(parts, fmt.Sprintf("geom=%d/%d", k.SampleCount, k.RunLength))
+	}
+	if k.FaultProfile != "" {
+		parts = append(parts, "fault="+k.FaultProfile)
 	}
 	return strings.Join(parts, " ")
 }
