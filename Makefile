@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci lint test short race cover fuzz-smoke bench bench-smoke reproduce ablations examples fmt vet
+.PHONY: all ci lint test short race cover fuzz-smoke bench bench-smoke serve-smoke reproduce ablations examples fmt vet
 
 # Packages whose hot paths must stay clean of lint suppressions: the
 # zero-allocation fast paths are exactly where a silenced analyzer would
@@ -29,6 +29,7 @@ ci:
 	$(MAKE) cover
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) serve-smoke
 	@mkdir -p bin
 	go run ./examples/quickstart -metrics-out bin/metrics-a.json >/dev/null
 	go run ./examples/quickstart -metrics-out bin/metrics-b.json >/dev/null
@@ -82,6 +83,13 @@ bench:
 bench-smoke:
 	BENCH_SCALE=1 go test -run='^$$' -bench=. -benchtime=1x -benchmem \
 		./internal/bitstream ./internal/comp ./internal/sim
+
+# End-to-end gate for the sweep service: build the real sweepd binary, SIGKILL
+# it mid-batch, restart it on the same data directory, and require the resumed
+# batch's results file to be byte-identical to an in-process oracle
+# (DESIGN.md "Sweep service"). Runs under the race detector; ~1 s.
+serve-smoke:
+	go test -race -count=1 -run '^TestServeSmoke$$' ./cmd/sweepd
 
 reproduce:
 	go run ./cmd/reproduce -out results -scale 4

@@ -9,14 +9,20 @@
 //	ablations -study l15        remote cache (Arunkumar et al.) × compression
 //	ablations -study scale      GPU-count sweep
 //	ablations -study all        everything
+//
+// With -server each job executes on a resident sweepd daemon instead of the
+// local simulator; study output is byte-identical either way.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 
 	"mgpucompress/internal/runner"
+	"mgpucompress/internal/serve"
+	"mgpucompress/internal/sweep"
 	"mgpucompress/internal/workloads"
 )
 
@@ -31,12 +37,20 @@ func main() {
 	seed := flag.Int64("seed", 0, "pin every job's input seed (0 = per-job fingerprint seeds)")
 	metricsOut := flag.String("metrics-out", "", "write every job's metric snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of all jobs to this file")
+	server := flag.String("server", "", "sweepd base URL (e.g. http://127.0.0.1:8372): execute jobs on a resident daemon instead of simulating locally")
 	flag.Parse()
 
 	o := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus, Seed: *seed}
 	// One shared sweep across studies: -study all re-uses baseline and
 	// adaptive runs that several studies have in common.
-	s := runner.NewSweep(runner.SweepConfig{Jobs: *jobs, Trace: *traceOut != ""})
+	cfg := runner.SweepConfig{Jobs: *jobs, Trace: *traceOut != ""}
+	if *server != "" {
+		if *traceOut != "" {
+			log.Fatal("-trace-out requires local execution: results fetched from a daemon carry no span timeline")
+		}
+		cfg.Run = remoteRun(&serve.Client{BaseURL: *server})
+	}
+	s := runner.NewSweep(cfg)
 	defer func() {
 		if *metricsOut != "" {
 			check(s.WriteMetricsFile(*metricsOut))
@@ -105,5 +119,23 @@ func main() {
 func check(err error) {
 	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// remoteRun adapts a sweepd client to the sweep engine's run-function shape:
+// each job becomes a single-key batch on the daemon, whose memo cache makes
+// repeats free. The local engine keeps its own cache, ordering and progress
+// accounting, so studies behave identically either way.
+func remoteRun(c *serve.Client) func(sweep.JobKey) (*runner.Result, error) {
+	return func(k sweep.JobKey) (*runner.Result, error) {
+		raw, err := c.RunJob(k)
+		if err != nil {
+			return nil, err
+		}
+		res := new(runner.Result)
+		if err := json.Unmarshal(raw, res); err != nil {
+			return nil, fmt.Errorf("decoding remote result %s: %w", k.Fingerprint(), err)
+		}
+		return res, nil
 	}
 }

@@ -10,6 +10,11 @@
 // same -resume file replays the journal and skips every finished job.
 // Artifacts are byte-identical for any -jobs value.
 //
+// With -server the plan is submitted as one batch to a resident sweepd
+// daemon instead of simulating locally: the daemon dedupes it against every
+// job it has ever run, and the downloaded results journal replays into the
+// local cache, so artifacts come out byte-identical either way.
+//
 // Produced files: table1.txt, table3.txt, table5.txt, table6.txt,
 // fig1_SC.txt, fig1_FIR.txt, fig5.txt, fig6.txt, fig7.txt, area.txt and a
 // summary.txt index.
@@ -28,6 +33,7 @@ import (
 	"mgpucompress/internal/comp"
 	"mgpucompress/internal/fault"
 	"mgpucompress/internal/runner"
+	"mgpucompress/internal/serve"
 	"mgpucompress/internal/sweep"
 	"mgpucompress/internal/workloads"
 )
@@ -45,18 +51,22 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write every job's metric snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of all jobs to this file")
 	faultProfile := flag.String("fault-profile", "off", "fault-injection profile: off|light|aggressive or k=v list")
+	server := flag.String("server", "", "sweepd base URL (e.g. http://127.0.0.1:8372): run the plan on a resident daemon instead of simulating locally")
 	flag.Parse()
 
 	prof, err := fault.Parse(*faultProfile)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := run(*out, *scale, *cus, *jobs, *resume, *quiet, *seed, prof, *metricsOut, *traceOut); err != nil {
+	if *server != "" && *traceOut != "" {
+		log.Fatal("-trace-out requires local execution: results fetched from a daemon carry no span timeline")
+	}
+	if err := run(*out, *scale, *cus, *jobs, *resume, *quiet, *seed, prof, *metricsOut, *traceOut, *server); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(out string, scale, cus, jobs int, resume string, quiet bool, seed int64, prof fault.Profile, metricsOut, traceOut string) error {
+func run(out string, scale, cus, jobs int, resume string, quiet bool, seed int64, prof fault.Profile, metricsOut, traceOut, server string) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -111,12 +121,21 @@ func run(out string, scale, cus, jobs int, resume string, quiet bool, seed int64
 		}
 	}
 
-	// Phase 1: simulate the whole deduplicated plan at full parallelism.
-	// Even if an artifact later fails to assemble, every completed job has
-	// already been streamed to the journal for the next attempt.
-	fmt.Printf("plan: %d unique jobs (scale %d, %d workers)\n", total, scale, jobs)
-	if err := s.Prefetch(plan); err != nil {
-		return err
+	// Phase 1: simulate the whole deduplicated plan at full parallelism —
+	// either locally or as one batch on a resident sweepd daemon. Even if an
+	// artifact later fails to assemble, every completed job has already been
+	// streamed to the journal (local) or the daemon's store (server) for the
+	// next attempt.
+	if server != "" {
+		fmt.Printf("plan: %d unique jobs (scale %d, server %s)\n", total, scale, server)
+		if err := serverPrefetch(s, server, plan, quiet); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("plan: %d unique jobs (scale %d, %d workers)\n", total, scale, jobs)
+		if err := s.Prefetch(plan); err != nil {
+			return err
+		}
 	}
 
 	// Phase 2: assemble artifacts — pure cache hits from here on.
@@ -165,6 +184,51 @@ func run(out string, scale, cus, jobs int, resume string, quiet bool, seed int64
 		fmt.Printf("wrote %s\n", traceOut)
 	}
 	fmt.Printf("sweep: %s (total %s)\n", stats, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// serverPrefetch runs the whole plan as one batch on a sweepd daemon and
+// replays the downloaded results journal into the local sweep, so artifact
+// assembly afterwards is pure cache hits — exactly like a local prefetch.
+// The daemon dedupes the batch against everything it has ever run, so a
+// re-submitted reproduction costs no simulation at all.
+func serverPrefetch(s *runner.Sweep, server string, plan []sweep.JobKey, quiet bool) error {
+	client := &serve.Client{BaseURL: server}
+	st, err := client.Submit(serve.BatchRequest{Tenant: "reproduce", Keys: plan})
+	if err != nil {
+		return fmt.Errorf("submitting to %s: %w", server, err)
+	}
+	fmt.Printf("submitted batch %s (%d jobs)\n", st.ID, st.Jobs)
+	var onProgress func(serve.BatchStatus)
+	if !quiet {
+		last := -1
+		onProgress = func(bs serve.BatchStatus) {
+			if bs.Completed != last {
+				last = bs.Completed
+				fmt.Printf("  [%d/%d] server batch %s\n", bs.Completed, bs.Jobs, bs.ID)
+			}
+		}
+	}
+	fin, err := client.Wait(st.ID, onProgress)
+	if err != nil {
+		return err
+	}
+	if fin.State != serve.StateDone {
+		return fmt.Errorf("server batch %s: %s: %s", fin.ID, fin.State, fin.Error)
+	}
+	if fin.Failed > 0 {
+		return fmt.Errorf("server batch %s: %d of %d jobs failed", fin.ID, fin.Failed, fin.Jobs)
+	}
+	rc, err := client.Results(fin.ID)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	loaded, err := s.Resume(rc)
+	if err != nil {
+		return fmt.Errorf("replaying server results: %w", err)
+	}
+	fmt.Printf("loaded %d results from %s\n", loaded, server)
 	return nil
 }
 

@@ -1,0 +1,25 @@
+// Package serve is the wallclock fixture for the sweep-service domain: the
+// daemon's persisted artifacts must be pure functions of the job keys, so a
+// bare host-clock read is flagged, while pacing-only uses carry an explicit
+// //lint:ignore justification — the suppression path this fixture proves.
+package serve
+
+import "time"
+
+// recordStamp would leak wall time into a journal record: flagged.
+func recordStamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic package"
+}
+
+// backoff paces a worker restart; the delay never reaches a record, so the
+// justified suppression keeps it legal.
+func backoff(d time.Duration) {
+	//lint:ignore wallclock restart pacing is host-side orchestration; it never feeds result records
+	time.Sleep(d)
+}
+
+// sinceStart would couple a progress artifact to the host scheduler: the
+// Since form is flagged like Now.
+func sinceStart(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in deterministic package"
+}

@@ -23,12 +23,20 @@ func TestWallclockAllowsOrchestration(t *testing.T) {
 	analysis.RunFixture(t, "testdata/src/sweep", wallclock.Analyzer)
 }
 
+// TestWallclockServeFixture: the sweep service persists byte-stable
+// artifacts, so it sits inside the deterministic domain — bare host-clock
+// reads are flagged, and pacing-only uses need a justified //lint:ignore.
+func TestWallclockServeFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/serve", wallclock.Analyzer)
+}
+
 func TestDeterministicDomain(t *testing.T) {
 	for path, want := range map[string]bool{
 		"mgpucompress/internal/sim":       true,
 		"mgpucompress/internal/comp":      true,
 		"mgpucompress/internal/workloads": true,
 		"mgpucompress/internal/fault":     true,
+		"mgpucompress/internal/serve":     true,
 		"mgpucompress/internal/sweep":     false,
 		"mgpucompress/internal/runner":    false,
 		"mgpucompress/internal/analysis":  false,

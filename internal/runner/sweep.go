@@ -32,6 +32,12 @@ type SweepConfig struct {
 	// It is applied when a job executes, after key normalization, so it
 	// never perturbs fingerprints (tracing is measurement-only).
 	Trace bool
+	// Run, when non-nil, replaces the local simulator as the job executor —
+	// the seam the -server client mode uses to execute jobs on a remote
+	// sweepd daemon while keeping the local memo cache, journaling and
+	// deterministic assembly order. It must honor the same contract as the
+	// simulator: the result is a pure function of the key.
+	Run func(sweep.JobKey) (*Result, error)
 }
 
 // Sweep schedules simulation jobs through the orchestration engine.
@@ -43,9 +49,13 @@ type Sweep struct {
 // NewSweep builds a sweep session.
 func NewSweep(cfg SweepConfig) *Sweep {
 	s := &Sweep{trace: cfg.Trace}
+	run := s.executeJob
+	if cfg.Run != nil {
+		run = cfg.Run
+	}
 	s.eng = sweep.New(sweep.Config[*Result]{
 		Workers:    cfg.Jobs,
-		Run:        s.executeJob,
+		Run:        run,
 		Journal:    cfg.Journal,
 		OnProgress: cfg.OnProgress,
 	})
@@ -109,6 +119,14 @@ func Key(bench string, opts Options) sweep.JobKey {
 		k.Link = int(energy.MCM) // Run treats the zero value as MCM
 	}
 	return k
+}
+
+// RunJob executes one simulation job straight from its key, without a sweep
+// session (and so without tracing). It is the executor a resident daemon
+// binds to the serve service: stateless, safe for concurrent use, and a pure
+// function of the key like executeJob itself.
+func RunJob(k sweep.JobKey) (*Result, error) {
+	return (&Sweep{}).executeJob(k)
 }
 
 // executeJob is the engine's run function: the inverse of Key.

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+
+	"mgpucompress/internal/metrics"
+	"mgpucompress/internal/sweep"
+	"mgpucompress/internal/trace"
+)
+
+// This file is the wire surface of the sweep service: every type that
+// crosses the HTTP boundary, with field order fixed so marshaled artifacts
+// are byte-stable.
+
+// BatchRequest is the POST /v1/batches body: a set of job keys to run (or
+// serve from the memo cache) as one named unit. Tenant is an accounting
+// label; deduplication is global, so two tenants submitting the same key
+// share one simulation.
+type BatchRequest struct {
+	Tenant string         `json:"tenant,omitempty"`
+	Keys   []sweep.JobKey `json:"keys"`
+}
+
+// Batch states as reported by BatchStatus.State.
+const (
+	StateRunning = "running"
+	StateDone    = "done"
+	StateError   = "error"
+)
+
+// BatchStatus is the GET /v1/batches/{id} response (and the body of the
+// 202 returned by a submission).
+type BatchStatus struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	State  string `json:"state"`
+	// Jobs is the size of the batch's deduplicated, canonically ordered
+	// plan; Completed counts settled jobs, Failed the subset that errored.
+	Jobs      int `json:"jobs"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Error carries the terminal fault of a batch in StateError (e.g. the
+	// results file could not be written).
+	Error string `json:"error,omitempty"`
+}
+
+// Job record statuses.
+const (
+	JobOK     = "ok"
+	JobFailed = "failed"
+)
+
+// JobRecord is one line of a batch journal and of the final results
+// journal, and the GET /v1/jobs/{fingerprint} response. For a successful
+// job the Fingerprint/Seed/Key/Result fields line up with sweep.Record, so
+// a downloaded results journal can be replayed straight into an engine via
+// sweep.Engine.Resume (failed records carry no Result and are skipped by
+// the replay, which re-runs them deterministically).
+type JobRecord struct {
+	Fingerprint string          `json:"fingerprint"`
+	Seed        int64           `json:"seed"`
+	Key         sweep.JobKey    `json:"key"`
+	Status      string          `json:"status"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+}
+
+// Manifest is the on-disk description of a submitted batch, written before
+// any of its jobs run: after a crash it is the authoritative plan the
+// daemon resumes. Keys are stored deduplicated in canonical order — the
+// order of the results journal.
+type Manifest struct {
+	ID     string         `json:"id"`
+	Tenant string         `json:"tenant,omitempty"`
+	Keys   []sweep.JobKey `json:"keys"`
+}
+
+// Event types on the SSE stream.
+const (
+	EventJob   = "job"   // one job settled
+	EventBatch = "batch" // terminal: the batch reached StateDone/StateError
+)
+
+// Event is one SSE frame on GET /v1/batches/{id}/events. Seq increases by
+// one per event within a batch; exactly one terminal EventBatch frame ends
+// every stream.
+type Event struct {
+	Seq   int    `json:"seq"`
+	Type  string `json:"type"`
+	Batch string `json:"batch"`
+
+	// Job-event fields.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Key         string `json:"key,omitempty"` // canonical form
+	Status      string `json:"status,omitempty"`
+	Error       string `json:"error,omitempty"`
+	// Progress snapshots the engine counters at emission (live events
+	// only; events replayed from a journal after a restart omit it).
+	Progress *sweep.Progress `json:"progress,omitempty"`
+	// Summary condenses the job's result (Config.Describe hook).
+	Summary *JobSummary `json:"summary,omitempty"`
+	// Metrics is the incremental service-registry snapshot: the samples
+	// that changed since the previous event on any batch.
+	Metrics metrics.Snapshot `json:"metrics,omitempty"`
+
+	// Terminal-event fields (mirrors BatchStatus).
+	State     string `json:"state,omitempty"`
+	Jobs      int    `json:"jobs,omitempty"`
+	Completed int    `json:"completed,omitempty"`
+	Failed    int    `json:"failed,omitempty"`
+}
+
+// JobSummary condenses one completed job for the event stream: headline
+// simulation numbers, the size of its metric snapshot, and a span-timeline
+// summary. The daemon's Describe hook fills it from the simulator result.
+type JobSummary struct {
+	ExecCycles    uint64         `json:"exec_cycles,omitempty"`
+	FabricBytes   uint64         `json:"fabric_bytes,omitempty"`
+	MetricSamples int            `json:"metric_samples,omitempty"`
+	Spans         *trace.Summary `json:"spans,omitempty"`
+}
+
+// Health is the GET /v1/healthz response.
+type Health struct {
+	State      string           `json:"state"` // "ok" or "degraded" (supervisor gave up)
+	Batches    int              `json:"batches"`
+	Supervisor SupervisorStats  `json:"supervisor"`
+	Progress   sweep.Progress   `json:"progress"`
+	Metrics    metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}

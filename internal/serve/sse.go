@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// newLineScanner builds a scanner sized for SSE frames carrying metric
+// deltas.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxJournalLine)
+	return sc
+}
+
+// writeSSE encodes one Event as a Server-Sent-Events frame:
+//
+//	id: <seq>
+//	event: <type>
+//	data: <single-line JSON>
+//	<blank>
+//
+// json.Marshal never emits raw newlines, so one data: line always suffices
+// and the frame cannot be broken by event content.
+func writeSSE(w io.Writer, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}
+
+// ParseSSE decodes a Server-Sent-Events stream of Events (the client-side
+// inverse of writeSSE; also the test oracle). It reads frames until EOF
+// and calls fn per event; fn returning false stops early without error.
+func ParseSSE(r io.Reader, fn func(Event) bool) error {
+	sc := newLineScanner(r)
+	var data []byte
+	flush := func() (bool, error) {
+		if data == nil {
+			return true, nil
+		}
+		var ev Event
+		if err := json.Unmarshal(data, &ev); err != nil {
+			return false, fmt.Errorf("serve: bad SSE data: %w", err)
+		}
+		data = nil
+		return fn(ev), nil
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0: // frame boundary
+			if cont, err := flush(); err != nil || !cont {
+				return err
+			}
+		case len(line) > 6 && string(line[:6]) == "data: ":
+			data = append([]byte(nil), line[6:]...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	_, err := flush() // stream may end without a trailing blank line
+	return err
+}

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mgpucompress/internal/sweep"
+)
+
+func TestSSERoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Type: EventJob, Batch: "b000001", Fingerprint: "aa", Status: JobOK},
+		{Seq: 2, Type: EventJob, Batch: "b000001", Fingerprint: "bb", Status: JobFailed, Error: "boom"},
+		{Seq: 3, Type: EventBatch, Batch: "b000001", State: StateDone, Jobs: 2, Completed: 2, Failed: 1},
+	}
+	var buf bytes.Buffer
+	for _, ev := range events {
+		if err := writeSSE(&buf, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Event
+	if err := ParseSSE(&buf, func(ev Event) bool { got = append(got, ev); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(got))
+	}
+	for i := range events {
+		if got[i].Seq != events[i].Seq || got[i].Type != events[i].Type ||
+			got[i].Fingerprint != events[i].Fingerprint || got[i].Error != events[i].Error {
+			t.Fatalf("event %d round-tripped to %+v, want %+v", i, got[i], events[i])
+		}
+	}
+
+	// fn returning false stops early without error.
+	var first []Event
+	buf2 := bytes.Buffer{}
+	for _, ev := range events {
+		_ = writeSSE(&buf2, ev)
+	}
+	if err := ParseSSE(&buf2, func(ev Event) bool { first = append(first, ev); return false }); err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 {
+		t.Fatalf("early stop parsed %d events, want 1", len(first))
+	}
+
+	// A stream cut without a trailing blank line still yields its last frame.
+	raw := "id: 1\nevent: job\ndata: {\"seq\":1,\"type\":\"job\",\"batch\":\"b000001\"}\n"
+	var cut []Event
+	if err := ParseSSE(strings.NewReader(raw), func(ev Event) bool { cut = append(cut, ev); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) != 1 || cut[0].Seq != 1 {
+		t.Fatalf("truncated stream parsed %+v", cut)
+	}
+}
+
+// TestSSEOrdering is the stream half of the determinism gate: with one
+// worker, events arrive in engine completion order (= the canonical plan
+// order), sequence numbers are contiguous from 1, and exactly one terminal
+// batch event ends the stream.
+func TestSSEOrdering(t *testing.T) {
+	s := newTestService(t, t.TempDir(), func(c *Config[testResult]) {
+		c.Workers = 1
+		c.Supervisor.Workers = 1
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	keys := gateKeys()
+	st, err := s.Submit(BatchRequest{Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, s, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/batches/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var events []Event
+	if err := ParseSSE(resp.Body, func(ev Event) bool { events = append(events, ev); return true }); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := sweep.Dedup(append([]sweep.JobKey(nil), keys...))
+	sweep.SortCanonical(plan)
+	if len(events) != len(plan)+1 {
+		t.Fatalf("got %d events for %d jobs, want jobs+1", len(events), len(plan))
+	}
+	terminals := 0
+	for i, ev := range events {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d, want contiguous from 1", i, ev.Seq)
+		}
+		if ev.Type == EventBatch {
+			terminals++
+			continue
+		}
+		// One worker executes the canonical plan in order, so job events
+		// arrive in plan order.
+		if ev.Fingerprint != plan[i].Fingerprint() {
+			t.Fatalf("job event %d is %s, want %s (canonical order)", i, ev.Fingerprint, plan[i].Fingerprint())
+		}
+		if ev.Key != plan[i].Canonical() {
+			t.Fatalf("job event %d key = %q", i, ev.Key)
+		}
+		if ev.Progress == nil {
+			t.Fatalf("live job event %d carries no progress snapshot", i)
+		}
+	}
+	if terminals != 1 || events[len(events)-1].Type != EventBatch {
+		t.Fatalf("want exactly one terminal event, last; got %d", terminals)
+	}
+	last := events[len(events)-1]
+	if last.State != StateDone || last.Jobs != len(plan) || last.Completed != len(plan) || last.Failed != 2 {
+		t.Fatalf("terminal event = %+v", last)
+	}
+
+	// A second late subscriber gets the identical replay.
+	resp2, err := http.Get(ts.URL + "/v1/batches/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var replay []Event
+	if err := ParseSSE(resp2.Body, func(ev Event) bool { replay = append(replay, ev); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != len(events) {
+		t.Fatalf("late subscriber got %d events, want %d", len(replay), len(events))
+	}
+	for i := range events {
+		if replay[i].Seq != events[i].Seq || replay[i].Fingerprint != events[i].Fingerprint {
+			t.Fatalf("replay event %d = %+v, want %+v", i, replay[i], events[i])
+		}
+	}
+}
+
+// TestSSELiveDelivery subscribes before any job finishes (the run function
+// is gated) and watches the full stream arrive live, summaries included.
+func TestSSELiveDelivery(t *testing.T) {
+	gate := make(chan struct{})
+	s := newTestService(t, t.TempDir(), func(c *Config[testResult]) {
+		c.Workers = 1
+		c.Supervisor.Workers = 1
+		inner := c.Run
+		c.Run = func(k sweep.JobKey) (testResult, error) {
+			<-gate
+			return inner(k)
+		}
+	})
+	keys := []sweep.JobKey{testKey("AES", "fpc", 1), testKey("BS", "bdi", 2)}
+	st, err := s.Submit(BatchRequest{Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.mu.Lock()
+	b := s.batches[st.ID]
+	s.mu.Unlock()
+	history, live := s.subscribe(b)
+	if len(history) != 0 || live == nil {
+		t.Fatalf("subscribed before release: history=%d live=%v", len(history), live != nil)
+	}
+	close(gate)
+
+	var events []Event
+	timeout := time.After(30 * time.Second)
+	for live != nil {
+		select {
+		case ev, open := <-live:
+			if !open {
+				live = nil
+				break
+			}
+			events = append(events, ev)
+		case <-timeout:
+			t.Fatalf("stream never terminated; got %+v", events)
+		}
+	}
+	if len(events) != 3 || events[2].Type != EventBatch {
+		t.Fatalf("live stream = %+v, want 2 job events and a terminal", events)
+	}
+	for i, ev := range events[:2] {
+		if ev.Type != EventJob || ev.Status != JobOK {
+			t.Fatalf("live event %d = %+v", i, ev)
+		}
+		if ev.Summary == nil || ev.Summary.ExecCycles == 0 {
+			t.Fatalf("live event %d carries no Describe summary: %+v", i, ev)
+		}
+	}
+}
+
+// TestHTTPEndToEnd drives the whole wire surface through the Client.
+func TestHTTPEndToEnd(t *testing.T) {
+	gate := make(chan struct{})
+	s := newTestService(t, t.TempDir(), func(c *Config[testResult]) {
+		inner := c.Run
+		c.Run = func(k sweep.JobKey) (testResult, error) {
+			if k.Workload == "SLOW" {
+				<-gate
+			}
+			return inner(k)
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, PollInterval: 2 * time.Millisecond}
+
+	// While a batch is running, its results are 409.
+	running, err := c.Submit(BatchRequest{Tenant: "alice", Keys: []sweep.JobKey{testKey("SLOW", "", 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if running.State != StateRunning {
+		t.Fatalf("initial state = %+v", running)
+	}
+	if _, err := c.Results(running.ID); err == nil || !strings.Contains(err.Error(), "running") {
+		t.Fatalf("results of running batch = %v, want conflict", err)
+	}
+	close(gate)
+	if fin, err := c.Wait(running.ID, nil); err != nil || fin.State != StateDone {
+		t.Fatalf("Wait = %+v, %v", fin, err)
+	}
+
+	// Full batch round trip, progress callback included.
+	var polls int
+	st, err := c.Submit(BatchRequest{Tenant: "bob", Keys: gateKeys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(st.ID, func(BatchStatus) { polls++ })
+	if err != nil || fin.State != StateDone || fin.Failed != 2 {
+		t.Fatalf("Wait = %+v, %v", fin, err)
+	}
+	if polls == 0 {
+		t.Fatal("progress callback never ran")
+	}
+
+	// Downloaded results match the artifact on disk byte for byte.
+	rc, err := c.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downloaded := new(bytes.Buffer)
+	if _, err := downloaded.ReadFrom(rc); err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	want := resultsBytes(t, s.cfg.DataDir, st.ID)
+	if !bytes.Equal(downloaded.Bytes(), want) {
+		t.Fatal("downloaded results differ from the on-disk artifact")
+	}
+
+	// Job lookup by fingerprint.
+	rec, err := c.Job(testKey("AES", "bdi", 1).Fingerprint())
+	if err != nil || rec.Status != JobOK {
+		t.Fatalf("Job = %+v, %v", rec, err)
+	}
+	if _, err := c.Job("ffffffffffffffff"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown job = %v, want 404", err)
+	}
+
+	// RunJob: success returns the payload, failure the deterministic error.
+	raw, err := c.RunJob(testKey("XY", "fpc", 2))
+	if err != nil || !strings.Contains(string(raw), "XY/fpc") {
+		t.Fatalf("RunJob = %s, %v", raw, err)
+	}
+	if _, err := c.RunJob(testKey("PANIC", "", 1)); err == nil || !strings.Contains(err.Error(), "job panicked") {
+		t.Fatalf("RunJob(PANIC) = %v, want the deterministic panic error", err)
+	}
+
+	// Health and error surfaces.
+	h, err := c.Health()
+	if err != nil || h.State != "ok" {
+		t.Fatalf("Health = %+v, %v", h, err)
+	}
+	if _, err := c.Status("b999999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown batch = %v, want 404", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/batches", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submit = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/batches", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty submit = %d, want 400", resp.StatusCode)
+	}
+}

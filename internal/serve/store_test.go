@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mgpucompress/internal/sweep"
+)
+
+func testKey(workload, policy string, scale int) sweep.JobKey {
+	return sweep.JobKey{Workload: workload, Policy: policy, Scale: scale}
+}
+
+func testRecord(k sweep.JobKey) JobRecord {
+	return JobRecord{
+		Fingerprint: k.Fingerprint(),
+		Seed:        k.Seed(),
+		Key:         k,
+		Status:      JobOK,
+		Result:      json.RawMessage(`{"value":"` + k.Workload + `"}`),
+	}
+}
+
+func TestBatchIDContinuity(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := st.NewBatchID(); id != "b000001" {
+		t.Fatalf("first ID = %q, want b000001", id)
+	}
+	id2 := st.NewBatchID()
+	if id2 != "b000002" {
+		t.Fatalf("second ID = %q, want b000002", id2)
+	}
+	// IDs are only durable once a batch directory exists.
+	if err := st.WriteManifest(Manifest{ID: id2, Keys: []sweep.JobKey{testKey("AES", "fpc", 1)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := st2.NewBatchID(); id != "b000003" {
+		t.Fatalf("ID after reopen = %q, want b000003 (continue past stored batches)", id)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Manifest{
+		{ID: "b000001", Tenant: "alice", Keys: []sweep.JobKey{testKey("AES", "fpc", 1)}},
+		{ID: "b000002", Keys: []sweep.JobKey{testKey("BS", "bdi", 2), testKey("MM", "", 0)}},
+	}
+	// Write out of order: LoadManifests must sort by ID.
+	for i := len(want) - 1; i >= 0; i-- {
+		if err := st.WriteManifest(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A torn manifest (crash mid-write before rename never leaves one, but a
+	// corrupted disk might) is skipped, not fatal.
+	if err := os.MkdirAll(st.batchDir("b000003"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.manifestPath("b000003"), []byte(`{"id":"b0000`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A batch dir with no manifest at all (crash between mkdir and write).
+	if err := os.MkdirAll(st.batchDir("b000004"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := st.LoadManifests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "b000001" || got[1].ID != "b000002" {
+		t.Fatalf("LoadManifests = %+v, want the two intact manifests in ID order", got)
+	}
+	if got[0].Tenant != "alice" || len(got[1].Keys) != 2 {
+		t.Fatalf("manifest content mangled: %+v", got)
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "b000001"
+	if err := os.MkdirAll(st.batchDir(id), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	good := testRecord(testKey("AES", "fpc", 1))
+	line, _ := json.Marshal(good)
+	// A journal whose final line was cut mid-record by a crash.
+	torn := append(append([]byte{}, line...), '\n')
+	torn = append(torn, []byte(`{"fingerprint":"deadbeef","seed":12,"ke`)...)
+	if err := os.WriteFile(st.journalPath(id), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := st.ReadJournal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Fingerprint != good.Fingerprint {
+		t.Fatalf("ReadJournal over torn tail = %+v, want just the intact record", recs)
+	}
+
+	// Appending after the crash must start on a fresh line, not glue the new
+	// record onto the torn tail.
+	j, err := st.OpenJournal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := testRecord(testKey("BS", "bdi", 2))
+	if err := j.Append(next); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = st.ReadJournal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Fingerprint != next.Fingerprint {
+		t.Fatalf("journal after post-crash append = %+v, want 2 records", recs)
+	}
+}
+
+func TestReadJournalDistrustsStoredFingerprints(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "b000001"
+	if err := os.MkdirAll(st.batchDir(id), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	good := testRecord(testKey("AES", "fpc", 1))
+	stale := testRecord(testKey("BS", "bdi", 2))
+	stale.Fingerprint = "0000000000000000" // key no longer hashes to this
+	dup := good                            // duplicate fingerprint: first record wins
+	dup.Result = json.RawMessage(`{"value":"SECOND"}`)
+
+	var buf bytes.Buffer
+	for _, rec := range []JobRecord{good, stale, dup} {
+		line, _ := json.Marshal(rec)
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(st.journalPath(id), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := st.ReadJournal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Fingerprint != good.Fingerprint {
+		t.Fatalf("ReadJournal = %+v, want only the first intact record", recs)
+	}
+	if string(recs[0].Result) != string(good.Result) {
+		t.Fatalf("duplicate fingerprint replaced the first record: %s", recs[0].Result)
+	}
+}
+
+func TestWriteResultsPureAndAtomic(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "b000001"
+	if err := os.MkdirAll(st.batchDir(id), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	recs := []JobRecord{testRecord(testKey("AES", "fpc", 1)), testRecord(testKey("BS", "bdi", 2))}
+	if err := st.WriteResults(id, recs); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(st.resultsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteResults(id, recs); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(st.resultsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("WriteResults is not a pure function of the records")
+	}
+	// No temp residue: the write landed via rename.
+	if _, err := os.Stat(st.resultsPath(id) + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	if !st.HasResults(id) {
+		t.Fatal("HasResults false after WriteResults")
+	}
+
+	back, err := st.ReadResults(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Fingerprint != recs[0].Fingerprint {
+		t.Fatalf("ReadResults = %+v", back)
+	}
+}
+
+func TestOpenReplayReaderPrefersResults(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "b000001"
+	if err := os.MkdirAll(st.batchDir(id), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	replay := func() string {
+		rc, err := st.OpenReplayReader(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rc.Close()
+		b, err := io.ReadAll(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	// No files at all: an empty stream, not an error.
+	if got := replay(); got != "" {
+		t.Fatalf("empty batch replay = %q", got)
+	}
+
+	if err := os.WriteFile(st.journalPath(id), []byte("journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := replay(); got != "journal\n" {
+		t.Fatalf("in-flight batch replays %q, want the journal", got)
+	}
+
+	if err := os.WriteFile(st.resultsPath(id), []byte("results\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := replay(); got != "results\n" {
+		t.Fatalf("settled batch replays %q, want the results file", got)
+	}
+}
+
+func TestJournalFilesLiveUnderBatchDir(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := st.OpenJournal("b000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(testRecord(testKey("AES", "", 0))); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "batches", "b000007", "journal.jsonl")); err != nil {
+		t.Fatalf("journal not where expected: %v", err)
+	}
+}

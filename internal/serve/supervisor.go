@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Supervisor owns the service's worker goroutines and the policy for
+// keeping them alive. Work items are queued FIFO and executed by a fixed
+// pool; a panic escaping a work item crashes only its worker, which the
+// supervisor replaces after an exponentially growing backoff — unless the
+// crash rate exceeds the restart intensity (MaxRestarts within Window), in
+// which case the dead worker is not replaced and the supervisor reports
+// itself degraded. Job-level panics are normally absorbed one layer below
+// (the service wraps the run function, so a panicking simulation fails
+// that job and nothing else); the supervisor is the backstop for bugs in
+// the service's own bookkeeping.
+type Supervisor struct {
+	cfg SupervisorConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []func()
+	closed   bool
+	alive    int
+	restarts []time.Time // recent crash times inside the intensity window
+	streak   int         // consecutive crashes since the last clean item
+	stats    SupervisorStats
+}
+
+// SupervisorConfig tunes the restart policy. Zero values select the
+// defaults noted per field.
+type SupervisorConfig struct {
+	// Workers is the pool size (default 4).
+	Workers int
+	// MaxRestarts bounds worker restarts within Window before the
+	// supervisor gives up replacing the crashing worker (default 8).
+	MaxRestarts int
+	// Window is the restart-intensity accounting interval (default 1m).
+	Window time.Duration
+	// BaseBackoff is the delay before the first replacement worker starts;
+	// it doubles per consecutive crash up to MaxBackoff (defaults 10ms,
+	// 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// OnPanic, when non-nil, observes every worker crash (logging).
+	OnPanic func(v any, stack []byte)
+
+	// now and sleep are test seams; nil means the host clock.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// SupervisorStats is a snapshot of the supervisor's counters.
+type SupervisorStats struct {
+	Workers    int    `json:"workers"`
+	Alive      int    `json:"alive"`
+	QueueDepth int    `json:"queue_depth"`
+	Panics     uint64 `json:"panics"`
+	Restarts   uint64 `json:"restarts"`
+	// GaveUp reports that the restart intensity was exceeded and at least
+	// one worker was not replaced: the service is degraded.
+	GaveUp bool `json:"gave_up"`
+}
+
+func (c *SupervisorConfig) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 8
+	}
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.now == nil {
+		c.now = hostNow
+	}
+	if c.sleep == nil {
+		c.sleep = hostSleep
+	}
+}
+
+// hostNow reads the host clock for restart-intensity accounting. This is
+// pure orchestration state — it never reaches a journal, a results file,
+// or any other result record.
+func hostNow() time.Time {
+	//lint:ignore wallclock supervisor restart-intensity accounting is host-side orchestration; it never feeds result records
+	return time.Now()
+}
+
+// hostSleep paces worker restarts (exponential backoff).
+func hostSleep(d time.Duration) {
+	//lint:ignore wallclock supervisor restart backoff is host-side pacing; it never feeds result records
+	time.Sleep(d)
+}
+
+// NewSupervisor builds a supervisor; Start launches the pool.
+func NewSupervisor(cfg SupervisorConfig) *Supervisor {
+	cfg.fill()
+	s := &Supervisor{cfg: cfg}
+	s.cond = sync.NewCond(&s.mu)
+	s.stats.Workers = cfg.Workers
+	return s
+}
+
+// Start launches the worker pool. Items submitted before Start sit in the
+// queue until it runs.
+func (s *Supervisor) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.alive++
+		go s.worker()
+	}
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: supervisor closed")
+
+// Submit queues one work item. The queue is unbounded: submission never
+// blocks on execution.
+func (s *Supervisor) Submit(fn func()) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.queue = append(s.queue, fn)
+	s.cond.Signal()
+	return nil
+}
+
+// Close stops the pool: no further submissions are accepted, workers exit
+// after their current item, and queued-but-unstarted items are dropped
+// (on a daemon they are re-created from batch manifests at next startup).
+// Close blocks until every live worker has exited.
+func (s *Supervisor) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.queue = nil
+	s.cond.Broadcast()
+	for s.alive > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Stats snapshots the supervisor counters.
+func (s *Supervisor) Stats() SupervisorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Alive = s.alive
+	st.QueueDepth = len(s.queue)
+	return st
+}
+
+// next blocks for the next work item; ok=false means the supervisor is
+// closed.
+func (s *Supervisor) next() (func(), bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return nil, false
+	}
+	fn := s.queue[0]
+	s.queue = s.queue[1:]
+	return fn, true
+}
+
+// worker is one pool goroutine: it drains the queue until close, and on a
+// panic hands itself to the crash policy.
+func (s *Supervisor) worker() {
+	normal := false
+	defer func() {
+		if normal {
+			s.workerExited()
+			return
+		}
+		s.workerCrashed(recover(), debug.Stack())
+	}()
+	for {
+		fn, ok := s.next()
+		if !ok {
+			normal = true
+			return
+		}
+		fn()
+		s.noteClean()
+	}
+}
+
+// noteClean resets the consecutive-crash streak: backoff growth restarts
+// from the base once a worker completes an item.
+func (s *Supervisor) noteClean() {
+	s.mu.Lock()
+	s.streak = 0
+	s.mu.Unlock()
+}
+
+// workerExited records a clean shutdown.
+func (s *Supervisor) workerExited() {
+	s.mu.Lock()
+	s.alive--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// workerCrashed applies the restart policy to one dead worker.
+func (s *Supervisor) workerCrashed(v any, stack []byte) {
+	if s.cfg.OnPanic != nil {
+		s.cfg.OnPanic(v, stack)
+	}
+	now := s.cfg.now()
+
+	s.mu.Lock()
+	s.stats.Panics++
+	s.streak++
+	// Restart-intensity accounting: drop crashes that aged out of the
+	// window, then check the budget.
+	keep := s.restarts[:0]
+	for _, t := range s.restarts {
+		if now.Sub(t) < s.cfg.Window {
+			keep = append(keep, t)
+		}
+	}
+	s.restarts = keep
+	if len(s.restarts) >= s.cfg.MaxRestarts {
+		// Too hot: this worker stays dead and the supervisor reports
+		// itself degraded. Remaining workers keep draining the queue.
+		s.stats.GaveUp = true
+		s.alive--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	s.restarts = append(s.restarts, now)
+	s.stats.Restarts++
+	backoff := s.cfg.BaseBackoff << (s.streak - 1)
+	if backoff > s.cfg.MaxBackoff || backoff <= 0 {
+		backoff = s.cfg.MaxBackoff
+	}
+	s.mu.Unlock()
+
+	go func() {
+		s.cfg.sleep(backoff)
+		s.worker()
+	}()
+}
+
+// describePanic renders a recovered value the way job records report it.
+// The text is a pure function of the panic value, so a deterministic
+// failure journals identically on every run.
+func describePanic(v any) string {
+	return fmt.Sprintf("job panicked: %v", v)
+}

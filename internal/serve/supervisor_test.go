@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock pins the supervisor's now/sleep seams: time stands still unless
+// the test advances it, and every backoff sleep is recorded instead of
+// actually waited out.
+type fakeClock struct {
+	mu     sync.Mutex
+	at     time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{at: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.at
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.at = c.at.Add(d)
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) sleep(d time.Duration) {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) slept() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+func TestSupervisorDrainsQueue(t *testing.T) {
+	sup := NewSupervisor(SupervisorConfig{Workers: 3})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ran := 0
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		if err := sup.Submit(func() {
+			defer wg.Done()
+			mu.Lock()
+			ran++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup.Start()
+	wg.Wait()
+	if ran != 20 {
+		t.Fatalf("ran %d items, want 20", ran)
+	}
+	st := sup.Stats()
+	if st.Alive != 3 || st.Panics != 0 || st.GaveUp {
+		t.Fatalf("stats after clean drain = %+v", st)
+	}
+	sup.Close()
+	if err := sup.Submit(func() {}); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if st := sup.Stats(); st.Alive != 0 {
+		t.Fatalf("alive after Close = %d, want 0", st.Alive)
+	}
+}
+
+func TestSupervisorReplacesPanickedWorker(t *testing.T) {
+	clock := newFakeClock()
+	panicked := make(chan any, 8)
+	sup := NewSupervisor(SupervisorConfig{
+		Workers:     1,
+		MaxRestarts: 8,
+		OnPanic:     func(v any, stack []byte) { panicked <- v },
+		now:         clock.now,
+		sleep:       clock.sleep,
+	})
+	sup.Start()
+
+	if err := sup.Submit(func() { panic("worker bug") }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-panicked:
+		if v != "worker bug" {
+			t.Fatalf("OnPanic value = %v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("panic never observed")
+	}
+
+	// The replacement worker must still drain the queue.
+	done := make(chan struct{})
+	if err := sup.Submit(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("replacement worker never ran the next item")
+	}
+
+	st := sup.Stats()
+	if st.Panics != 1 || st.Restarts != 1 || st.GaveUp || st.Alive != 1 {
+		t.Fatalf("stats = %+v, want 1 panic, 1 restart, alive, not given up", st)
+	}
+	sup.Close()
+}
+
+func TestSupervisorBackoffDoublesAndCaps(t *testing.T) {
+	clock := newFakeClock()
+	panicked := make(chan any, 16)
+	sup := NewSupervisor(SupervisorConfig{
+		Workers:     1,
+		MaxRestarts: 100, // stay inside the intensity budget
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
+		OnPanic:     func(v any, stack []byte) { panicked <- v },
+		now:         clock.now,
+		sleep:       clock.sleep,
+	})
+	sup.Start()
+
+	// Five consecutive crashes with no clean item in between: the backoff
+	// doubles from the base and saturates at the cap.
+	for i := 0; i < 5; i++ {
+		if err := sup.Submit(func() { panic("again") }); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-panicked:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("crash %d never observed", i)
+		}
+	}
+	// A clean item proves the last replacement is live and resets the streak.
+	done := make(chan struct{})
+	if err := sup.Submit(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	want := []time.Duration{10, 20, 40, 40, 40}
+	got := clock.slept()
+	if len(got) != len(want) {
+		t.Fatalf("backoffs = %v, want 5 entries", got)
+	}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Fatalf("backoff[%d] = %v, want %v (full series %v)", i, got[i], want[i]*time.Millisecond, got)
+		}
+	}
+
+	// One more crash after the clean item: streak reset, backoff is back to
+	// the base.
+	if err := sup.Submit(func() { panic("fresh streak") }); err != nil {
+		t.Fatal(err)
+	}
+	<-panicked
+	done2 := make(chan struct{})
+	if err := sup.Submit(func() { close(done2) }); err != nil {
+		t.Fatal(err)
+	}
+	<-done2
+	got = clock.slept()
+	if last := got[len(got)-1]; last != 10*time.Millisecond {
+		t.Fatalf("backoff after clean item = %v, want base again", last)
+	}
+	sup.Close()
+}
+
+func TestSupervisorGivesUpPastRestartIntensity(t *testing.T) {
+	clock := newFakeClock()
+	panicked := make(chan any, 8)
+	sup := NewSupervisor(SupervisorConfig{
+		Workers:     1,
+		MaxRestarts: 2,
+		Window:      time.Minute,
+		OnPanic:     func(v any, stack []byte) { panicked <- v },
+		now:         clock.now,
+		sleep:       clock.sleep,
+	})
+	sup.Start()
+
+	// The clock never advances: all crashes land inside one window. Crash 1
+	// and 2 consume the restart budget; crash 3 exceeds it and the worker
+	// stays dead.
+	for i := 0; i < 3; i++ {
+		if err := sup.Submit(func() { panic("hot loop") }); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-panicked:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("crash %d never observed", i)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := sup.Stats()
+		if st.GaveUp {
+			if st.Alive != 0 || st.Restarts != 2 || st.Panics != 3 {
+				t.Fatalf("degraded stats = %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("supervisor never gave up: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Close must not hang even with every worker dead.
+	sup.Close()
+}
+
+func TestSupervisorWindowPruning(t *testing.T) {
+	clock := newFakeClock()
+	panicked := make(chan any, 8)
+	sup := NewSupervisor(SupervisorConfig{
+		Workers:     1,
+		MaxRestarts: 2,
+		Window:      time.Minute,
+		OnPanic:     func(v any, stack []byte) { panicked <- v },
+		now:         clock.now,
+		sleep:       clock.sleep,
+	})
+	sup.Start()
+
+	// Crashes spaced wider than the window never accumulate: the supervisor
+	// keeps restarting indefinitely.
+	for i := 0; i < 5; i++ {
+		if err := sup.Submit(func() { panic("spaced out") }); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-panicked:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("crash %d never observed", i)
+		}
+		clock.advance(2 * time.Minute)
+	}
+	done := make(chan struct{})
+	if err := sup.Submit(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker not alive after spaced crashes")
+	}
+	st := sup.Stats()
+	if st.GaveUp || st.Restarts != 5 {
+		t.Fatalf("stats = %+v, want 5 restarts and no give-up", st)
+	}
+	sup.Close()
+}

@@ -21,6 +21,15 @@ type Config[R any] struct {
 	Run func(JobKey) (R, error)
 	// Journal, when non-nil, receives one JSONL record per completed job.
 	// Writes are serialized; the caller owns the writer's lifetime.
+	//
+	// Durability policy: each record is written in a single Write call and,
+	// when the writer implements Flusher (a *bufio.Writer around a file),
+	// flushed to the OS before the job is reported complete — killing the
+	// process (SIGKILL included) can truncate at most the record being
+	// written, never lose an already-completed line, and Resume tolerates a
+	// truncated tail. The engine does not fsync: an OS or power crash may
+	// drop the tail of the file, which resuming repairs by re-running the
+	// missing jobs.
 	Journal io.Writer
 	// OnProgress, when non-nil, is called with a stats snapshot after every
 	// job completes (from the completing worker's goroutine, serialized).
@@ -44,11 +53,16 @@ type Progress struct {
 	Elapsed time.Duration
 }
 
-// String renders the counters the way progress lines print them.
+// String renders the counters the way progress lines print them. Failed
+// jobs appear only when there are any, so the historical format (which
+// predates the counter) stays byte-stable for clean sweeps.
 func (p Progress) String() string {
-	return fmt.Sprintf("%d/%d jobs (%d simulated, %d cache hits, %d resumed) in %s",
-		p.Completed, p.Scheduled, p.Simulated, p.CacheHits, p.Resumed,
-		p.Elapsed.Round(time.Millisecond))
+	s := fmt.Sprintf("%d/%d jobs (%d simulated, %d cache hits, %d resumed",
+		p.Completed, p.Scheduled, p.Simulated, p.CacheHits, p.Resumed)
+	if p.Failed > 0 {
+		s += fmt.Sprintf(", %d failed", p.Failed)
+	}
+	return s + fmt.Sprintf(") in %s", p.Elapsed.Round(time.Millisecond))
 }
 
 // Record is one line of the JSONL journal.
@@ -215,6 +229,37 @@ func (e *Engine[R]) Completed() []CompletedJob[R] {
 	return out
 }
 
+// JobState describes one cache entry as seen by Lookup.
+type JobState[R any] struct {
+	Key JobKey
+	// Done reports whether the job has settled; Result and Err are only
+	// meaningful when it has.
+	Done   bool
+	Result R
+	Err    error
+}
+
+// Lookup reports the state of the fingerprint's cache entry without
+// scheduling anything: the second return is false when the engine has never
+// seen the fingerprint. This is the service-layer hook behind
+// GET /v1/jobs/{fingerprint} — a read-only probe that distinguishes
+// "unknown", "in flight", and "settled" without triggering a simulation.
+func (e *Engine[R]) Lookup(fingerprint string) (JobState[R], bool) {
+	e.mu.Lock()
+	j, ok := e.jobs[fingerprint]
+	e.mu.Unlock()
+	if !ok {
+		return JobState[R]{}, false
+	}
+	st := JobState[R]{Key: j.key}
+	select {
+	case <-j.done:
+		st.Done, st.Result, st.Err = true, j.res, j.err
+	default: // still running
+	}
+	return st, true
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine[R]) Stats() Progress {
 	e.mu.Lock()
@@ -244,9 +289,18 @@ func (e *Engine[R]) writeRecord(fp string, key JobKey, res R) error {
 	}
 	e.journalMu.Lock()
 	defer e.journalMu.Unlock()
-	_, err = e.journal.Write(append(line, '\n'))
-	return err
+	if _, err := e.journal.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if f, ok := e.journal.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
 }
+
+// Flusher is the subset of bufio.Writer the engine uses to push buffered
+// journal bytes to the OS after every record (see Config.Journal).
+type Flusher interface{ Flush() error }
 
 // maxRecordBytes bounds one journal line; a Fig. 1 series with 500 samples
 // marshals well under this.

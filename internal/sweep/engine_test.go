@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
@@ -257,6 +258,78 @@ func TestProgressCallbackCounts(t *testing.T) {
 	}
 	if !strings.Contains(last.String(), "2/2 jobs") {
 		t.Fatalf("Progress.String() = %q", last.String())
+	}
+}
+
+func TestJournalFlushedPerRecord(t *testing.T) {
+	// A buffered journal writer must be flushed record by record: after
+	// every completed job the underlying sink — not just the bufio buffer —
+	// holds that job's line, so a SIGKILL between jobs loses nothing.
+	var sink bytes.Buffer
+	bw := bufio.NewWriterSize(&sink, 1<<20) // large: nothing reaches sink without Flush
+	e := New(Config[string]{Workers: 1, Journal: bw,
+		Run: func(k JobKey) (string, error) { return "v:" + k.Workload, nil }})
+	for i, k := range []JobKey{{Workload: "A"}, {Workload: "B"}, {Workload: "C"}} {
+		if _, err := e.Get(k); err != nil {
+			t.Fatal(err)
+		}
+		if got := bytes.Count(sink.Bytes(), []byte("\n")); got != i+1 {
+			t.Fatalf("after job %d the sink holds %d journal lines, want %d (per-record flush)", i+1, got, i+1)
+		}
+	}
+}
+
+func TestProgressStringIncludesFailed(t *testing.T) {
+	clean := Progress{Scheduled: 4, Completed: 4, Simulated: 3, CacheHits: 1}
+	if got := clean.String(); strings.Contains(got, "failed") {
+		t.Fatalf("Progress.String() with Failed==0 = %q, must stay byte-stable without a failed clause", got)
+	}
+	failing := Progress{Scheduled: 4, Completed: 4, Simulated: 2, CacheHits: 1, Failed: 2}
+	if got := failing.String(); !strings.Contains(got, "2 failed") {
+		t.Fatalf("Progress.String() = %q, want the failed counter visible", got)
+	}
+}
+
+func TestLookupStates(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	e := New(Config[string]{Workers: 2, Run: func(k JobKey) (string, error) {
+		if k.Workload == "SLOW" {
+			close(started)
+			<-release
+		}
+		if k.Workload == "BAD" {
+			return "", errors.New("boom")
+		}
+		return "v:" + k.Workload, nil
+	}})
+
+	if _, ok := e.Lookup(JobKey{Workload: "A"}.Fingerprint()); ok {
+		t.Fatal("Lookup of an unseen fingerprint must report ok=false")
+	}
+
+	slow := JobKey{Workload: "SLOW"}
+	go func() { _, _ = e.Get(slow) }()
+	<-started
+	if st, ok := e.Lookup(slow.Fingerprint()); !ok || st.Done {
+		t.Fatalf("Lookup(in flight) = %+v, %v; want known and not done", st, ok)
+	}
+	close(release)
+
+	good := JobKey{Workload: "A"}
+	if _, err := e.Get(good); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := e.Lookup(good.Fingerprint()); !ok || !st.Done || st.Err != nil || st.Result != "v:A" {
+		t.Fatalf("Lookup(done) = %+v, %v", st, ok)
+	}
+
+	bad := JobKey{Workload: "BAD"}
+	if _, err := e.Get(bad); err == nil {
+		t.Fatal("BAD job should fail")
+	}
+	if st, ok := e.Lookup(bad.Fingerprint()); !ok || !st.Done || st.Err == nil {
+		t.Fatalf("Lookup(failed) = %+v, %v; want settled with error", st, ok)
 	}
 }
 
