@@ -5,12 +5,19 @@
 //
 // Usage:
 //
-//	mgpulint [-json] [packages]
+//	mgpulint [-json] [-sarif FILE] [-baseline FILE] [-write-baseline] [packages]
 //
 // Packages are directories or dir/... patterns (default ./...). Findings
-// print as file:line:col: [analyzer] message, or as one JSON object per
-// line with -json for programmatic consumers. The exit status is 1 when
-// any finding is reported, 2 on usage or load errors, 0 otherwise.
+// print as file:line:col: [analyzer] message, or — with -json — as a
+// single JSON document carrying the findings, the suppressed diagnostics,
+// and the rule table. -sarif additionally writes a SARIF 2.1.0 log for
+// code-scanning upload. -baseline compares the run against a committed
+// suppression-budget file (lint-baseline.json) and fails when any
+// analyzer's finding or suppression count grew; -write-baseline
+// regenerates that file from the current run instead of checking it.
+//
+// The exit status is 1 when any finding is reported or the baseline is
+// exceeded, 2 on usage or load errors, 0 otherwise.
 //
 // A finding is suppressed by a directive on the offending line or the line
 // above:
@@ -34,6 +41,9 @@ import (
 	"mgpucompress/internal/analysis/detmap"
 	"mgpucompress/internal/analysis/errdrop"
 	"mgpucompress/internal/analysis/fatalban"
+	"mgpucompress/internal/analysis/globalmut"
+	"mgpucompress/internal/analysis/lockorder"
+	"mgpucompress/internal/analysis/puretaint"
 	"mgpucompress/internal/analysis/wallclock"
 )
 
@@ -45,6 +55,9 @@ func Analyzers() []*analysis.Analyzer {
 		errdrop.Analyzer,
 		fatalban.Analyzer,
 		wallclock.Analyzer,
+		puretaint.Analyzer,
+		globalmut.Analyzer,
+		lockorder.Analyzer,
 	}
 }
 
@@ -52,11 +65,32 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonReport is the -json document: everything a programmatic consumer
+// needs in one object, rather than the line-per-finding stream of v1.
+type jsonReport struct {
+	Rules      []jsonRule         `json:"rules"`
+	Findings   []analysis.Finding `json:"findings"`
+	Suppressed []analysis.Finding `json:"suppressed"`
+}
+
+type jsonRule struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mgpulint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit one JSON finding per line")
+	jsonOut := fs.Bool("json", false, "emit the run as a single JSON document")
+	sarifPath := fs.String("sarif", "", "also write a SARIF 2.1.0 log to this file")
+	baselinePath := fs.String("baseline", "", "enforce the suppression-budget baseline in this file")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the -baseline file from this run instead of checking it")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "mgpulint: -write-baseline requires -baseline FILE")
 		return 2
 	}
 	patterns := fs.Args()
@@ -75,28 +109,81 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := analysis.Run(pkgs, Analyzers())
+	analyzers := Analyzers()
+	res := analysis.RunAll(pkgs, analyzers)
 	cwd, _ := os.Getwd()
-	for i := range findings {
-		// Report paths relative to the working directory, like go vet.
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && len(rel) < len(findings[i].File) {
-				findings[i].File = rel
-			}
+	relativize(res.Findings, cwd)
+	relativize(res.Suppressed, cwd)
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "mgpulint:", err)
+			return 2
 		}
-		if *jsonOut {
-			line, err := json.Marshal(findings[i])
+		werr := analysis.WriteSARIF(f, analyzers, res.Findings)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "mgpulint:", werr)
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		rules := make([]jsonRule, 0, len(analyzers))
+		for _, a := range analyzers {
+			rules = append(rules, jsonRule{ID: a.ID, Name: a.Name, Doc: a.Doc})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{Rules: rules, Findings: res.Findings, Suppressed: res.Suppressed}); err != nil {
+			fmt.Fprintln(stderr, "mgpulint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+
+	exit := 0
+	if len(res.Findings) > 0 {
+		exit = 1
+	}
+
+	if *baselinePath != "" {
+		current := analysis.MakeBaseline(res, analyzers)
+		if *writeBaseline {
+			if err := analysis.WriteBaseline(*baselinePath, current); err != nil {
+				fmt.Fprintln(stderr, "mgpulint:", err)
+				return 2
+			}
+		} else {
+			committed, err := analysis.ReadBaseline(*baselinePath)
 			if err != nil {
 				fmt.Fprintln(stderr, "mgpulint:", err)
 				return 2
 			}
-			fmt.Fprintln(stdout, string(line))
-		} else {
-			fmt.Fprintln(stdout, findings[i].String())
+			for _, v := range committed.Check(current) {
+				fmt.Fprintln(stderr, "mgpulint: baseline:", v)
+				exit = 1
+			}
 		}
 	}
-	if len(findings) > 0 {
-		return 1
+	return exit
+}
+
+// relativize rewrites finding paths relative to the working directory,
+// like go vet, when that is shorter.
+func relativize(fs []analysis.Finding, cwd string) {
+	if cwd == "" {
+		return
 	}
-	return 0
+	for i := range fs {
+		if rel, err := filepath.Rel(cwd, fs[i].File); err == nil && len(rel) < len(fs[i].File) {
+			fs[i].File = rel
+		}
+	}
 }

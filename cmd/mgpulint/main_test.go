@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func moduleRoot(t *testing.T) string {
 
 // TestSelfPass is the gate the Makefile's lint target enforces, expressed
 // as a test: the whole module — internal/analysis itself included — must
-// be free of findings.
+// be free of findings across all eight analyzers.
 func TestSelfPass(t *testing.T) {
 	var out, errOut bytes.Buffer
 	code := run([]string{filepath.Join(moduleRoot(t), "...")}, &out, &errOut)
@@ -44,6 +45,9 @@ func TestFixturePackagesFail(t *testing.T) {
 		"internal/analysis/atomicmix/testdata/src/atomfix",
 		"internal/analysis/fatalban/testdata/src/fatalfix",
 		"internal/analysis/errdrop/testdata/src/runner",
+		"internal/analysis/puretaint/testdata/src/sim",
+		"internal/analysis/globalmut/testdata/src/sim",
+		"internal/analysis/lockorder/testdata/src/serve",
 	}
 	for _, fx := range fixtures {
 		var out, errOut bytes.Buffer
@@ -57,8 +61,8 @@ func TestFixturePackagesFail(t *testing.T) {
 	}
 }
 
-// TestJSONOutput: -json must emit one well-formed finding object per line
-// with the fields future tooling keys on.
+// TestJSONOutput: -json must emit a single well-formed document carrying
+// the rule table and findings with the fields tooling keys on.
 func TestJSONOutput(t *testing.T) {
 	root := moduleRoot(t)
 	var out, errOut bytes.Buffer
@@ -66,18 +70,128 @@ func TestJSONOutput(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
 	}
-	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) < 5 {
-		t.Fatalf("got %d JSON findings, want >= 5:\n%s", len(lines), out.String())
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON document: %v\n%s", err, out.String())
 	}
-	for _, line := range lines {
-		var f analysis.Finding
-		if err := json.Unmarshal([]byte(line), &f); err != nil {
-			t.Fatalf("bad JSON line %q: %v", line, err)
+	if len(rep.Rules) != len(Analyzers()) {
+		t.Errorf("got %d rules, want %d", len(rep.Rules), len(Analyzers()))
+	}
+	for _, r := range rep.Rules {
+		if r.ID == "" || r.Name == "" || r.Doc == "" {
+			t.Errorf("rule missing fields: %+v", r)
 		}
-		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" || f.Package == "" {
-			t.Errorf("finding missing fields: %q", line)
+	}
+	if len(rep.Findings) < 5 {
+		t.Fatalf("got %d findings, want >= 5:\n%s", len(rep.Findings), out.String())
+	}
+	for _, f := range rep.Findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" || f.Package == "" || f.ID == "" || f.Fingerprint == "" {
+			t.Errorf("finding missing fields: %+v", f)
 		}
+	}
+}
+
+// TestSARIFOutput: -sarif must write a schema-shaped 2.1.0 log whose
+// results reference the rule table by stable ID.
+func TestSARIFOutput(t *testing.T) {
+	root := moduleRoot(t)
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-sarif", path, filepath.Join(root, "internal/analysis/fatalban/testdata/src/fatalfix")}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID              string            `json:"ruleId"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("bad SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs; want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "mgpulint" {
+		t.Errorf("driver name %q", run0.Tool.Driver.Name)
+	}
+	if len(run0.Tool.Driver.Rules) != len(Analyzers()) {
+		t.Errorf("got %d rules, want %d", len(run0.Tool.Driver.Rules), len(Analyzers()))
+	}
+	if len(run0.Results) < 5 {
+		t.Fatalf("got %d results, want >= 5", len(run0.Results))
+	}
+	for _, r := range run0.Results {
+		if !strings.HasPrefix(r.RuleID, "MGL") {
+			t.Errorf("result ruleId %q lacks stable MGL prefix", r.RuleID)
+		}
+		if r.PartialFingerprints["mgpulint/v1"] == "" {
+			t.Errorf("result missing mgpulint/v1 fingerprint")
+		}
+	}
+}
+
+// TestBaselineRoundTrip: -write-baseline records the fixture's findings;
+// re-checking against that budget passes even though findings exist, and
+// a zeroed budget fails.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := moduleRoot(t)
+	fixture := filepath.Join(root, "internal/analysis/fatalban/testdata/src/fatalfix")
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", path, "-write-baseline", fixture}, &out, &errOut); code != 1 {
+		t.Fatalf("write run exit %d, want 1 (findings exist)", code)
+	}
+
+	// The recorded budget covers the findings: the baseline gate itself no
+	// longer adds failures (exit stays 1 only because findings print).
+	errOut.Reset()
+	if code := run([]string{"-baseline", path, fixture}, &out, &errOut); code != 1 {
+		t.Fatalf("check run exit %d, want 1", code)
+	}
+	if strings.Contains(errOut.String(), "baseline:") {
+		t.Errorf("budgeted findings still flagged by baseline gate: %s", errOut.String())
+	}
+
+	// A zero baseline must flag the growth.
+	zero := analysis.Baseline{Version: analysis.BaselineVersion, Analyzers: map[string]analysis.BaselineEntry{}}
+	if err := analysis.WriteBaseline(path, zero); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := run([]string{"-baseline", path, fixture}, &out, &errOut); code != 1 {
+		t.Fatalf("zero-baseline run exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "exceed the baseline budget") {
+		t.Errorf("zero baseline did not flag growth: %s", errOut.String())
+	}
+}
+
+// TestWriteBaselineRequiresPath: -write-baseline without -baseline is a
+// usage error.
+func TestWriteBaselineRequiresPath(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-write-baseline"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
 	}
 }
 

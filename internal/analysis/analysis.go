@@ -8,15 +8,24 @@
 // An Analyzer inspects one type-checked package at a time and reports
 // Diagnostics. The Loader (load.go) type-checks the module with go/parser
 // and go/types only — no external dependencies, per DESIGN's stdlib rule.
-// Fixture testing with // want "regexp" comments lives in harness.go, and
-// //lint:ignore suppression in ignore.go.
+// Since mgpulint v2 the framework is whole-program: packages are analyzed
+// in dependency order and analyzers may attach Facts to objects and
+// packages (facts.go) that downstream packages import, which is how
+// puretaint propagates nondeterminism transitively and lockorder compares
+// lock orderings across package boundaries. Fixture testing with
+// // want "regexp" comments lives in harness.go, //lint:ignore suppression
+// in ignore.go, and machine-readable output (SARIF, suppression-budget
+// baselines) in sarif.go and baseline.go.
 package analysis
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 )
 
@@ -24,10 +33,21 @@ import (
 type Analyzer struct {
 	// Name identifies the analyzer in findings and //lint:ignore comments.
 	Name string
+	// ID is the stable rule identifier (MGL001...) used in SARIF output and
+	// baselines. It never changes once assigned, even if the analyzer is
+	// renamed.
+	ID string
 	// Doc is a one-paragraph description of the enforced invariant.
 	Doc string
+	// FactTypes lists the pointer fact types this analyzer may export;
+	// exporting an undeclared type panics (a programming error).
+	FactTypes []Fact
 	// Run inspects one package through the Pass and reports findings.
 	Run func(*Pass)
+	// Finish, if non-nil, runs once after every package: a whole-program
+	// pass over the accumulated facts (lock-order consistency is checked
+	// here, because no single package sees every acquisition site).
+	Finish func(*Finish)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -38,6 +58,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	facts  *factStore
 	report func(Diagnostic)
 }
 
@@ -65,13 +86,15 @@ type Diagnostic struct {
 
 // Finding is one resolved finding, ready to print.
 type Finding struct {
-	Position token.Position `json:"-"`
-	File     string         `json:"file"`
-	Line     int            `json:"line"`
-	Column   int            `json:"column"`
-	Analyzer string         `json:"analyzer"`
-	Message  string         `json:"message"`
-	Package  string         `json:"package"`
+	Position    token.Position `json:"-"`
+	File        string         `json:"file"`
+	Line        int            `json:"line"`
+	Column      int            `json:"column"`
+	Analyzer    string         `json:"analyzer"`
+	ID          string         `json:"id"`
+	Message     string         `json:"message"`
+	Package     string         `json:"package"`
+	Fingerprint string         `json:"fingerprint"`
 }
 
 // String renders the finding in the canonical file:line: [analyzer] form.
@@ -79,14 +102,93 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
 }
 
+// fingerprint derives the finding's stable identity: analyzer, package,
+// file base name, and message — deliberately not the line number, so pure
+// movement (an edit above the finding) does not change identity, which
+// keeps baselines and SARIF result-matching stable across refactors.
+func fingerprint(f Finding) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s", f.Analyzer, f.Package, filepath.Base(f.File), f.Message)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Result is everything one Run produced: the surviving findings plus the
+// diagnostics that //lint:ignore directives suppressed. Suppressions are
+// first-class because the baseline gate budgets them: CI fails when the
+// suppression count grows, so silencing an analyzer is as visible in
+// review as a new finding.
+type Result struct {
+	Findings   []Finding
+	Suppressed []Finding
+}
+
 // Run applies every analyzer to every package and returns the surviving
-// findings: //lint:ignore-suppressed diagnostics are dropped, the rest are
-// sorted by file, line, column, analyzer, message — a deterministic report
-// for a tool that polices determinism.
+// findings. It is the compatibility wrapper over RunAll.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
-	for _, pkg := range pkgs {
+	return RunAll(pkgs, analyzers).Findings
+}
+
+// RunAll applies every analyzer to the dependency closure of pkgs in
+// topological (imports-first) order, so facts about a package exist before
+// any importer is analyzed. Findings are only reported for the requested
+// packages — dependencies pulled in for fact computation stay silent —
+// and are sorted by file, line, column, analyzer, message: a deterministic
+// report for a tool that polices determinism.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{}
+	if len(pkgs) == 0 {
+		return res
+	}
+	requested := make(map[*Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		requested[p] = true
+	}
+	ordered := topoOrder(pkgs)
+
+	facts := newFactStore()
+	// fileOwner maps each analyzed file to its package's reporting context,
+	// so Finish passes can attribute whole-program findings (and honor the
+	// file's //lint:ignore directives).
+	type owner struct {
+		pkg       *Package
+		ignores   ignoreIndex
+		requested bool
+	}
+	fileOwner := map[string]owner{}
+
+	var out, suppressed []Finding
+	record := func(a *Analyzer, pkg *Package, ignores ignoreIndex, wanted bool) func(Diagnostic) {
+		return func(d Diagnostic) {
+			if !wanted {
+				return
+			}
+			pos := pkg.Fset.Position(d.Pos)
+			f := Finding{
+				Position: pos,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: a.Name,
+				ID:       a.ID,
+				Message:  d.Message,
+				Package:  pkg.ImportPath,
+			}
+			f.Fingerprint = fingerprint(f)
+			if ignores.suppressed(a.Name, pos) {
+				suppressed = append(suppressed, f)
+				return
+			}
+			out = append(out, f)
+		}
+	}
+
+	for _, pkg := range ordered {
 		ignores := collectIgnores(pkg)
+		wanted := requested[pkg]
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			fileOwner[name] = owner{pkg: pkg, ignores: ignores, requested: wanted}
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -94,27 +196,57 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				facts:    facts,
 			}
-			pass.report = func(d Diagnostic) {
-				pos := pkg.Fset.Position(d.Pos)
-				if ignores.suppressed(a.Name, pos) {
-					return
-				}
-				out = append(out, Finding{
-					Position: pos,
-					File:     pos.Filename,
-					Line:     pos.Line,
-					Column:   pos.Column,
-					Analyzer: a.Name,
-					Message:  d.Message,
-					Package:  pkg.ImportPath,
-				})
-			}
+			pass.report = record(a, pkg, ignores, wanted)
 			a.Run(pass)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+
+	// Whole-program passes: findings resolve to their owning package by
+	// file name.
+	fset := pkgs[0].Fset
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		fin := &Finish{Analyzer: a, Fset: fset, facts: facts}
+		fin.report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			o, ok := fileOwner[pos.Filename]
+			if !ok || !o.requested {
+				return
+			}
+			f := Finding{
+				Position: pos,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: a.Name,
+				ID:       a.ID,
+				Message:  d.Message,
+				Package:  o.pkg.ImportPath,
+			}
+			f.Fingerprint = fingerprint(f)
+			if o.ignores.suppressed(a.Name, pos) {
+				suppressed = append(suppressed, f)
+				return
+			}
+			out = append(out, f)
+		}
+		a.Finish(fin)
+	}
+
+	sortFindings(out)
+	sortFindings(suppressed)
+	res.Findings = out
+	res.Suppressed = suppressed
+	return res
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -129,7 +261,30 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Message < b.Message
 	})
-	return out
+}
+
+// topoOrder expands pkgs to their module-internal dependency closure and
+// returns it imports-first: every package appears after all packages it
+// imports. Roots are visited in the caller's order and dependencies in
+// sorted import-path order, so the result is deterministic.
+func topoOrder(pkgs []*Package) []*Package {
+	var ordered []*Package
+	visited := map[*Package]bool{}
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if visited[p] {
+			return
+		}
+		visited[p] = true
+		for _, d := range p.deps {
+			visit(d)
+		}
+		ordered = append(ordered, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return ordered
 }
 
 // PathHasSegment reports whether one of path's slash-separated segments

@@ -22,6 +22,7 @@ import (
 // Analyzer is the atomicmix check.
 var Analyzer = &analysis.Analyzer{
 	Name: "atomicmix",
+	ID:   "MGL001",
 	Doc:  "a variable accessed with sync/atomic must never be accessed plainly",
 	Run:  run,
 }

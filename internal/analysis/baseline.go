@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The suppression-budget baseline: a committed JSON file recording, per
+// analyzer, how many findings and how many //lint:ignore-suppressed
+// diagnostics the tree carries. CI compares the current run against it
+// and fails when either count GROWS — new findings and new suppressions
+// both need review — while counts may always shrink (and `make
+// lint-baseline` re-records the smaller numbers). This is what lets a new
+// analyzer land against an imperfect tree without a flag day: existing
+// debt is budgeted, new debt is rejected.
+
+// BaselineEntry is one analyzer's budget.
+type BaselineEntry struct {
+	Findings     int `json:"findings"`
+	Suppressions int `json:"suppressions"`
+}
+
+// Baseline is the committed budget file (lint-baseline.json).
+type Baseline struct {
+	Version   int                      `json:"version"`
+	Analyzers map[string]BaselineEntry `json:"analyzers"`
+}
+
+// BaselineVersion is the current file format version.
+const BaselineVersion = 2
+
+// MakeBaseline derives the baseline a Result implies. Every analyzer is
+// present, even at zero, so a future regression in a currently-clean
+// analyzer diffs against an explicit budget of 0.
+func MakeBaseline(res *Result, analyzers []*Analyzer) Baseline {
+	b := Baseline{Version: BaselineVersion, Analyzers: map[string]BaselineEntry{}}
+	for _, a := range analyzers {
+		b.Analyzers[a.Name] = BaselineEntry{}
+	}
+	for _, f := range res.Findings {
+		e := b.Analyzers[f.Analyzer]
+		e.Findings++
+		b.Analyzers[f.Analyzer] = e
+	}
+	for _, f := range res.Suppressed {
+		e := b.Analyzers[f.Analyzer]
+		e.Suppressions++
+		b.Analyzers[f.Analyzer] = e
+	}
+	return b
+}
+
+// Check compares the current counts against the committed budget and
+// returns one violation string per analyzer whose findings or
+// suppressions grew. Analyzers absent from the committed file have budget
+// zero.
+func (committed Baseline) Check(current Baseline) []string {
+	var names []string
+	for name := range current.Analyzers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		cur := current.Analyzers[name]
+		base := committed.Analyzers[name] // zero value when absent
+		if cur.Findings > base.Findings {
+			out = append(out, fmt.Sprintf("%s: %d findings exceed the baseline budget of %d",
+				name, cur.Findings, base.Findings))
+		}
+		if cur.Suppressions > base.Suppressions {
+			out = append(out, fmt.Sprintf("%s: %d lint:ignore suppressions exceed the baseline budget of %d (new suppressions need a baseline update via `make lint-baseline`)",
+				name, cur.Suppressions, base.Suppressions))
+		}
+	}
+	return out
+}
+
+// ReadBaseline loads a committed baseline file.
+func ReadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return Baseline{}, fmt.Errorf("analysis: baseline %s has version %d, want %d (regenerate with `make lint-baseline`)", path, b.Version, BaselineVersion)
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the baseline canonically (sorted keys, fixed
+// indentation) so the committed file is byte-stable.
+func WriteBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		{Name: "alpha", ID: "T001", Doc: "test"},
+		{Name: "beta", ID: "T002", Doc: "test"},
+	}
+}
+
+func findingsOf(name string, n int) []Finding {
+	out := make([]Finding, n)
+	for i := range out {
+		out[i] = Finding{Analyzer: name}
+	}
+	return out
+}
+
+// TestMakeBaselineCoversAllAnalyzers: even finding-free analyzers get an
+// explicit zero budget.
+func TestMakeBaselineCoversAllAnalyzers(t *testing.T) {
+	res := &Result{
+		Findings:   findingsOf("alpha", 2),
+		Suppressed: findingsOf("beta", 3),
+	}
+	b := MakeBaseline(res, testAnalyzers())
+	if b.Version != BaselineVersion {
+		t.Errorf("version %d, want %d", b.Version, BaselineVersion)
+	}
+	if got := b.Analyzers["alpha"]; got != (BaselineEntry{Findings: 2}) {
+		t.Errorf("alpha = %+v", got)
+	}
+	if got := b.Analyzers["beta"]; got != (BaselineEntry{Suppressions: 3}) {
+		t.Errorf("beta = %+v", got)
+	}
+}
+
+// TestBaselineCheckDirections: growth fails, shrinkage and equality pass.
+func TestBaselineCheckDirections(t *testing.T) {
+	committed := Baseline{Version: BaselineVersion, Analyzers: map[string]BaselineEntry{
+		"alpha": {Findings: 1, Suppressions: 2},
+	}}
+
+	equal := Baseline{Version: BaselineVersion, Analyzers: map[string]BaselineEntry{
+		"alpha": {Findings: 1, Suppressions: 2},
+	}}
+	if v := committed.Check(equal); len(v) != 0 {
+		t.Errorf("equal counts flagged: %v", v)
+	}
+
+	shrunk := Baseline{Version: BaselineVersion, Analyzers: map[string]BaselineEntry{
+		"alpha": {},
+	}}
+	if v := committed.Check(shrunk); len(v) != 0 {
+		t.Errorf("shrunk counts flagged: %v", v)
+	}
+
+	grown := Baseline{Version: BaselineVersion, Analyzers: map[string]BaselineEntry{
+		"alpha": {Findings: 2, Suppressions: 3},
+		"gamma": {Suppressions: 1}, // absent from committed: budget zero
+	}}
+	v := committed.Check(grown)
+	if len(v) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(v), v)
+	}
+	joined := strings.Join(v, "\n")
+	for _, want := range []string{"alpha: 2 findings", "alpha: 3 lint:ignore suppressions", "gamma: 1 lint:ignore suppressions"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestBaselineRoundTripFile: write → read preserves the budget; a version
+// mismatch is an error that names the regeneration command.
+func TestBaselineRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	in := Baseline{Version: BaselineVersion, Analyzers: map[string]BaselineEntry{
+		"alpha": {Findings: 1},
+	}}
+	if err := WriteBaseline(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Analyzers["alpha"] != in.Analyzers["alpha"] {
+		t.Errorf("round trip lost data: %+v", out)
+	}
+
+	stale := in
+	stale.Version = BaselineVersion - 1
+	if err := WriteBaseline(path, stale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil || !strings.Contains(err.Error(), "make lint-baseline") {
+		t.Errorf("version mismatch error = %v, want mention of make lint-baseline", err)
+	}
+}

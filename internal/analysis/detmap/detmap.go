@@ -20,6 +20,7 @@ import (
 // Analyzer is the detmap check.
 var Analyzer = &analysis.Analyzer{
 	Name: "detmap",
+	ID:   "MGL002",
 	Doc:  "map iteration order must not reach slices, writers, or encoders unsorted",
 	Run:  run,
 }

@@ -1,0 +1,37 @@
+package analysis
+
+// The deterministic domain is the set of packages whose outputs are
+// contractually byte-identical across runs, worker counts, and goroutine
+// interleavings: the sim-clock family plus internal/serve, whose persisted
+// journals and results files are pure functions of the job keys. Several
+// analyzers scope to it (wallclock, puretaint, globalmut), so the
+// definition lives here — one source of truth instead of a copy per
+// analyzer.
+
+// deterministicSegments is the sim-clock package family, matched as path
+// segments under an internal/ segment. serve is included because its
+// persisted artifacts (batch journals and results files) carry the same
+// byte-identity contract as the simulator: wall time may pace the daemon,
+// never leak into a record. Orchestration packages — notably
+// internal/sweep, whose progress reporting legitimately measures wall time
+// — are outside the domain.
+var deterministicSegments = map[string]bool{
+	"sim": true, "comp": true, "fabric": true, "gpu": true, "mem": true,
+	"rdma": true, "stats": true, "workloads": true, "energy": true,
+	"core": true, "cache": true, "platform": true, "bitstream": true,
+	"trace": true, "fault": true, "serve": true,
+}
+
+// InDeterministicDomain reports whether the import path belongs to the
+// deterministic domain.
+func InDeterministicDomain(path string) bool {
+	if !PathHasSegment(path, "internal") {
+		return false
+	}
+	for seg := range deterministicSegments {
+		if PathHasSegment(path, seg) {
+			return true
+		}
+	}
+	return false
+}

@@ -2,13 +2,30 @@
 // orchestration layer (internal/runner and internal/sweep). Those are the
 // packages where a swallowed error turns into a corrupt or un-resumable
 // sweep journal, a missing artifact row, or a run that "succeeded" with
-// half its jobs failed. An error must be handled or explicitly discarded
-// with `_ =` — the blank assignment is the visible, greppable opt-out.
+// half its jobs failed.
 //
-// Calls that are documented never to fail are allowlisted: methods on
-// strings.Builder and bytes.Buffer, hash.Hash writes, fmt printing to
-// standard output, and fmt.Fprint* into a Builder or Buffer. Deferred
-// calls (defer f.Close()) are likewise not reported.
+// Three drop shapes are reported:
+//
+//   - a call statement whose error result vanishes: f(); w.Write(b)
+//
+//   - an assignment that binds every result to blank: _ = f() and
+//     _, _ = g(). These used to be the sanctioned opt-out, but an opt-out
+//     that needs no justification is just a quieter bug: the close error
+//     swallowed by `_ = f.Close()` is exactly the write-not-flushed signal
+//     a journal consumer needed. An assignment that binds at least one
+//     non-blank result (n, _ := w.Write(b)) stays legal — a used value is
+//     evidence the call was considered.
+//
+//   - a deferred call whose error result has nowhere to go: defer
+//     f.Close(). The fix is the named-return join idiom
+//     (defer func() { err = errors.Join(err, f.Close()) }()), which the
+//     orchestration layer now uses for every writable artifact.
+//
+// A justified //lint:ignore errdrop directive remains the explicit
+// discard for the rare genuinely-uninteresting error. Calls that are
+// documented never to fail are allowlisted: methods on strings.Builder
+// and bytes.Buffer, hash.Hash writes, fmt printing to standard output,
+// and fmt.Fprint* into a Builder or Buffer.
 package errdrop
 
 import (
@@ -21,7 +38,8 @@ import (
 // Analyzer is the errdrop check.
 var Analyzer = &analysis.Analyzer{
 	Name: "errdrop",
-	Doc:  "internal/runner and internal/sweep must not ignore error results",
+	ID:   "MGL003",
+	Doc:  "internal/runner and internal/sweep must not ignore error results, including _ = discards and deferred calls",
 	Run:  run,
 }
 
@@ -37,22 +55,52 @@ func run(pass *analysis.Pass) {
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call := droppedCall(pass, stmt.X); call != nil {
+					pass.Reportf(call.Pos(), "error result of %s is dropped; handle it or suppress with a justified //lint:ignore errdrop", describe(pass, call))
+				}
+			case *ast.AssignStmt:
+				if !allBlank(stmt.Lhs) || len(stmt.Rhs) != 1 {
+					return true
+				}
+				if call := droppedCall(pass, stmt.Rhs[0]); call != nil {
+					pass.Reportf(stmt.Pos(), "error result of %s is discarded with a blank assignment; handle it or suppress with a justified //lint:ignore errdrop", describe(pass, call))
+				}
+			case *ast.DeferStmt:
+				if call := droppedCall(pass, stmt.Call); call != nil {
+					pass.Reportf(stmt.Pos(), "error result of deferred %s is dropped; join it into a named return (defer func() { err = errors.Join(err, ...) }())", describe(pass, call))
+				}
 			}
-			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
-			if !ok || !returnsError(sig) || allowlisted(pass, call) {
-				return true
-			}
-			pass.Reportf(call.Pos(), "error result of %s is dropped; handle it or discard explicitly with _ =", describe(pass, call))
 			return true
 		})
 	}
+}
+
+// droppedCall returns the call expression when e is a call whose error
+// result is being ignored and the callee is not allowlisted.
+func droppedCall(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || !returnsError(sig) || allowlisted(pass, call) {
+		return nil
+	}
+	return call
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
 }
 
 var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

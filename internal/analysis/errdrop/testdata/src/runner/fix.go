@@ -1,9 +1,12 @@
 // Package runner is the errdrop fixture. Its directory name puts it in the
-// analyzer's scope (the orchestration layer); dropped error results are
-// findings, explicit discards and never-failing writers are not.
+// analyzer's scope (the orchestration layer); dropped error results —
+// call statements, all-blank assignments, and deferred calls — are
+// findings; never-failing writers and assignments that bind a value are
+// not.
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -22,11 +25,26 @@ func dropFuncValue(f func() error) {
 	f() // want "error result of call is dropped"
 }
 
+func blankDiscard(c io.Closer, w io.Writer, b []byte) {
+	_ = c.Close()     // want "error result of Close is discarded with a blank assignment"
+	_, _ = w.Write(b) // want "error result of Write is discarded with a blank assignment"
+}
+
+func deferredDrop(c io.Closer) {
+	defer c.Close() // want "error result of deferred Close is dropped"
+}
+
+func deferredJoin(c io.Closer) (err error) {
+	// The sanctioned shape: the deferred close error joins the return.
+	defer func() { err = errors.Join(err, c.Close()) }()
+	return nil
+}
+
 func handled(w io.Writer, b []byte) error {
 	if _, err := w.Write(b); err != nil {
 		return err
 	}
-	_, _ = w.Write(b) // explicit discard is visible and legal
+	n, _ := w.Write(b) // binding a value is evidence the call was considered
 
 	var sb strings.Builder
 	sb.WriteString("x")       // strings.Builder never fails: allowlisted
@@ -35,6 +53,6 @@ func handled(w io.Writer, b []byte) error {
 	h := fnv.New64a()
 	h.Write(b) // hash.Hash.Write is documented to never fail
 
-	fmt.Println(sb.String(), h.Sum64()) // stdout progress is allowlisted
+	fmt.Println(sb.String(), h.Sum64(), n) // stdout progress is allowlisted
 	return nil
 }

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// This file is the cross-package fact layer, modeled on
+// golang.org/x/tools/go/analysis facts. An analyzer visiting package P may
+// attach a Fact to an object (typically a *types.Func or *types.Var)
+// declared in P; when a package importing P is analyzed later, the same
+// analyzer can import that fact through the object, which the loader
+// guarantees is the identical types.Object (module-internal imports are
+// type-checked from source into one shared universe, never from export
+// data). Run visits packages in dependency order, so by the time a package
+// is analyzed every fact about its imports already exists. This is what
+// turns the per-package AST checks into whole-program analyses: puretaint
+// propagates nondeterminism through the call graph with object facts, and
+// lockorder aggregates per-function lock-acquisition facts into a global
+// ordering check.
+
+// Fact is a datum attached to an object or package by one analyzer and
+// visible to later passes of the same analyzer. Implementations must be
+// pointer types and must be declared in the analyzer's FactTypes. A fact
+// must not be mutated after export.
+type Fact interface {
+	// AFact is a marker method: it does nothing, but restricts the
+	// interface to types that opted in.
+	AFact()
+}
+
+// ObjectFact pairs an object with a fact attached to it.
+type ObjectFact struct {
+	Obj  types.Object
+	Fact Fact
+}
+
+// PackageFact pairs a package with a fact attached to it.
+type PackageFact struct {
+	Pkg  *types.Package
+	Fact Fact
+}
+
+// factKey identifies one fact slot: one analyzer holds at most one fact of
+// a kind per object (or package).
+type factKey struct {
+	analyzer string
+	obj      types.Object
+	pkg      *types.Package
+	typ      reflect.Type
+}
+
+// factStore holds every exported fact of one Run invocation, across all
+// analyzers and packages.
+type factStore struct {
+	m map[factKey]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: map[factKey]Fact{}}
+}
+
+// validFactType checks that fact is a declared pointer fact type of a.
+func validFactType(a *Analyzer, fact Fact) reflect.Type {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: %s: fact %T is not a pointer type", a.Name, fact))
+	}
+	for _, ft := range a.FactTypes {
+		if reflect.TypeOf(ft) == t {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("analysis: %s: fact type %T is not declared in FactTypes", a.Name, fact))
+}
+
+// copyFact copies the stored fact's value into the caller's pointer.
+func copyFact(dst, src Fact) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+func (s *factStore) exportObject(a *Analyzer, obj types.Object, fact Fact) {
+	if obj == nil {
+		panic(fmt.Sprintf("analysis: %s: ExportObjectFact with nil object", a.Name))
+	}
+	s.m[factKey{analyzer: a.Name, obj: obj, typ: validFactType(a, fact)}] = fact
+}
+
+func (s *factStore) importObject(a *Analyzer, obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	got, ok := s.m[factKey{analyzer: a.Name, obj: obj, typ: validFactType(a, fact)}]
+	if !ok {
+		return false
+	}
+	copyFact(fact, got)
+	return true
+}
+
+func (s *factStore) exportPackage(a *Analyzer, pkg *types.Package, fact Fact) {
+	if pkg == nil {
+		panic(fmt.Sprintf("analysis: %s: ExportPackageFact with nil package", a.Name))
+	}
+	s.m[factKey{analyzer: a.Name, pkg: pkg, typ: validFactType(a, fact)}] = fact
+}
+
+func (s *factStore) importPackage(a *Analyzer, pkg *types.Package, fact Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	got, ok := s.m[factKey{analyzer: a.Name, pkg: pkg, typ: validFactType(a, fact)}]
+	if !ok {
+		return false
+	}
+	copyFact(fact, got)
+	return true
+}
+
+// allObjectFacts returns the analyzer's object facts sorted by object
+// position then name — a deterministic order for whole-program passes.
+func (s *factStore) allObjectFacts(a *Analyzer) []ObjectFact {
+	var out []ObjectFact
+	for k, f := range s.m {
+		if k.analyzer == a.Name && k.obj != nil {
+			out = append(out, ObjectFact{Obj: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Obj.Pos() != out[j].Obj.Pos() {
+			return out[i].Obj.Pos() < out[j].Obj.Pos()
+		}
+		return objectKey(out[i].Obj) < objectKey(out[j].Obj)
+	})
+	return out
+}
+
+// allPackageFacts returns the analyzer's package facts sorted by package
+// path.
+func (s *factStore) allPackageFacts(a *Analyzer) []PackageFact {
+	var out []PackageFact
+	for k, f := range s.m {
+		if k.analyzer == a.Name && k.pkg != nil {
+			out = append(out, PackageFact{Pkg: k.pkg, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pkg.Path() < out[j].Pkg.Path() })
+	return out
+}
+
+func objectKey(obj types.Object) string {
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return pkg + "." + obj.Name()
+}
+
+// ExportObjectFact attaches fact to obj for this analyzer. The object
+// should be declared in the package being analyzed; later packages that
+// reach the same object (through the shared type-checker universe) can
+// import it.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.facts.exportObject(p.Analyzer, obj, fact)
+}
+
+// ImportObjectFact copies the fact previously exported on obj into fact
+// and reports whether one existed. The fact argument selects the fact type
+// and receives the value.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.importObject(p.Analyzer, obj, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.facts.exportPackage(p.Analyzer, p.Pkg, fact)
+}
+
+// ImportPackageFact copies the fact previously exported on pkg into fact
+// and reports whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	return p.facts.importPackage(p.Analyzer, pkg, fact)
+}
+
+// Finish is the whole-program pass handed to Analyzer.Finish after every
+// package has been analyzed: it sees all accumulated facts and may report
+// findings anywhere in the analyzed closure (positions resolve through the
+// loader's shared FileSet). Findings land in the package owning the file;
+// //lint:ignore directives apply as usual.
+type Finish struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+
+	facts  *factStore
+	report func(Diagnostic)
+}
+
+// Reportf records a whole-program finding at pos.
+func (f *Finish) Reportf(pos token.Pos, format string, args ...any) {
+	f.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves a token.Pos against the shared FileSet.
+func (f *Finish) Position(pos token.Pos) token.Position { return f.Fset.Position(pos) }
+
+// AllObjectFacts lists this analyzer's object facts in deterministic order.
+func (f *Finish) AllObjectFacts() []ObjectFact { return f.facts.allObjectFacts(f.Analyzer) }
+
+// AllPackageFacts lists this analyzer's package facts in deterministic
+// order.
+func (f *Finish) AllPackageFacts() []PackageFact { return f.facts.allPackageFacts(f.Analyzer) }

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// markFact is the test fact: a value big enough to prove the import is a
+// copy, not a shared pointer.
+type markFact struct{ N int }
+
+func (*markFact) AFact() {}
+
+type pkgMark struct{ Tag string }
+
+func (*pkgMark) AFact() {}
+
+// loadFactFixture loads factroot and its factleaf dependency. Only
+// factroot is requested; RunAll must pull factleaf in as part of the
+// dependency closure.
+func loadFactFixture(t *testing.T) []*Package {
+	t.Helper()
+	l, err := NewLoader("testdata/src/factroot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load([]string{"testdata/src/factroot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || !strings.HasSuffix(pkgs[0].ImportPath, "factroot") {
+		t.Fatalf("loaded %v, want just factroot", pkgs)
+	}
+	return pkgs
+}
+
+// TestObjectFactPropagation: a fact exported on factleaf.Leaf while
+// analyzing factleaf is importable — by value — when the same analyzer
+// later analyzes factroot, and a fact never exported reports absence.
+func TestObjectFactPropagation(t *testing.T) {
+	type seen struct {
+		leafOK, otherOK bool
+		leaf            markFact
+	}
+	var got seen
+	a := &Analyzer{
+		Name:      "factprop",
+		Doc:       "test analyzer: propagates a mark from factleaf to factroot",
+		FactTypes: []Fact{(*markFact)(nil)},
+		Run: func(pass *Pass) {
+			switch {
+			case strings.HasSuffix(pass.Pkg.Path(), "factleaf"):
+				leaf := pass.Pkg.Scope().Lookup("Leaf")
+				if leaf == nil {
+					t.Error("factleaf.Leaf not found")
+					return
+				}
+				pass.ExportObjectFact(leaf, &markFact{N: 42})
+			case strings.HasSuffix(pass.Pkg.Path(), "factroot"):
+				var dep *types.Package
+				for _, imp := range pass.Pkg.Imports() {
+					if strings.HasSuffix(imp.Path(), "factleaf") {
+						dep = imp
+					}
+				}
+				if dep == nil {
+					t.Error("factroot does not import factleaf")
+					return
+				}
+				got.leafOK = pass.ImportObjectFact(dep.Scope().Lookup("Leaf"), &got.leaf)
+				var absent markFact
+				got.otherOK = pass.ImportObjectFact(dep.Scope().Lookup("Other"), &absent)
+			}
+		},
+	}
+	RunAll(loadFactFixture(t), []*Analyzer{a})
+	if !got.leafOK {
+		t.Fatal("fact exported on factleaf.Leaf was not importable from factroot")
+	}
+	if got.leaf.N != 42 {
+		t.Errorf("imported fact = %+v, want N=42", got.leaf)
+	}
+	if got.otherOK {
+		t.Error("import succeeded for an object that never had a fact")
+	}
+}
+
+// TestPackageFactAndFinish: package facts round-trip across packages, and
+// the Finish pass enumerates everything in deterministic order.
+func TestPackageFactAndFinish(t *testing.T) {
+	var imported pkgMark
+	var importedOK bool
+	var finishObjs, finishPkgs int
+	a := &Analyzer{
+		Name:      "pkgfacts",
+		Doc:       "test analyzer: package facts and the Finish enumeration",
+		FactTypes: []Fact{(*markFact)(nil), (*pkgMark)(nil)},
+		Run: func(pass *Pass) {
+			switch {
+			case strings.HasSuffix(pass.Pkg.Path(), "factleaf"):
+				pass.ExportPackageFact(&pkgMark{Tag: "leaf"})
+				pass.ExportObjectFact(pass.Pkg.Scope().Lookup("Leaf"), &markFact{N: 1})
+				pass.ExportObjectFact(pass.Pkg.Scope().Lookup("Other"), &markFact{N: 2})
+			case strings.HasSuffix(pass.Pkg.Path(), "factroot"):
+				for _, imp := range pass.Pkg.Imports() {
+					if strings.HasSuffix(imp.Path(), "factleaf") {
+						importedOK = pass.ImportPackageFact(imp, &imported)
+					}
+				}
+			}
+		},
+		Finish: func(fin *Finish) {
+			objs := fin.AllObjectFacts()
+			finishObjs = len(objs)
+			// Deterministic order: by position, and both factleaf functions
+			// live in one file with Leaf first.
+			if len(objs) == 2 && objs[0].Obj.Name() != "Leaf" {
+				t.Errorf("AllObjectFacts order: got %s first, want Leaf", objs[0].Obj.Name())
+			}
+			finishPkgs = len(fin.AllPackageFacts())
+		},
+	}
+	RunAll(loadFactFixture(t), []*Analyzer{a})
+	if !importedOK || imported.Tag != "leaf" {
+		t.Errorf("package fact import = (%v, %+v), want (true, Tag=leaf)", importedOK, imported)
+	}
+	if finishObjs != 2 || finishPkgs != 1 {
+		t.Errorf("Finish saw %d object facts and %d package facts, want 2 and 1", finishObjs, finishPkgs)
+	}
+}
+
+// TestUndeclaredFactPanics: exporting a fact type missing from FactTypes
+// is a programming error and must panic loudly.
+func TestUndeclaredFactPanics(t *testing.T) {
+	pkgs := loadFactFixture(t)
+	a := &Analyzer{
+		Name: "badfacts",
+		Doc:  "test analyzer: exports an undeclared fact type",
+		Run: func(pass *Pass) {
+			defer func() {
+				if recover() == nil {
+					t.Error("ExportObjectFact with undeclared type did not panic")
+				}
+			}()
+			pass.ExportObjectFact(pass.Pkg.Scope().Lookup("Root"), &markFact{})
+		},
+	}
+	RunAll(pkgs, []*Analyzer{a})
+}
+
+// TestFactsIsolatedByAnalyzer: two analyzers sharing a fact type do not
+// see each other's facts.
+func TestFactsIsolatedByAnalyzer(t *testing.T) {
+	var crossSeen bool
+	writer := &Analyzer{
+		Name:      "factwriter",
+		Doc:       "test analyzer: exports",
+		FactTypes: []Fact{(*markFact)(nil)},
+		Run: func(pass *Pass) {
+			if strings.HasSuffix(pass.Pkg.Path(), "factleaf") {
+				pass.ExportObjectFact(pass.Pkg.Scope().Lookup("Leaf"), &markFact{N: 7})
+			}
+		},
+	}
+	reader := &Analyzer{
+		Name:      "factreader",
+		Doc:       "test analyzer: must not see factwriter's facts",
+		FactTypes: []Fact{(*markFact)(nil)},
+		Run: func(pass *Pass) {
+			if strings.HasSuffix(pass.Pkg.Path(), "factroot") {
+				for _, imp := range pass.Pkg.Imports() {
+					if strings.HasSuffix(imp.Path(), "factleaf") {
+						var f markFact
+						crossSeen = crossSeen || pass.ImportObjectFact(imp.Scope().Lookup("Leaf"), &f)
+					}
+				}
+			}
+		},
+	}
+	RunAll(loadFactFixture(t), []*Analyzer{writer, reader})
+	if crossSeen {
+		t.Error("facts leaked between analyzers")
+	}
+}

@@ -22,6 +22,7 @@ import (
 // Analyzer is the fatalban check.
 var Analyzer = &analysis.Analyzer{
 	Name: "fatalban",
+	ID:   "MGL004",
 	Doc:  "internal/ packages must propagate errors, not exit the process or panic with dynamic values",
 	Run:  run,
 }

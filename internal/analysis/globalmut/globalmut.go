@@ -1,0 +1,194 @@
+// Package globalmut flags mutable package-level state in the deterministic
+// domain — the precise hazard class that breaks partition-parallel
+// execution. A serial simulation can get away with a package var that
+// accumulates across calls; the moment independent partitions (or the
+// sweep engine's parallel jobs) run concurrently, that var becomes a race
+// or, worse, a silent cross-run coupling that perturbs byte-identical
+// artifacts without tripping the race detector.
+//
+// Three shapes are reported inside deterministic packages:
+//
+//   - writes to package-level vars from function bodies: assignments,
+//     ++/--, element and field stores (table[k] = v, cfg.Field = v), and
+//     writes through a package-level pointer. Initialization is exempt:
+//     package-level var initializers and init functions run once, before
+//     any concurrency, and are how lookup tables are legitimately built.
+//
+//   - calls to pointer-receiver methods on package-level vars: the
+//     canonical lazily-initialized cache (globalOnce.Do, globalMap.Store)
+//     and shared counters (counter.Add(1)) mutate through a method, not an
+//     assignment, and are exactly as dangerous.
+//
+//   - method values binding a pointer-receiver method of a package-level
+//     var (f := global.Advance): the capture outlives the expression and
+//     hides the mutation at every later call site.
+//
+// The analysis is per-package and syntactic over resolved objects — it
+// does not chase pointers that escape — but combined with puretaint
+// (nondeterministic inputs) and detmap (map-order leaks) it closes the
+// determinism triangle: no hidden inputs, no order leaks, no shared
+// mutable state.
+package globalmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mgpucompress/internal/analysis"
+)
+
+// Analyzer is the globalmut check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalmut",
+	ID:   "MGL007",
+	Doc:  "no mutable package-level state in deterministic packages: partition-parallel runs share it",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	if !analysis.InDeterministicDomain(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "init" && fd.Recv == nil {
+				continue // one-shot initialization before any concurrency
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Method-value detection needs to know which selectors are call
+	// targets, so collect those first.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportWrite(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportWrite(pass, n.X)
+		case *ast.SelectorExpr:
+			sel, ok := pass.Info.Selections[n]
+			if !ok || sel.Kind() != types.MethodVal {
+				return true
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok || !pointerReceiver(fn) {
+				return true
+			}
+			v := pkgLevelBase(pass, n.X)
+			if v == nil {
+				return true
+			}
+			if callFuns[n] {
+				pass.Reportf(n.Pos(),
+					"pointer-receiver method call %s.%s on package-level var %s in deterministic package %s: partition-parallel runs share this state",
+					v.Name(), fn.Name(), v.Name(), pass.Pkg.Path())
+			} else {
+				pass.Reportf(n.Pos(),
+					"method value %s.%s captures package-level var %s in deterministic package %s; the mutation escapes to every call site",
+					v.Name(), fn.Name(), v.Name(), pass.Pkg.Path())
+			}
+		}
+		return true
+	})
+}
+
+// reportWrite flags lhs when its base resolves to a package-level var.
+func reportWrite(pass *analysis.Pass, lhs ast.Expr) {
+	base := ast.Unparen(lhs)
+	through := ""
+	for {
+		switch e := base.(type) {
+		case *ast.SelectorExpr:
+			through = "field of "
+			base = ast.Unparen(e.X)
+			continue
+		case *ast.IndexExpr:
+			through = "element of "
+			base = ast.Unparen(e.X)
+			continue
+		case *ast.StarExpr:
+			through = "target of package-level pointer "
+			base = ast.Unparen(e.X)
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	v := pkgLevelVar(pass, id)
+	if v == nil {
+		return
+	}
+	if through == "" {
+		pass.Reportf(lhs.Pos(),
+			"write to package-level var %s in deterministic package %s: partition-parallel runs share this state",
+			v.Name(), pass.Pkg.Path())
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"write to %s%s in deterministic package %s: partition-parallel runs share this state",
+		through, v.Name(), pass.Pkg.Path())
+}
+
+// pkgLevelVar resolves id to a package-level variable of the package under
+// analysis, or nil.
+func pkgLevelVar(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() != pass.Pkg {
+		return nil
+	}
+	if v.Parent() != pass.Pkg.Scope() {
+		return nil
+	}
+	return v
+}
+
+// pkgLevelBase resolves the leftmost identifier of a selector chain to a
+// package-level var, or nil. Used for method receivers: global.Add(1) and
+// global.sub.Add(1) both root at global.
+func pkgLevelBase(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+			continue
+		case *ast.Ident:
+			return pkgLevelVar(pass, x)
+		}
+		return nil
+	}
+}
+
+// pointerReceiver reports whether fn's receiver is a pointer (the shape
+// that can mutate).
+func pointerReceiver(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	_, ok := recv.Type().Underlying().(*types.Pointer)
+	if ok {
+		return true
+	}
+	_, ok = recv.Type().(*types.Pointer)
+	return ok
+}

@@ -1,0 +1,18 @@
+package globalmut_test
+
+import (
+	"testing"
+
+	"mgpucompress/internal/analysis"
+	"mgpucompress/internal/analysis/globalmut"
+)
+
+func TestGlobalmutFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/sim", globalmut.Analyzer)
+}
+
+// TestGlobalmutScope: orchestration packages are outside the deterministic
+// domain — the same shapes are silent there.
+func TestGlobalmutScope(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/sweep", globalmut.Analyzer)
+}

@@ -1,0 +1,87 @@
+// Package sim is the globalmut fixture: its import path carries the
+// internal/.../sim segments, so mutable package-level state is a finding.
+package sim
+
+import "sync/atomic"
+
+var counter int
+
+var table = map[string]int{"a": 1}
+
+var seq atomic.Uint64
+
+var cursor *int
+
+type gauge struct{ v float64 }
+
+func (g *gauge) Set(v float64) { g.v = v }
+
+func (g gauge) Get() float64 { return g.v }
+
+var shared gauge
+
+// lookup is built once in init and read-only afterwards: the sanctioned
+// shape for package-level tables.
+var lookup map[string]int
+
+func init() {
+	lookup = make(map[string]int) // initialization before concurrency: legal
+	lookup["x"] = 1               // legal for the same reason
+	counter = 0                   // legal here, hazardous anywhere else
+}
+
+func bump() {
+	counter++ // want "write to package-level var counter"
+}
+
+func assign() {
+	counter = 7 // want "write to package-level var counter"
+}
+
+func put(k string) {
+	table[k] = 2 // want "write to element of table"
+}
+
+func retarget(p *int) {
+	cursor = p // want "write to package-level var cursor"
+}
+
+func derefWrite() {
+	*cursor = 3 // want "write to target of package-level pointer cursor"
+}
+
+func next() uint64 {
+	return seq.Add(1) // want "pointer-receiver method call seq.Add on package-level var seq"
+}
+
+func setShared() {
+	shared.Set(1.0) // want "pointer-receiver method call shared.Set on package-level var shared"
+}
+
+func fieldWrite() {
+	shared.v = 2 // want "write to field of shared"
+}
+
+func methodValue() func(float64) {
+	return shared.Set // want "method value shared.Set captures package-level var shared"
+}
+
+// Legal shapes below: locals, value receivers, reads.
+
+func local() int {
+	x := 0
+	x++
+	m := map[string]int{}
+	m["k"] = 1
+	return x + m["k"] + counter + lookup["x"] // reads are fine
+}
+
+func valueReceiver() float64 {
+	return shared.Get() // value receiver cannot mutate the global
+}
+
+func shadowed() {
+	counter := 0 // a local shadowing the global
+	counter++
+	_ = counter
+}

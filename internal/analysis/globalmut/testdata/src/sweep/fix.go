@@ -1,0 +1,8 @@
+// Package sweep is the out-of-domain fixture: orchestration packages may
+// keep mutable process-level state (progress counters, memo caches), so
+// nothing here is a finding.
+package sweep
+
+var progress int
+
+func bump() { progress++ }

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadIgnoreFixture loads the ignorecases fixture package.
+func loadIgnoreFixture(t *testing.T) *Package {
+	t.Helper()
+	l, err := NewLoader("testdata/src/ignorecases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load([]string{"testdata/src/ignorecases"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// markerLines maps each "MARKER:name" comment in the fixture to its line
+// number, so the test asserts positions without hard-coding line numbers.
+func markerLines(t *testing.T, file string) map[string]int {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.Index(line, "MARKER:"); idx >= 0 {
+			name := strings.Fields(line[idx+len("MARKER:"):])[0]
+			out[name] = i + 1
+		}
+	}
+	return out
+}
+
+// TestIgnoreSuppressionShapes runs the full suppression pipeline over the
+// ignorecases fixture: trailing directives, line-above directives,
+// multi-analyzer lists, and the "all" catch-all suppress; a reason-less
+// directive, a directive naming another analyzer, and a directive two
+// lines up do not.
+func TestIgnoreSuppressionShapes(t *testing.T) {
+	pkg := loadIgnoreFixture(t)
+	res := RunAll([]*Package{pkg}, []*Analyzer{panicAny})
+
+	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+	markers := markerLines(t, file)
+	for _, want := range []string{"noReason", "wrongAnalyzer", "tooFar"} {
+		if _, ok := markers[want]; !ok {
+			t.Fatalf("fixture lost its MARKER:%s comment", want)
+		}
+	}
+
+	gotLines := map[int]bool{}
+	for _, f := range res.Findings {
+		gotLines[f.Line] = true
+	}
+	if len(res.Findings) != len(markers) {
+		t.Errorf("got %d findings, want %d: %v", len(res.Findings), len(markers), res.Findings)
+	}
+	for name, line := range markers {
+		if !gotLines[line] {
+			t.Errorf("panic at %s (line %d) was suppressed; its directive is malformed or misplaced and must not be honored", name, line)
+		}
+	}
+
+	// trailing, above, multi, catchAll: suppressed but still counted, so the
+	// baseline can budget them.
+	if len(res.Suppressed) != 4 {
+		t.Errorf("got %d suppressed findings, want 4: %v", len(res.Suppressed), res.Suppressed)
+	}
+	for _, f := range res.Suppressed {
+		if markers["noReason"] == f.Line || markers["wrongAnalyzer"] == f.Line || markers["tooFar"] == f.Line {
+			t.Errorf("line %d both suppressed and malformed: %v", f.Line, f)
+		}
+	}
+}
+
+// TestCollectIgnoresMultiAnalyzer: a comma list registers every named
+// analyzer on the directive's line.
+func TestCollectIgnoresMultiAnalyzer(t *testing.T) {
+	pkg := loadIgnoreFixture(t)
+	idx := collectIgnores(pkg)
+
+	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+	lines := idx[file]
+	if lines == nil {
+		t.Fatalf("no directives collected for %s", file)
+	}
+	var multiLine int
+	for line, names := range lines {
+		for _, n := range names {
+			if n == "otherzzz" {
+				multiLine = line
+			}
+		}
+	}
+	if multiLine == 0 {
+		t.Fatal("multi-analyzer directive not collected")
+	}
+	both := lines[multiLine]
+	if len(both) != 2 || both[0] != "panicany" || both[1] != "otherzzz" {
+		t.Errorf("multi directive registered %v, want [panicany otherzzz]", both)
+	}
+
+	// The directive suppresses both named analyzers on the line below, and
+	// nothing else.
+	below := token.Position{Filename: file, Line: multiLine + 1}
+	for _, name := range []string{"panicany", "otherzzz"} {
+		if !idx.suppressed(name, below) {
+			t.Errorf("suppressed(%q, line %d) = false, want true", name, multiLine+1)
+		}
+	}
+	if idx.suppressed("detmap", below) {
+		t.Error("unnamed analyzer suppressed by a multi directive")
+	}
+	if idx.suppressed("panicany", token.Position{Filename: file, Line: multiLine + 2}) {
+		t.Error("directive reached two lines down")
+	}
+	if idx.suppressed("panicany", token.Position{Filename: filepath.Join("other", "file.go"), Line: multiLine + 1}) {
+		t.Error("directive leaked across files")
+	}
+}
+
+// TestReasonlessDirectiveRejected: the reason is the audit trail; a bare
+// //lint:ignore analyzer line must not appear in the index at all.
+func TestReasonlessDirectiveRejected(t *testing.T) {
+	pkg := loadIgnoreFixture(t)
+	idx := collectIgnores(pkg)
+
+	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+	markers := markerLines(t, file)
+	noReasonLine := markers["noReason"]
+	if noReasonLine == 0 {
+		t.Fatal("fixture lost its MARKER:noReason comment")
+	}
+	// The malformed directive sits on the line above the marker.
+	if names := idx[file][noReasonLine-1]; len(names) != 0 {
+		t.Errorf("reason-less directive was collected: %v", names)
+	}
+	if idx.suppressed("panicany", token.Position{Filename: file, Line: noReasonLine}) {
+		t.Error("reason-less directive suppressed a finding")
+	}
+}

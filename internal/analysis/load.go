@@ -21,6 +21,11 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// deps are the directly imported module-internal packages, in sorted
+	// import-path order. RunAll walks them to analyze the dependency
+	// closure imports-first, which is what makes cross-package facts sound.
+	deps []*Package
 }
 
 // Loader parses and type-checks packages of the enclosing module using only
@@ -236,6 +241,21 @@ func (l *Loader) load(path string) (*Package, error) {
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
+	}
+	// Record module-internal direct imports: they were loaded from source
+	// by resolve during Check, so the memo table has them all by now.
+	var depPaths []string
+	for _, imp := range tpkg.Imports() {
+		p := imp.Path()
+		if p == l.ModulePath || strings.HasPrefix(p, l.ModulePath+"/") {
+			depPaths = append(depPaths, p)
+		}
+	}
+	sort.Strings(depPaths)
+	for _, p := range depPaths {
+		if dep, ok := l.pkgs[p]; ok {
+			pkg.deps = append(pkg.deps, dep)
+		}
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil

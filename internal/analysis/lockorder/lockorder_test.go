@@ -1,0 +1,22 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"mgpucompress/internal/analysis"
+	"mgpucompress/internal/analysis/lockorder"
+)
+
+// TestLockorderFixture covers the full pipeline: per-function acquisition
+// tracking, local callee summaries, cross-package Acquires facts (through
+// the store fixture package), and the whole-program inversion report with
+// minority-direction selection.
+func TestLockorderFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/serve", lockorder.Analyzer)
+}
+
+// TestStorePackageSilent: the dependency package is out of scope — facts,
+// but no findings, even though it takes locks.
+func TestStorePackageSilent(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/store", lockorder.Analyzer)
+}

@@ -1,0 +1,78 @@
+// Package serve is the lockorder fixture: its import path carries the
+// internal/.../serve segments, so acquisition pairs are recorded here and
+// inverted orders are findings. The store import exercises cross-package
+// Acquires facts.
+package serve
+
+import (
+	"sync"
+
+	"mgpucompress/internal/analysis/lockorder/testdata/src/store"
+)
+
+type Service struct{ mu sync.Mutex }
+
+type Journal struct{ mu sync.Mutex }
+
+// ab and abToo establish the majority order Service.mu → Journal.mu; the
+// consistent sites are never findings.
+func ab(s *Service, j *Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.mu.Lock()
+	j.mu.Unlock()
+}
+
+func abToo(s *Service, j *Journal) {
+	s.mu.Lock()
+	lockJournal(j) // the pair flows through the local callee's summary
+	s.mu.Unlock()
+}
+
+func lockJournal(j *Journal) {
+	j.mu.Lock()
+	j.mu.Unlock()
+}
+
+// ba inverts the order: the minority site is the finding, pointed at a
+// majority witness.
+func ba(s *Service, j *Journal) {
+	j.mu.Lock()
+	s.mu.Lock() // want "ba acquires serve\.Service\.mu while holding serve\.Journal\.mu, but ab takes them in the opposite order"
+	s.mu.Unlock()
+	j.mu.Unlock()
+}
+
+// usesStore and invertedStore conflict through a cross-package fact: the
+// tie (one site each way) reports both directions.
+func usesStore(sv *Service, st *store.Store) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	st.Mutate() // want "usesStore acquires store\.Store\.Mu while holding serve\.Service\.mu, but invertedStore takes them in the opposite order"
+}
+
+func invertedStore(sv *Service, st *store.Store) {
+	st.Mu.Lock()
+	sv.mu.Lock() // want "invertedStore acquires serve\.Service\.mu while holding store\.Store\.Mu, but usesStore takes them in the opposite order"
+	sv.mu.Unlock()
+	st.Mu.Unlock()
+}
+
+// consistent never inverts: one direction only, no finding.
+type Registry struct{ mu sync.Mutex }
+
+func consistent(s *Service, r *Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// release really releases: after Unlock the next acquisition is not a
+// pair.
+func release(s *Service, j *Journal) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	j.mu.Lock()
+	j.mu.Unlock()
+}

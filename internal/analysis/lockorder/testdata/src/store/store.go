@@ -1,0 +1,22 @@
+// Package store is the out-of-scope dependency of the lockorder fixture:
+// no pairs are recorded or reported here, but Acquires facts are exported
+// for its lock-taking functions so the serve fixture package sees, at its
+// call sites, which locks a call may take.
+package store
+
+import "sync"
+
+// Store holds an exported lock so the serve fixture can also acquire it
+// directly.
+type Store struct {
+	Mu   sync.Mutex
+	rows int
+}
+
+// Mutate locks the store; importers calling this under their own lock
+// record the (caller-lock, store.Store.Mu) pair through the Acquires fact.
+func (s *Store) Mutate() {
+	s.Mu.Lock()
+	s.rows++
+	s.Mu.Unlock()
+}

@@ -1,0 +1,291 @@
+// Package puretaint is a whole-program taint analysis over the call graph:
+// it marks every function that can transitively reach a nondeterministic
+// sink — a host-clock read, a package-global math/rand draw, or an
+// environment read — and reports, inside the deterministic domain, every
+// call whose callee carries that taint. It subsumes the direct-call check
+// that wallclock performs (wallclock is now a thin client of this
+// package's sink table) and closes its blind spot: a deterministic package
+// calling a helper in a non-deterministic package that calls time.Now two
+// frames down was previously invisible.
+//
+// Propagation is by object facts (analysis/facts.go): analyzing a package
+// exports a Tainted fact for each of its reachable-sink functions, and
+// importing packages — analyzed later, in dependency order — pick the
+// facts up through the shared type-checker objects. Within a package the
+// analysis runs to a fixed point, so local recursion and helper chains of
+// any depth are covered. Taint flows only through direct calls: a
+// nondeterministic function smuggled through a function value or interface
+// is not tracked (the repo's hot paths are monomorphic, and detmap guards
+// the remaining map-iteration channel).
+//
+// The sanctioned idiom stays invisible by construction: a function that
+// draws from an injected *rand.Rand (or rand/v2 equivalent) parameter is
+// not tainted, because method calls on explicit generator values are not
+// sinks — only the package-global convenience functions and the host
+// clock are. This is exactly the seeding discipline DESIGN.md §7
+// prescribes, now enforced to any call depth.
+package puretaint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mgpucompress/internal/analysis"
+)
+
+// Analyzer is the puretaint check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "puretaint",
+	ID:        "MGL006",
+	Doc:       "no call path from deterministic packages may reach a nondeterministic sink (wall clock, global rand, environment)",
+	FactTypes: []analysis.Fact{(*Tainted)(nil)},
+	Run:       run,
+}
+
+// Tainted is the object fact exported for every function that can reach a
+// nondeterministic sink through direct calls.
+type Tainted struct {
+	// Sink is the display name of the reached sink, e.g. "time.Now".
+	Sink string
+	// Path is a sample call chain from the function to the sink,
+	// e.g. "Jitter → backoff → time.Now".
+	Path string
+	// Depth is the number of calls on that chain (1 = calls the sink
+	// directly).
+	Depth int
+}
+
+// AFact marks Tainted as a fact type.
+func (*Tainted) AFact() {}
+
+// SinkKind classifies nondeterministic sinks.
+type SinkKind int
+
+// The sink classes.
+const (
+	SinkTime SinkKind = iota // host clock reads and waits
+	SinkRand                 // package-global math/rand draws
+	SinkEnv                  // process-environment reads
+)
+
+// Sink is one classified nondeterministic entry point.
+type Sink struct {
+	Kind    SinkKind
+	PkgPath string // "time", "math/rand", "math/rand/v2", "os"
+	Name    string // function name within the package
+}
+
+// Display renders the sink as it appears in messages, e.g. "time.Now".
+func (s Sink) Display() string { return s.PkgPath + "." + s.Name }
+
+// bannedTime are the time package functions that read or wait on the host
+// clock. This table (with the rand and env tables below) is the single
+// source of truth for nondeterminism sinks: wallclock consumes it too.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand are the explicit-seeding constructors: building a private,
+// seeded stream is exactly what deterministic code should do, so they are
+// not sinks.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+	"NewZipf": true,
+}
+
+// bannedEnv are the os package functions that read host state a result
+// record must never depend on.
+var bannedEnv = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+	"Hostname": true, "Getpid": true,
+}
+
+// ClassifySink reports whether fn is a nondeterministic sink and, if so,
+// which one. Methods are never sinks: drawing from an explicit generator
+// value (rand.Rand, rand/v2.Rand) is the sanctioned deterministic idiom.
+func ClassifySink(fn *types.Func) (Sink, bool) {
+	if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return Sink{}, false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch path {
+	case "time":
+		if bannedTime[name] {
+			return Sink{Kind: SinkTime, PkgPath: path, Name: name}, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[name] {
+			return Sink{Kind: SinkRand, PkgPath: path, Name: name}, true
+		}
+	case "os":
+		if bannedEnv[name] {
+			return Sink{Kind: SinkEnv, PkgPath: path, Name: name}, true
+		}
+	}
+	return Sink{}, false
+}
+
+// callSite is one resolved call inside a function body, in source order.
+type callSite struct {
+	pos    ast.Node
+	callee *types.Func
+	sink   Sink
+	isSink bool
+}
+
+// funcInfo is the per-function working state.
+type funcInfo struct {
+	fn    *types.Func
+	calls []callSite
+	taint *Tainted
+}
+
+func run(pass *analysis.Pass) {
+	// Phase 1: collect every function declaration and its resolved calls,
+	// in source order. Calls inside function literals are attributed to
+	// the enclosing declaration — the literal runs on some call path
+	// through it.
+	var funcs []*funcInfo
+	byObj := map[*types.Func]*funcInfo{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.ObjectOf(fd.Name).(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{fn: fn}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := analysis.Callee(pass, call)
+				if callee == nil {
+					return true
+				}
+				cs := callSite{pos: call, callee: callee}
+				if s, isSink := ClassifySink(callee); isSink {
+					cs.sink, cs.isSink = s, true
+				}
+				fi.calls = append(fi.calls, cs)
+				return true
+			})
+			funcs = append(funcs, fi)
+			byObj[fn] = fi
+		}
+	}
+
+	// Phase 2: seed taint from direct sinks and from imported facts about
+	// out-of-package callees, then run the local fixed point so taint
+	// crosses same-package helper chains and recursion.
+	for _, fi := range funcs {
+		for _, cs := range fi.calls {
+			if cs.isSink {
+				fi.taint = &Tainted{
+					Sink:  cs.sink.Display(),
+					Path:  fi.fn.Name() + " → " + cs.sink.Display(),
+					Depth: 1,
+				}
+				break
+			}
+			if _, local := byObj[cs.callee]; local {
+				continue
+			}
+			var t Tainted
+			if pass.ImportObjectFact(cs.callee, &t) {
+				fi.taint = &Tainted{
+					Sink:  t.Sink,
+					Path:  fi.fn.Name() + " → " + t.Path,
+					Depth: t.Depth + 1,
+				}
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			if fi.taint != nil {
+				continue
+			}
+			for _, cs := range fi.calls {
+				callee, local := byObj[cs.callee]
+				if !local || callee.taint == nil {
+					continue
+				}
+				fi.taint = &Tainted{
+					Sink:  callee.taint.Sink,
+					Path:  fi.fn.Name() + " → " + callee.taint.Path,
+					Depth: callee.taint.Depth + 1,
+				}
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Phase 3: export facts so importers see the taint.
+	for _, fi := range funcs {
+		if fi.taint != nil {
+			pass.ExportObjectFact(fi.fn, fi.taint)
+		}
+	}
+
+	// Phase 4: report, but only inside the deterministic domain, and only
+	// calls whose tainted callee lives outside it. Chains through
+	// deterministic packages are already reported at their own origin —
+	// wallclock flags the direct sink call, this analyzer the boundary
+	// crossing — so each chain surfaces exactly once.
+	if !analysis.InDeterministicDomain(pass.Pkg.Path()) {
+		return
+	}
+	for _, fi := range funcs {
+		for _, cs := range fi.calls {
+			if cs.isSink {
+				continue // wallclock's finding
+			}
+			var t Tainted
+			if local, ok := byObj[cs.callee]; ok {
+				if local.taint == nil {
+					continue
+				}
+				t = *local.taint
+			} else if !pass.ImportObjectFact(cs.callee, &t) {
+				continue
+			}
+			calleePkg := ""
+			if cs.callee.Pkg() != nil {
+				calleePkg = cs.callee.Pkg().Path()
+			}
+			if analysis.InDeterministicDomain(calleePkg) {
+				continue // reported at its origin inside the domain
+			}
+			pass.Reportf(cs.pos.Pos(),
+				"call to %s reaches nondeterministic sink %s (%s) in deterministic package %s",
+				calleeName(cs.callee), t.Sink, t.Path, pass.Pkg.Path())
+		}
+	}
+}
+
+// calleeName renders a callee for messages: pkg.Func or Type.Method.
+func calleeName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type().String()
+		if i := strings.LastIndexByte(t, '.'); i >= 0 {
+			t = t[i+1:]
+		}
+		return t + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,66 @@
+package puretaint_test
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+
+	"mgpucompress/internal/analysis"
+	"mgpucompress/internal/analysis/puretaint"
+)
+
+// TestPuretaintFixture is the acceptance fixture: a 3-deep transitive
+// time.Now chain through an out-of-domain helper package is caught at the
+// boundary call, while the identical chain behind a seeded-PRNG parameter
+// stays clean. The loader pulls the util dependency in automatically and
+// RunAll analyzes it first, so the facts exist when sim is visited.
+func TestPuretaintFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/sim", puretaint.Analyzer)
+}
+
+// TestUtilPackageSilent: the helper package itself is outside the
+// deterministic domain, so analyzing it directly produces facts but no
+// findings.
+func TestUtilPackageSilent(t *testing.T) {
+	analysis.RunFixture(t, "testdata/src/util", puretaint.Analyzer)
+}
+
+// TestClassifySink pins the sink table: the explicit-generator
+// constructors must stay non-sinks (they are the sanctioned idiom) and
+// methods must never classify.
+func TestClassifySink(t *testing.T) {
+	mk := func(pkgPath, name string) *types.Func {
+		pkg := types.NewPackage(pkgPath, pkgPath)
+		sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+		return types.NewFunc(token.NoPos, pkg, name, sig)
+	}
+	for _, tc := range []struct {
+		pkg, name string
+		want      bool
+		display   string
+	}{
+		{"time", "Now", true, "time.Now"},
+		{"time", "Sleep", true, "time.Sleep"},
+		{"time", "Duration", false, ""},
+		{"math/rand", "Int63", true, "math/rand.Int63"},
+		{"math/rand", "New", false, ""},
+		{"math/rand", "NewSource", false, ""},
+		{"math/rand/v2", "IntN", true, "math/rand/v2.IntN"},
+		{"math/rand/v2", "NewPCG", false, ""},
+		{"os", "Getenv", true, "os.Getenv"},
+		{"os", "ReadFile", false, ""},
+		{"fmt", "Sprintf", false, ""},
+	} {
+		s, ok := puretaint.ClassifySink(mk(tc.pkg, tc.name))
+		if ok != tc.want {
+			t.Errorf("ClassifySink(%s.%s) = %v, want %v", tc.pkg, tc.name, ok, tc.want)
+			continue
+		}
+		if ok && s.Display() != tc.display {
+			t.Errorf("ClassifySink(%s.%s).Display() = %q, want %q", tc.pkg, tc.name, s.Display(), tc.display)
+		}
+	}
+	if _, ok := puretaint.ClassifySink(nil); ok {
+		t.Error("ClassifySink(nil) classified")
+	}
+}

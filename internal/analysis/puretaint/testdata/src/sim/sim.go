@@ -1,0 +1,45 @@
+// Package sim is the in-domain side of the puretaint fixture: its import
+// path carries internal/.../sim segments, so calls into tainted helpers
+// from the util fixture package are findings here — at the boundary call,
+// with the full chain in the message.
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"mgpucompress/internal/analysis/puretaint/testdata/src/util"
+)
+
+func stampIt() int64 {
+	return util.Stamp() // want "call to util\.Stamp reaches nondeterministic sink time\.Now \(Stamp → step2 → step3 → time\.Now\)"
+}
+
+func drawIt() int64 {
+	return util.Draw() // want "call to util\.Draw reaches nondeterministic sink math/rand\.Int63"
+}
+
+// seededIt threads an explicit generator through the same 3-deep chain:
+// clean, to any depth.
+func seededIt(seed int64) int64 {
+	return util.Seeded(rand.New(rand.NewSource(seed)))
+}
+
+func homeIt() string {
+	return util.Home() // want "call to util\.Home reaches nondeterministic sink os\.Getenv"
+}
+
+func pureIt() int64 { return util.Pure(41) }
+
+// localHop demonstrates that a same-package hop before the boundary is
+// still caught: the boundary call inside localHelper is the finding site.
+func localHop() int64 { return localHelper() }
+
+func localHelper() int64 {
+	return util.Stamp() // want "call to util\.Stamp reaches nondeterministic sink time\.Now"
+}
+
+// direct sink calls belong to wallclock, not puretaint — no want here
+// because only puretaint runs over this fixture; wallclock's own fixtures
+// assert the direct form.
+func directOwnedByWallclock() time.Time { return time.Now() }

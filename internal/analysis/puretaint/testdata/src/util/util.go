@@ -1,0 +1,45 @@
+// Package util is the out-of-domain helper package for the puretaint
+// fixture: its import path has no deterministic segment, so nothing is
+// reported here — but Tainted facts are exported for its reachable-sink
+// functions, and the sim fixture package imports them.
+package util
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp → step2 → step3 → time.Now: a 3-deep transitive chain to the host
+// clock. No findings in this package (outside the domain), but Stamp,
+// step2, and step3 all carry Tainted facts.
+func Stamp() int64 { return step2() }
+
+func step2() int64 { return step3() }
+
+func step3() int64 { return time.Now().UnixNano() }
+
+// Draw → draw2 → draw3 → rand.Int63: the same shape through the shared
+// global generator.
+func Draw() int64 { return draw2() }
+
+func draw2() int64 { return draw3() }
+
+func draw3() int64 { return rand.Int63() }
+
+// Seeded → seeded2 → seeded3 → r.Int63: the identical chain behind an
+// injected, seeded generator parameter. Methods on explicit generator
+// values are not sinks, so none of these are tainted.
+func Seeded(r *rand.Rand) int64 { return seeded2(r) }
+
+func seeded2(r *rand.Rand) int64 { return seeded3(r) }
+
+func seeded3(r *rand.Rand) int64 { return r.Int63() }
+
+// Home reads the environment one frame down.
+func Home() string { return home() }
+
+func home() string { return os.Getenv("HOME") }
+
+// Pure is untainted: arithmetic only.
+func Pure(x int64) int64 { return x * 2 }

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteSARIFShape: the emitted log is valid JSON with the rule table,
+// result-to-rule indices, and content fingerprints a SARIF consumer keys
+// on — and byte-stable across runs.
+func TestWriteSARIFShape(t *testing.T) {
+	analyzers := testAnalyzers()
+	findings := []Finding{
+		{File: "a.go", Line: 3, Column: 1, Analyzer: "beta", ID: "T002", Message: "m1", Package: "p", Fingerprint: "feed"},
+		{File: "b.go", Line: 9, Column: 2, Analyzer: "alpha", ID: "T001", Message: "m2", Package: "p", Fingerprint: "beef"},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, analyzers, findings); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mgpulint" || len(run.Tool.Driver.Rules) != 2 {
+		t.Fatalf("driver %q with %d rules", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "T002" || r0.RuleIndex != 1 {
+		t.Errorf("result 0 ruleId=%q index=%d, want T002/1", r0.RuleID, r0.RuleIndex)
+	}
+	if r0.PartialFingerprints["mgpulint/v1"] != "feed" {
+		t.Errorf("fingerprint %v", r0.PartialFingerprints)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "a.go" || loc.Region.StartLine != 3 || loc.Region.StartColumn != 1 {
+		t.Errorf("location %+v", loc)
+	}
+
+	var again bytes.Buffer
+	if err := WriteSARIF(&again, analyzers, findings); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("SARIF output is not byte-stable")
+	}
+}
+
+// TestFingerprintStability: the fingerprint ignores line numbers (pure
+// movement keeps identity) but distinguishes message and analyzer.
+func TestFingerprintStability(t *testing.T) {
+	base := Finding{Analyzer: "alpha", Package: "p", File: "/x/a.go", Message: "m"}
+	moved := base
+	moved.Line = 99
+	moved.File = "/other/prefix/a.go" // same basename: still the same site
+	if fingerprint(base) != fingerprint(moved) {
+		t.Error("fingerprint changed on pure movement")
+	}
+	diffMsg := base
+	diffMsg.Message = "m2"
+	if fingerprint(base) == fingerprint(diffMsg) {
+		t.Error("fingerprint collision across messages")
+	}
+	diffAnalyzer := base
+	diffAnalyzer.Analyzer = "beta"
+	if fingerprint(base) == fingerprint(diffAnalyzer) {
+		t.Error("fingerprint collision across analyzers")
+	}
+	if len(fingerprint(base)) != 16 {
+		t.Errorf("fingerprint length %d, want 16", len(fingerprint(base)))
+	}
+}

@@ -1,0 +1,9 @@
+// Package factleaf is the dependency end of the fact-propagation fixture:
+// facts exported on its objects must be importable from factroot.
+package factleaf
+
+// Leaf carries an object fact in the test.
+func Leaf() int { return 1 }
+
+// Other carries no fact: importing a fact for it must report absence.
+func Other() int { return 2 }

@@ -1,0 +1,8 @@
+// Package factroot imports factleaf; analyzing it exercises cross-package
+// fact import through the shared type-checker universe.
+package factroot
+
+import "mgpucompress/internal/analysis/testdata/src/factleaf"
+
+// Root forces the factleaf import to be used.
+func Root() int { return factleaf.Leaf() + factleaf.Other() }

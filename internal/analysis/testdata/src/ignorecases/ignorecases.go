@@ -1,0 +1,40 @@
+// Package ignorecases exercises the //lint:ignore directive parser. The
+// companion test (ignore_test.go) runs the panicany test analyzer over
+// this file and asserts exactly which panics survive: every shape of
+// directive placement and malformation is represented here.
+package ignorecases
+
+func trailing() {
+	panic("x") //lint:ignore panicany a trailing directive suppresses its own line
+}
+
+func above() {
+	//lint:ignore panicany a standalone directive covers the line below
+	panic("x")
+}
+
+func multi() {
+	//lint:ignore panicany,otherzzz one directive may name several analyzers
+	panic("x")
+}
+
+func noReason() {
+	//lint:ignore panicany
+	panic("x") // MARKER:noReason — reason missing, directive not honored
+}
+
+func wrongAnalyzer() {
+	//lint:ignore detmap the directive names a different analyzer
+	panic("x") // MARKER:wrongAnalyzer
+}
+
+func tooFar() {
+	//lint:ignore panicany the directive is two lines up: not honored
+	_ = 0
+	panic("x") // MARKER:tooFar
+}
+
+func catchAll() {
+	//lint:ignore all the reserved name all suppresses every analyzer
+	panic("x")
+}

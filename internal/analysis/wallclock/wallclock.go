@@ -1,76 +1,54 @@
-// Package wallclock flags wall-clock time and global randomness inside the
-// simulator's deterministic domain. Simulated time must advance only
-// through the event engine, and every random stream must be seeded from
-// the sweep-derived per-job seed: a time.Now or a package-global rand.Intn
-// in these packages silently couples artifacts to the host scheduler.
+// Package wallclock flags direct nondeterministic-sink calls — wall-clock
+// time, global randomness, environment reads — inside the simulator's
+// deterministic domain. Simulated time must advance only through the event
+// engine, and every random stream must be seeded from the sweep-derived
+// per-job seed: a time.Now or a package-global rand.Intn in these packages
+// silently couples artifacts to the host scheduler.
 //
-// The deterministic domain is the sim-clock package family (sim, comp,
-// fabric, gpu, mem, rdma, stats, workloads, energy, core, cache, platform,
-// bitstream, trace under internal/) plus internal/serve: the sweep service
-// persists journals and results files whose bytes must be pure functions of
-// the job keys, so any wall-clock read there needs an explicit
-// //lint:ignore justification (the supervisor's restart pacing and the
-// client's poll pacing are the allowlisted cases — host-side orchestration
-// that never feeds a result record). Orchestration packages — notably
-// internal/sweep, whose progress reporting legitimately measures wall time
-// — are outside the domain and stay legal.
+// Since mgpulint v2 this analyzer is a thin client of puretaint: the sink
+// table (which time/rand/os functions are nondeterministic, which rand
+// constructors are the sanctioned idiom) lives there, once, and the
+// deterministic-domain definition lives in analysis.InDeterministicDomain.
+// wallclock reports the direct calls — the precise, actionable "this line
+// reads the clock" finding — while puretaint reports transitive chains
+// that leave the domain. Together they cover every call path; separately
+// each finding has one unambiguous owner.
+//
+// The deterministic domain is the sim-clock package family plus
+// internal/serve: the sweep service persists journals and results files
+// whose bytes must be pure functions of the job keys, so any wall-clock
+// read there needs an explicit //lint:ignore justification (the
+// supervisor's restart pacing and the client's poll pacing are the
+// allowlisted cases — host-side orchestration that never feeds a result
+// record). Orchestration packages — notably internal/sweep, whose progress
+// reporting legitimately measures wall time — are outside the domain and
+// stay legal.
 package wallclock
 
 import (
 	"go/ast"
 
 	"mgpucompress/internal/analysis"
+	"mgpucompress/internal/analysis/puretaint"
 )
 
 // Analyzer is the wallclock check.
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
-	Doc:  "no wall-clock time or unseeded global randomness in deterministic packages",
+	ID:   "MGL005",
+	Doc:  "no direct wall-clock, unseeded-global-randomness, or environment reads in deterministic packages",
 	Run:  run,
 }
 
-// deterministic is the sim-clock package family, matched as path segments
-// under an internal/ segment. serve is included because its persisted
-// artifacts (batch journals and results files) carry the same byte-identity
-// contract as the simulator: wall time may pace the daemon, never leak into
-// a record.
-var deterministic = map[string]bool{
-	"sim": true, "comp": true, "fabric": true, "gpu": true, "mem": true,
-	"rdma": true, "stats": true, "workloads": true, "energy": true,
-	"core": true, "cache": true, "platform": true, "bitstream": true,
-	"trace": true, "fault": true, "serve": true,
-}
-
-// bannedTime are the time package functions that read or wait on the host
-// clock.
-var bannedTime = map[string]bool{
-	"Now": true, "Since": true, "Until": true, "Sleep": true,
-	"After": true, "AfterFunc": true, "Tick": true,
-	"NewTimer": true, "NewTicker": true,
-}
-
-// allowedRand are the explicit-seeding constructors: building a private,
-// seeded stream is exactly what deterministic code should do.
-var allowedRand = map[string]bool{
-	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
-}
-
 // InDeterministicPackage reports whether the import path belongs to the
-// sim-clock domain.
+// sim-clock domain. It forwards to the shared definition in the analysis
+// package; callers and tests keep the historical name.
 func InDeterministicPackage(path string) bool {
-	if !analysis.PathHasSegment(path, "internal") {
-		return false
-	}
-	for seg := range deterministic {
-		if analysis.PathHasSegment(path, seg) {
-			return true
-		}
-	}
-	return false
+	return analysis.InDeterministicDomain(path)
 }
 
 func run(pass *analysis.Pass) {
-	if !InDeterministicPackage(pass.Pkg.Path()) {
+	if !analysis.InDeterministicDomain(pass.Pkg.Path()) {
 		return
 	}
 	for _, f := range pass.Files {
@@ -79,23 +57,23 @@ func run(pass *analysis.Pass) {
 			if !ok {
 				return true
 			}
-			fn := analysis.Callee(pass, call)
-			if fn == nil || fn.Pkg() == nil {
+			sink, isSink := puretaint.ClassifySink(analysis.Callee(pass, call))
+			if !isSink {
 				return true
 			}
-			switch fn.Pkg().Path() {
-			case "time":
-				if bannedTime[fn.Name()] {
-					pass.Reportf(call.Pos(),
-						"time.%s in deterministic package %s: simulated time must come from the sim engine, not the host clock",
-						fn.Name(), pass.Pkg.Path())
-				}
-			case "math/rand", "math/rand/v2":
-				if analysis.IsPkgFunc(fn, fn.Pkg().Path(), fn.Name()) && !allowedRand[fn.Name()] {
-					pass.Reportf(call.Pos(),
-						"package-global %s.%s in deterministic package %s: use rand.New(rand.NewSource(seed)) with the sweep-derived job seed",
-						fn.Pkg().Path(), fn.Name(), pass.Pkg.Path())
-				}
+			switch sink.Kind {
+			case puretaint.SinkTime:
+				pass.Reportf(call.Pos(),
+					"time.%s in deterministic package %s: simulated time must come from the sim engine, not the host clock",
+					sink.Name, pass.Pkg.Path())
+			case puretaint.SinkRand:
+				pass.Reportf(call.Pos(),
+					"package-global %s.%s in deterministic package %s: use rand.New(rand.NewSource(seed)) with the sweep-derived job seed",
+					sink.PkgPath, sink.Name, pass.Pkg.Path())
+			case puretaint.SinkEnv:
+				pass.Reportf(call.Pos(),
+					"%s in deterministic package %s: environment reads make artifacts host-dependent; plumb configuration explicitly",
+					sink.Display(), pass.Pkg.Path())
 			}
 			return true
 		})

@@ -272,7 +272,7 @@ func (c *Cache) handleRead(now sim.Time, req *mem.ReadReq) bool {
 		// Forward without allocation (e.g. remote address at L1 → RDMA).
 		dst := c.Router(req.Addr)
 		fwd := mem.NewReadReq(c.Bottom, dst, req.Addr, req.N)
-		sim.AssignMsgID(fwd)
+		c.engine.AssignMsgID(fwd)
 		if !c.Bottom.Send(now, fwd) {
 			return false
 		}
@@ -288,7 +288,7 @@ func (c *Cache) handleRead(now sim.Time, req *mem.ReadReq) bool {
 		c.Top.Retrieve(now)
 		data := c.space.Read(req.Addr, req.N)
 		rsp := mem.NewDataReady(c.Top, req.Src, req.ID, req.Addr, data)
-		sim.AssignMsgID(rsp)
+		c.engine.AssignMsgID(rsp)
 		c.engine.Schedule(hitRspEvent{
 			EventBase: sim.NewEventBase(now+c.cfg.HitLatency, c),
 			rsp:       rsp,
@@ -309,7 +309,7 @@ func (c *Cache) handleRead(now sim.Time, req *mem.ReadReq) bool {
 	}
 	dst := c.Router(la)
 	fetch := mem.NewReadReq(c.Bottom, dst, la, c.cfg.LineSize)
-	sim.AssignMsgID(fetch)
+	c.engine.AssignMsgID(fetch)
 	if !c.Bottom.Send(now, fetch) {
 		return false
 	}
@@ -326,7 +326,7 @@ func (c *Cache) handleWrite(now sim.Time, req *mem.WriteReq) bool {
 	// present (the line stays valid because data lives in the space).
 	dst := c.Router(req.Addr)
 	fwd := mem.NewWriteReq(c.Bottom, dst, req.Addr, req.Data)
-	sim.AssignMsgID(fwd)
+	c.engine.AssignMsgID(fwd)
 	if !c.Bottom.Send(now, fwd) {
 		return false
 	}
@@ -345,7 +345,7 @@ func (c *Cache) processBottom(now sim.Time) bool {
 	case *mem.DataReady:
 		if orig, ok := c.passthrough[rsp.RspTo]; ok {
 			up := mem.NewDataReady(c.Top, orig.Src, orig.ID, orig.Addr, rsp.Data)
-			sim.AssignMsgID(up)
+			c.engine.AssignMsgID(up)
 			if !c.Top.Send(now, up) {
 				return false
 			}
@@ -363,7 +363,7 @@ func (c *Cache) processBottom(now sim.Time) bool {
 			w := entry.waiters[0]
 			data := c.space.Read(w.Addr, w.N)
 			up := mem.NewDataReady(c.Top, w.Src, w.ID, w.Addr, data)
-			sim.AssignMsgID(up)
+			c.engine.AssignMsgID(up)
 			if !c.Top.Send(now, up) {
 				return false
 			}
@@ -383,7 +383,7 @@ func (c *Cache) processBottom(now sim.Time) bool {
 			panic(fmt.Sprintf("%s: ack for unknown write %d", c.Name(), rsp.RspTo))
 		}
 		up := mem.NewWriteACK(c.Top, pw.orig.Src, pw.orig.ID, pw.orig.Addr)
-		sim.AssignMsgID(up)
+		c.engine.AssignMsgID(up)
 		if !c.Top.Send(now, up) {
 			return false
 		}

@@ -89,6 +89,9 @@ func NewCrossbar(name string, engine *sim.Engine, cfg Config) *Crossbar {
 }
 
 // Plug attaches an endpoint port.
+// Engine returns the event engine driving the crossbar.
+func (c *Crossbar) Engine() *sim.Engine { return c.engine }
+
 func (c *Crossbar) Plug(p *sim.Port) {
 	ep := &endpoint{port: p}
 	c.endpoints = append(c.endpoints, ep)

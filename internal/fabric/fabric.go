@@ -81,6 +81,9 @@ func NewBus(name string, engine *sim.Engine, cfg Config) *Bus {
 	return b
 }
 
+// Engine returns the event engine driving the bus.
+func (b *Bus) Engine() *sim.Engine { return b.engine }
+
 // Plug attaches an endpoint port to the bus.
 func (b *Bus) Plug(p *sim.Port) {
 	ep := &endpoint{port: p}

@@ -239,7 +239,7 @@ func (c *CU) step(now sim.Time, wf *wavefront) bool {
 		return true
 	case ReadOp:
 		req := mem.NewReadReq(c.ToL1, c.l1Top(), op.Addr, op.N)
-		sim.AssignMsgID(req)
+		c.engine.AssignMsgID(req)
 		if !c.ToL1.Send(now, req) {
 			return false
 		}
@@ -249,7 +249,7 @@ func (c *CU) step(now sim.Time, wf *wavefront) bool {
 		return true
 	case WriteOp:
 		req := mem.NewWriteReq(c.ToL1, c.l1Top(), op.Addr, op.Data)
-		sim.AssignMsgID(req)
+		c.engine.AssignMsgID(req)
 		if !c.ToL1.Send(now, req) {
 			return false
 		}

@@ -61,7 +61,7 @@ func (s *memStub) NotifyRecv(now sim.Time, p *sim.Port) {
 			s.space.Write(req.Addr, req.Data)
 			rsp = mem.NewWriteACK(s.Top, req.Src, req.ID, req.Addr)
 		}
-		sim.AssignMsgID(rsp)
+		s.engine.AssignMsgID(rsp)
 		s.engine.Schedule(stubRspEvent{
 			EventBase: sim.NewEventBase(now+s.latency, s),
 			rsp:       rsp,

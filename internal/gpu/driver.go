@@ -121,7 +121,7 @@ func (cp *CommandProcessor) wgDone(int) {
 func (cp *CommandProcessor) signalDone(now sim.Time) {
 	done := &KernelDone{GPU: cp.GPU, Seq: cp.seq}
 	done.Src, done.Dst, done.Bytes = cp.ToFabric, cp.driverPort, KernelDoneBytes
-	sim.AssignMsgID(done)
+	cp.engine.AssignMsgID(done)
 	if !cp.ToFabric.Send(now, done) {
 		cp.pendingDone = true
 		return
@@ -304,7 +304,7 @@ func (d *Driver) writeArgs(now sim.Time, k *Kernel) {
 		for off := 0; off < len(padded); off += mem.LineSize {
 			addr := buf.Addr(uint64(off))
 			w := mem.NewWriteReq(d.ToRDMA, d.RDMAPort, addr, padded[off:off+mem.LineSize])
-			sim.AssignMsgID(w)
+			d.engine.AssignMsgID(w)
 			if !d.ToRDMA.Send(now, w) {
 				panic("gpu: driver RDMA rejected arg write")
 			}
@@ -318,7 +318,7 @@ func (d *Driver) broadcastLaunch(now sim.Time) {
 	for g, port := range d.CPPorts {
 		cmd := &LaunchCmd{Kernel: d.kernel, WGs: d.assignments[g], Seq: d.seq}
 		cmd.Src, cmd.Dst, cmd.Bytes = d.Ctrl, port, LaunchCmdBytes
-		sim.AssignMsgID(cmd)
+		d.engine.AssignMsgID(cmd)
 		if !d.Ctrl.Send(now, cmd) {
 			panic("gpu: driver control port rejected launch")
 		}

@@ -292,7 +292,7 @@ func (e *Engine) handleLocal(now sim.Time, msg sim.Msg) error {
 		wire := &ReadReq{Addr: req.Addr, N: req.N}
 		wire.Src, wire.Dst = e.ToFabric, e.RemotePort(owner)
 		wire.Bytes = ReadReqHeaderBytes
-		sim.AssignMsgID(wire)
+		e.engine.AssignMsgID(wire)
 		e.pendingReads[wire.ID] = &pendingRead{req: req, issued: now, wire: wire, attempts: 1}
 		e.ReadsSent++
 		e.Rec.RemoteRead(e.GPU)
@@ -311,7 +311,7 @@ func (e *Engine) handleLocal(now sim.Time, msg sim.Msg) error {
 			wire.Payload.CRC = PayloadCRC(wire.Payload)
 			wire.Bytes += CRCTrailerBytes
 		}
-		sim.AssignMsgID(wire)
+		e.engine.AssignMsgID(wire)
 		e.pendingWrites[wire.ID] = &pendingWrite{req: req, wire: wire, attempts: 1}
 		e.WritesSent++
 		e.Rec.RemoteWrite(e.GPU)
@@ -372,7 +372,7 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 		// A remote GPU wants our data: forward into the local L2.
 		e.ReadsServed++
 		local := mem.NewReadReq(e.ToL2, e.L2Router(wire.Addr), wire.Addr, wire.N)
-		sim.AssignMsgID(local)
+		e.engine.AssignMsgID(local)
 		e.serviceReads[local.ID] = wire
 		if !e.ToL2.Send(now, local) {
 			return fmt.Errorf("%s: L2 rejected forwarded read", e.Name())
@@ -396,7 +396,7 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 				return fmt.Errorf("%s: write payload: %w", e.Name(), err)
 			}
 			local := mem.NewWriteReq(e.ToL2, e.L2Router(wire.Addr), wire.Addr, data)
-			sim.AssignMsgID(local)
+			e.engine.AssignMsgID(local)
 			e.serviceWrites[local.ID] = wire
 			if !e.ToL2.Send(now, local) {
 				return fmt.Errorf("%s: L2 rejected forwarded write", e.Name())
@@ -434,7 +434,7 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 			}
 			e.ReadLatency.Add(float64(now - pr.issued))
 			rsp := mem.NewDataReady(e.ToL1, orig.Src, orig.ID, orig.Addr, data)
-			sim.AssignMsgID(rsp)
+			e.engine.AssignMsgID(rsp)
 			if !e.ToL1.Send(now, rsp) {
 				return fmt.Errorf("%s: L1 rejected response", e.Name())
 			}
@@ -458,7 +458,7 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 		}
 		orig := pw.req
 		ack := mem.NewWriteACK(e.ToL1, orig.Src, orig.ID, orig.Addr)
-		sim.AssignMsgID(ack)
+		e.engine.AssignMsgID(ack)
 		if !e.ToL1.Send(now, ack) {
 			return fmt.Errorf("%s: L1 rejected ack", e.Name())
 		}
@@ -490,7 +490,7 @@ func (e *Engine) sendNACK(now sim.Time, dst *sim.Port, rspTo uint64, alg comp.Al
 	n := &NACK{RspTo: rspTo, Alg: alg}
 	n.Src, n.Dst = e.ToFabric, dst
 	n.Bytes = NACKHeaderBytes
-	sim.AssignMsgID(n)
+	e.engine.AssignMsgID(n)
 	e.NACKsSent++
 	e.outQueue = append(e.outQueue, n)
 	e.drainOutQueue(now)
@@ -624,7 +624,7 @@ func (e *Engine) handleL2Response(now sim.Time, msg sim.Msg) error {
 			out.Payload.CRC = PayloadCRC(out.Payload)
 			out.Bytes += CRCTrailerBytes
 		}
-		sim.AssignMsgID(out)
+		e.engine.AssignMsgID(out)
 		e.Rec.Header(DataReadyHeaderBytes)
 		e.scheduleSend(now, out, d.CompressionCycles)
 		return nil
@@ -637,7 +637,7 @@ func (e *Engine) handleL2Response(now sim.Time, msg sim.Msg) error {
 		out := &WriteACK{RspTo: wireReq.ID}
 		out.Src, out.Dst = e.ToFabric, wireReq.Src
 		out.Bytes = WriteACKHeaderBytes
-		sim.AssignMsgID(out)
+		e.engine.AssignMsgID(out)
 		e.Rec.Header(WriteACKHeaderBytes)
 		e.outQueue = append(e.outQueue, out)
 		e.drainOutQueue(now)

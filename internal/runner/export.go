@@ -2,6 +2,7 @@ package runner
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -101,14 +102,14 @@ func (s *Sweep) WriteTraceFile(path string) error {
 	return writeFile(path, s.WriteTrace)
 }
 
-func writeFile(path string, write func(io.Writer) error) error {
+func writeFile(path string, write func(io.Writer) error) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
+	defer func() { err = errors.Join(err, f.Close()) }()
 	if err := write(f); err != nil {
-		_ = f.Close() // the write error is the one worth reporting
 		return fmt.Errorf("runner: writing %s: %w", path, err)
 	}
-	return f.Close()
+	return nil
 }

@@ -98,6 +98,7 @@ func New[R any](cfg Config[R]) (*Service[R], error) {
 		batches: make(map[string]*batch),
 		jobs:    make(map[string]json.RawMessage),
 	}
+	//lint:ignore puretaint sweep.New stamps a wall-clock start for progress telemetry only; it never feeds result records
 	s.eng = sweep.New(sweep.Config[R]{
 		Workers: cfg.Workers,
 		Run:     protect(cfg.Run),

@@ -15,6 +15,9 @@ type Connection interface {
 	NotifyBufferFree(now Time, port *Port)
 	// Plug attaches a port to this connection.
 	Plug(p *Port)
+	// Engine returns the event engine driving this connection. Ports use it
+	// to reach the run's message-ID counter.
+	Engine() *Engine
 }
 
 // deliverEvent delivers a message into its destination port at a scheduled
@@ -66,6 +69,9 @@ func (c *DirectConnection) Plug(p *Port) {
 	c.ports[p] = true
 	p.SetConnection(c)
 }
+
+// Engine returns the event engine driving this connection.
+func (c *DirectConnection) Engine() *Engine { return c.engine }
 
 // Send schedules delivery after the connection latency. A DirectConnection
 // never rejects a send; back-pressure is applied at the destination buffer

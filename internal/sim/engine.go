@@ -141,6 +141,7 @@ type Engine struct {
 	handled   uint64
 	paused    bool
 	maxTime   Time
+	msgID     uint64
 	// tick is the reusable event dispatched for ScheduleTick entries. It is
 	// rewritten before every lightweight dispatch, so handlers must not
 	// retain it past Handle.

@@ -1,7 +1,5 @@
 package sim
 
-import "sync/atomic"
-
 // Msg is a message exchanged between components through ports. The concrete
 // message types (memory requests, RDMA packets, ...) are defined by the
 // packages that use them; the simulation kernel only needs the metadata.
@@ -26,13 +24,14 @@ type MsgMeta struct {
 	RecvTime Time
 }
 
-var nextMsgID atomic.Uint64
-
-// AssignMsgID gives the message a unique ID. The counter is process-global
-// and atomic: each simulation runs single-threaded, but the sweep engine
-// runs independent simulations in parallel, and IDs only need to be unique
-// — no component's behaviour depends on their values, so sharing the
-// counter across concurrent runs does not perturb results.
-func AssignMsgID(m Msg) {
-	m.Meta().ID = nextMsgID.Add(1)
+// AssignMsgID gives the message an ID unique within this engine's run.
+// The counter lives on the Engine, not in a process global: the sweep
+// engine runs independent simulations in parallel, and a shared counter
+// would leak scheduling order between concurrent runs into the IDs. With
+// a per-engine counter the full message stream — IDs included — is a pure
+// function of the simulation's inputs, byte-identical for any worker
+// count.
+func (e *Engine) AssignMsgID(m Msg) {
+	e.msgID++
+	m.Meta().ID = e.msgID
 }

@@ -87,7 +87,7 @@ func (p *Port) Send(now Time, m Msg) bool {
 	}
 	m.Meta().Src = p
 	if m.Meta().ID == 0 {
-		AssignMsgID(m)
+		p.conn.Engine().AssignMsgID(m)
 	}
 	return p.conn.Send(now, m)
 }
