@@ -36,6 +36,9 @@ ci:
 	go run ./examples/quickstart -metrics-out bin/metrics-b.json >/dev/null
 	cmp bin/metrics-a.json bin/metrics-b.json
 	@echo "metrics determinism gate: OK"
+	go run ./examples/quickstart -sim-cores 8 -metrics-out bin/metrics-p.json >/dev/null
+	cmp bin/metrics-a.json bin/metrics-p.json
+	@echo "parallel determinism gate (-sim-cores 1 vs 8): OK"
 
 # mgpulint: the determinism- and invariant-checking analyzers of
 # internal/analysis (see DESIGN.md "Determinism rules").
@@ -79,11 +82,12 @@ fuzz-smoke:
 	go test ./internal/bitstream -run='^$$' -fuzz='^FuzzReadBitsDifferential$$' -fuzztime=10s
 
 # Full benchmark pass: every Go benchmark with allocation reporting, then
-# the committed hot-path report (micro numbers, baseline speedups, and the
-# workload × policy macro table) regenerated into BENCH_PR4.json.
+# the committed hot-path report (micro numbers, baseline speedups, the
+# workload × policy macro table, and the -sim-cores scaling table of the
+# parallel engine) regenerated into BENCH_PR8.json.
 bench:
 	go test -bench=. -benchmem ./...
-	go run ./cmd/benchreport -out BENCH_PR4.json
+	go run ./cmd/benchreport -out BENCH_PR8.json
 
 # Cheap pre-merge benchmark smoke: one iteration of the hot-path
 # microbenchmarks at the smallest scale, purely to catch benchmarks that no

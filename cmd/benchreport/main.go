@@ -1,16 +1,19 @@
-// Command benchreport measures the PR-4 hot paths and writes BENCH_PR4.json:
-// a machine-readable record of the zero-allocation codec/bitstream/event-queue
-// microbenchmarks plus a workload × policy macro table (simulated cycles,
-// wall time, allocations per full run).
+// Command benchreport measures the hot paths and writes a machine-readable
+// benchmark report (BENCH_PR8.json): the zero-allocation
+// codec/bitstream/event-queue microbenchmarks, a workload × policy macro
+// table (simulated cycles, wall time, allocations per full run), and the
+// -sim-cores scaling table of the conservative parallel engine.
 //
 // The JSON also embeds the pre-optimization baseline numbers (measured on the
-// commit before this PR, same machine class) and the resulting speedups, so
-// the claimed "≥5× encode throughput, 0 allocs/op steady state" is a
-// committed, reviewable artifact rather than a PR-description footnote.
+// commit before PR 4, same machine class) and the resulting speedups, so
+// claimed performance numbers are committed, reviewable artifacts rather than
+// PR-description footnotes. The sim-cores table records host_cpus alongside
+// the speedups: wall-clock gains require real host cores, while the
+// exec_cycles column proves the runs stayed byte-identical.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR4.json] [-short]
+//	go run ./cmd/benchreport [-out BENCH_PR8.json] [-short]
 //
 // BENCH_SCALE (default 1) selects the macro workload scale.
 package main
@@ -63,11 +66,27 @@ type Baseline struct {
 	SamplingTrioNs    float64            `json:"sampling_trio_ns_per_line"`
 }
 
-// Report is the BENCH_PR4.json schema.
+// CoresResult is one -sim-cores point of the parallel-engine scaling table:
+// the macro workload set run end to end with the given engine worker count.
+type CoresResult struct {
+	Cores  int     `json:"cores"`
+	WallMs float64 `json:"wall_ms"`
+	// Speedup is wall(serial) / wall(cores) over the whole table.
+	Speedup float64 `json:"speedup_vs_serial"`
+	// ExecCycles sums simulated cycles over the table; identical in every
+	// row by the engine's determinism contract (checked here).
+	ExecCycles uint64 `json:"exec_cycles"`
+}
+
+// Report is the benchmark-report JSON schema.
 type Report struct {
-	Generated     string             `json:"generated"`
-	GoVersion     string             `json:"go_version"`
-	GOARCH        string             `json:"goarch"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	// HostCPUs bounds any achievable sim-cores wall-clock speedup: on a
+	// single-CPU host the scaling table can only demonstrate that parallel
+	// mode costs nothing, not that it gains.
+	HostCPUs      int                `json:"host_cpus"`
 	Scale         int                `json:"macro_scale"`
 	Micro         []MicroResult      `json:"micro"`
 	Baseline      Baseline           `json:"baseline_pre_pr"`
@@ -79,7 +98,8 @@ type Report struct {
 		NsPerLine float64 `json:"ns_per_line"`
 		Speedup   float64 `json:"speedup_vs_baseline"`
 	} `json:"sampling_trio"`
-	Macro []MacroResult `json:"macro"`
+	Macro    []MacroResult `json:"macro"`
+	SimCores []CoresResult `json:"sim_cores"`
 }
 
 // preBaseline is the recorded state of the encode hot path on the parent
@@ -208,10 +228,11 @@ func microSuite() []MicroResult {
 	// Event-queue churn through the allocation-free ScheduleTick path.
 	out = append(out, micro("sim/ScheduleTickChurn", func(b *testing.B) {
 		e := sim.NewEngine()
+		p := e.Partition(0)
 		h := tickSink{}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			e.ScheduleTick(e.Now()+sim.Time(i%64), h)
+			p.ScheduleTick(p.Now()+sim.Time(i%64), h)
 			if i%1024 == 1023 {
 				if err := e.Run(); err != nil {
 					b.Fatal(err)
@@ -270,8 +291,61 @@ func macroSuite(scale int, short bool) ([]MacroResult, error) {
 	return out, nil
 }
 
+// coresSuite reruns the macro workload table under the adaptive policy for
+// each engine worker count and reports aggregate wall time and speedup
+// against the serial row. The summed simulated cycles must not move — the
+// engine's byte-identity contract — and the suite fails loudly if they do.
+func coresSuite(scale int, short bool) ([]CoresResult, error) {
+	abbrevs := []string{"AES", "BS", "FIR", "GD", "KM", "MT", "SC"}
+	if short {
+		abbrevs = []string{"SC", "MT"}
+	}
+	var out []CoresResult
+	// The first pass (cores = 0, unrecorded) warms the heap and page cache so
+	// the serial row is not penalized for running first.
+	for _, cores := range []int{0, 1, 2, 4, 8} {
+		var wall time.Duration
+		var cycles uint64
+		for _, ab := range abbrevs {
+			opts := runner.Options{
+				Scale:    workloads.Scale(scale),
+				Policy:   core.PolicyAdaptive,
+				Lambda:   core.DefaultLambda,
+				SimCores: max(cores, 1),
+			}
+			runtime.GC()
+			start := time.Now()
+			res, err := runner.Run(ab, opts)
+			wall += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("%s/cores=%d: %w", ab, cores, err)
+			}
+			cycles += res.ExecCycles
+		}
+		if cores == 0 {
+			continue
+		}
+		r := CoresResult{
+			Cores:      cores,
+			WallMs:     float64(wall.Nanoseconds()) / 1e6,
+			ExecCycles: cycles,
+		}
+		if len(out) > 0 {
+			if cycles != out[0].ExecCycles {
+				return nil, fmt.Errorf("cores=%d simulated %d cycles, serial simulated %d: parallel run diverged",
+					cores, cycles, out[0].ExecCycles)
+			}
+			r.Speedup = round2(out[0].WallMs / r.WallMs)
+		} else {
+			r.Speedup = 1
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 func main() {
-	outPath := flag.String("out", "BENCH_PR4.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_PR8.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: 2 workloads × 2 policies, skip nothing else")
 	flag.Parse()
 
@@ -286,6 +360,7 @@ func main() {
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
+		HostCPUs:  runtime.NumCPU(),
 		Scale:     scale,
 		Baseline:  preBaseline,
 	}
@@ -317,6 +392,14 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Macro = macro
+
+	fmt.Fprintln(os.Stderr, "benchreport: running -sim-cores scaling table...")
+	simCores, err := coresSuite(scale, *short)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	rep.SimCores = simCores
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -51,6 +51,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write every job's metric snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of all jobs to this file")
 	faultProfile := flag.String("fault-profile", "off", "fault-injection profile: off|light|aggressive or k=v list")
+	simCores := flag.Int("sim-cores", 1, "engine workers per simulation (results are byte-identical for any value)")
 	server := flag.String("server", "", "sweepd base URL (e.g. http://127.0.0.1:8372): run the plan on a resident daemon instead of simulating locally")
 	flag.Parse()
 
@@ -61,16 +62,17 @@ func main() {
 	if *server != "" && *traceOut != "" {
 		log.Fatal("-trace-out requires local execution: results fetched from a daemon carry no span timeline")
 	}
-	if err := run(*out, *scale, *cus, *jobs, *resume, *quiet, *seed, prof, *metricsOut, *traceOut, *server); err != nil {
+	if err := run(*out, *scale, *cus, *jobs, *simCores, *resume, *quiet, *seed, prof, *metricsOut, *traceOut, *server); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(out string, scale, cus, jobs int, resume string, quiet bool, seed int64, prof fault.Profile, metricsOut, traceOut, server string) error {
+func run(out string, scale, cus, jobs, simCores int, resume string, quiet bool, seed int64, prof fault.Profile, metricsOut, traceOut, server string) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	o := runner.ExpOptions{Scale: workloads.Scale(scale), CUsPerGPU: cus, Seed: seed, Fault: prof}
+	o := runner.ExpOptions{Scale: workloads.Scale(scale), CUsPerGPU: cus, Seed: seed, Fault: prof,
+		SimCores: simCores}
 	start := time.Now()
 
 	if jobs <= 0 {

@@ -26,6 +26,7 @@ func main() {
 	scale := flag.Int("scale", int(workloads.ScaleSmall), "input scale factor")
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	simCores := flag.Int("sim-cores", 1, "engine workers per simulation (results are byte-identical for any value)")
 	metricsOut := flag.String("metrics-out", "", "write every job's metric snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of all jobs to this file")
 	flag.Parse()
@@ -34,7 +35,7 @@ func main() {
 		fmt.Print(runner.FormatAreaOverhead())
 		return
 	}
-	opts := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus}
+	opts := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus, SimCores: *simCores}
 	s := runner.NewSweep(runner.SweepConfig{Jobs: *jobs, Trace: *traceOut != ""})
 	defer func() {
 		if *metricsOut != "" {

@@ -44,7 +44,7 @@ func run(policy string) {
 		}
 		cfg.NewPolicy = func(int) core.Policy { return newPolicy() }
 	}
-	p := platform.New(cfg)
+	p, _ := platform.Build(cfg)
 
 	// Two ping-pong buffers striped across the four GPUs.
 	bufA := p.Space.AllocStriped(cells * 4)

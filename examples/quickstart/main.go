@@ -21,6 +21,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	metricsOut := flag.String("metrics-out", "", "write the adaptive run's metric snapshot as JSON to this file")
+	simCores := flag.Int("sim-cores", 1, "engine workers advancing partitions in parallel (results are byte-identical for any value)")
 	flag.Parse()
 
 	// --- 1. Compress single cache lines -----------------------------------
@@ -66,9 +67,10 @@ func main() {
 	fmt.Println("\nmatrix transpose on the simulated 4-GPU system:")
 	for _, policy := range []core.PolicyID{core.PolicyNone, core.PolicyAdaptive} {
 		m, err := runner.Run("MT", runner.Options{
-			Scale:  workloads.ScaleTiny,
-			Policy: policy,
-			Lambda: 6,
+			Scale:    workloads.ScaleTiny,
+			Policy:   policy,
+			Lambda:   6,
+			SimCores: *simCores,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -60,7 +60,7 @@ func main() {
 			}
 			cfg.NewPolicy = func(int) core.Policy { return newPolicy() }
 		}
-		p := platform.New(cfg)
+		p, _ := platform.Build(cfg)
 		if err := rp.Setup(p); err != nil {
 			log.Fatal(err)
 		}

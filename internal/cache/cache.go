@@ -78,7 +78,7 @@ type pendingWrite struct {
 // Cache is a set-associative, write-through, no-write-allocate cache.
 type Cache struct {
 	sim.ComponentBase
-	engine *sim.Engine
+	part   *sim.Partition
 	ticker *sim.Ticker
 	cfg    Config
 	space  *mem.Space
@@ -118,7 +118,7 @@ func (c *Cache) RegisterMetrics(reg *metrics.Registry, prefix string) {
 }
 
 // New builds a cache bound to the functional space.
-func New(name string, engine *sim.Engine, space *mem.Space, cfg Config) *Cache {
+func New(name string, part *sim.Partition, space *mem.Space, cfg Config) *Cache {
 	if cfg.LineSize == 0 {
 		cfg.LineSize = mem.LineSize
 	}
@@ -131,7 +131,7 @@ func New(name string, engine *sim.Engine, space *mem.Space, cfg Config) *Cache {
 	}
 	c := &Cache{
 		ComponentBase: sim.NewComponentBase(name),
-		engine:        engine,
+		part:          part,
 		cfg:           cfg,
 		space:         space,
 		numSets:       numSets,
@@ -143,7 +143,7 @@ func New(name string, engine *sim.Engine, space *mem.Space, cfg Config) *Cache {
 	}
 	c.Top = sim.NewPort(c, name+".Top", cfg.PortBufferBytes)
 	c.Bottom = sim.NewPort(c, name+".Bottom", cfg.PortBufferBytes)
-	c.ticker = sim.NewTicker(engine, c)
+	c.ticker = sim.NewTicker(part, c)
 	return c
 }
 
@@ -272,7 +272,7 @@ func (c *Cache) handleRead(now sim.Time, req *mem.ReadReq) bool {
 		// Forward without allocation (e.g. remote address at L1 → RDMA).
 		dst := c.Router(req.Addr)
 		fwd := mem.NewReadReq(c.Bottom, dst, req.Addr, req.N)
-		c.engine.AssignMsgID(fwd)
+		c.part.AssignMsgID(fwd)
 		if !c.Bottom.Send(now, fwd) {
 			return false
 		}
@@ -288,8 +288,8 @@ func (c *Cache) handleRead(now sim.Time, req *mem.ReadReq) bool {
 		c.Top.Retrieve(now)
 		data := c.space.Read(req.Addr, req.N)
 		rsp := mem.NewDataReady(c.Top, req.Src, req.ID, req.Addr, data)
-		c.engine.AssignMsgID(rsp)
-		c.engine.Schedule(hitRspEvent{
+		c.part.AssignMsgID(rsp)
+		c.part.Schedule(hitRspEvent{
 			EventBase: sim.NewEventBase(now+c.cfg.HitLatency, c),
 			rsp:       rsp,
 		})
@@ -309,7 +309,7 @@ func (c *Cache) handleRead(now sim.Time, req *mem.ReadReq) bool {
 	}
 	dst := c.Router(la)
 	fetch := mem.NewReadReq(c.Bottom, dst, la, c.cfg.LineSize)
-	c.engine.AssignMsgID(fetch)
+	c.part.AssignMsgID(fetch)
 	if !c.Bottom.Send(now, fetch) {
 		return false
 	}
@@ -326,7 +326,7 @@ func (c *Cache) handleWrite(now sim.Time, req *mem.WriteReq) bool {
 	// present (the line stays valid because data lives in the space).
 	dst := c.Router(req.Addr)
 	fwd := mem.NewWriteReq(c.Bottom, dst, req.Addr, req.Data)
-	c.engine.AssignMsgID(fwd)
+	c.part.AssignMsgID(fwd)
 	if !c.Bottom.Send(now, fwd) {
 		return false
 	}
@@ -345,7 +345,7 @@ func (c *Cache) processBottom(now sim.Time) bool {
 	case *mem.DataReady:
 		if orig, ok := c.passthrough[rsp.RspTo]; ok {
 			up := mem.NewDataReady(c.Top, orig.Src, orig.ID, orig.Addr, rsp.Data)
-			c.engine.AssignMsgID(up)
+			c.part.AssignMsgID(up)
 			if !c.Top.Send(now, up) {
 				return false
 			}
@@ -363,7 +363,7 @@ func (c *Cache) processBottom(now sim.Time) bool {
 			w := entry.waiters[0]
 			data := c.space.Read(w.Addr, w.N)
 			up := mem.NewDataReady(c.Top, w.Src, w.ID, w.Addr, data)
-			c.engine.AssignMsgID(up)
+			c.part.AssignMsgID(up)
 			if !c.Top.Send(now, up) {
 				return false
 			}
@@ -383,7 +383,7 @@ func (c *Cache) processBottom(now sim.Time) bool {
 			panic(fmt.Sprintf("%s: ack for unknown write %d", c.Name(), rsp.RspTo))
 		}
 		up := mem.NewWriteACK(c.Top, pw.orig.Src, pw.orig.ID, pw.orig.Addr)
-		c.engine.AssignMsgID(up)
+		c.part.AssignMsgID(up)
 		if !c.Top.Send(now, up) {
 			return false
 		}

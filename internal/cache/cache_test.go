@@ -61,17 +61,18 @@ type bench struct {
 func newBench(t *testing.T, cfg Config) *bench {
 	t.Helper()
 	engine := sim.NewEngine()
+	part := engine.Partition(0)
 	space := mem.NewSpace(4)
 	dcfg := mem.DefaultDRAMConfig()
 	dcfg.AccessLatency = 100
-	dram := mem.NewDRAM("DRAM", engine, space, dcfg)
-	c := New("L1", engine, space, cfg)
+	dram := mem.NewDRAM("DRAM", part, space, dcfg)
+	c := New("L1", part, space, cfg)
 	cu := newCollector("CU")
 
-	top := sim.NewDirectConnection("top", engine, 1)
+	top := sim.NewDirectConnection("top", part, 1)
 	top.Plug(cu.port)
 	top.Plug(c.Top)
-	bottom := sim.NewDirectConnection("bottom", engine, 1)
+	bottom := sim.NewDirectConnection("bottom", part, 1)
 	bottom.Plug(c.Bottom)
 	bottom.Plug(dram.Top)
 	c.Router = func(uint64) *sim.Port { return dram.Top }
@@ -332,21 +333,22 @@ func TestCacheMSHRLimitEventuallyDrains(t *testing.T) {
 // through both levels.
 func TestTwoLevelCacheStack(t *testing.T) {
 	engine := sim.NewEngine()
+	part := engine.Partition(0)
 	space := mem.NewSpace(4)
 	dcfg := mem.DefaultDRAMConfig()
 	dcfg.AccessLatency = 200
-	dram := mem.NewDRAM("DRAM", engine, space, dcfg)
-	l2 := New("L2", engine, space, L2Config())
-	l1 := New("L1", engine, space, L1Config())
+	dram := mem.NewDRAM("DRAM", part, space, dcfg)
+	l2 := New("L2", part, space, L2Config())
+	l1 := New("L1", part, space, L1Config())
 	cu := newCollector("CU")
 
-	top := sim.NewDirectConnection("top", engine, 1)
+	top := sim.NewDirectConnection("top", part, 1)
 	top.Plug(cu.port)
 	top.Plug(l1.Top)
-	mid := sim.NewDirectConnection("mid", engine, 1)
+	mid := sim.NewDirectConnection("mid", part, 1)
 	mid.Plug(l1.Bottom)
 	mid.Plug(l2.Top)
-	bot := sim.NewDirectConnection("bot", engine, 1)
+	bot := sim.NewDirectConnection("bot", part, 1)
 	bot.Plug(l2.Bottom)
 	bot.Plug(dram.Top)
 	l1.Router = func(uint64) *sim.Port { return l2.Top }

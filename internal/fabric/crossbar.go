@@ -15,7 +15,10 @@ import (
 // compression gains across topologies quantifies how much of the benefit
 // comes from relieving bus contention.
 type Fabric interface {
-	sim.Connection
+	// Attach connects an endpoint port, owned by a component living in
+	// partition owner, to the fabric. Must be called before the simulation
+	// starts; it wires the port's connection and the cross-partition links.
+	Attach(p *sim.Port, owner *sim.Partition)
 	// TotalBytes is everything delivered, headers and control included.
 	TotalBytes() uint64
 	// TotalMessages is the number of messages delivered.
@@ -37,13 +40,14 @@ const (
 	TopologyCrossbar Topology = "crossbar" // extension: full crossbar
 )
 
-// New builds the fabric selected by cfg.Topology (default: the paper's bus).
-func New(name string, engine *sim.Engine, cfg Config) Fabric {
+// New builds the fabric selected by cfg.Topology (default: the paper's bus)
+// as a component of the hub partition part.
+func New(name string, part *sim.Partition, cfg Config) Fabric {
 	switch cfg.Topology {
 	case TopologyCrossbar:
-		return NewCrossbar(name, engine, cfg)
+		return NewCrossbar(name, part, cfg)
 	case TopologyBus, "":
-		return NewBus(name, engine, cfg)
+		return NewBus(name, part, cfg)
 	default:
 		panic(fmt.Sprintf("fabric: unknown topology %q", cfg.Topology))
 	}
@@ -55,77 +59,25 @@ func New(name string, engine *sim.Engine, cfg Config) Fabric {
 // output link and its destination's input link for the same integral
 // number of cycles the bus would charge.
 type Crossbar struct {
-	sim.ComponentBase
-	engine *sim.Engine
-	ticker *sim.Ticker
-	cfg    Config
-
-	endpoints []*endpoint
-	byPort    map[*sim.Port]*endpoint
-	outBusy   map[*endpoint]sim.Time
-	inBusy    map[*sim.Port]sim.Time
-	nextRR    int
+	hub
+	outBusy map[*endpoint]sim.Time
+	inBusy  map[*sim.Port]sim.Time
+	nextRR  int
 
 	messagesSent uint64
 	bytesSent    uint64
 	busyCycles   uint64 // summed over output links
 }
 
-// NewCrossbar creates the switch.
-func NewCrossbar(name string, engine *sim.Engine, cfg Config) *Crossbar {
-	if cfg.BytesPerCycle <= 0 {
-		panic("fabric: BytesPerCycle must be positive")
-	}
+// NewCrossbar creates the switch on the hub partition part.
+func NewCrossbar(name string, part *sim.Partition, cfg Config) *Crossbar {
 	c := &Crossbar{
-		ComponentBase: sim.NewComponentBase(name),
-		engine:        engine,
-		cfg:           cfg,
-		byPort:        make(map[*sim.Port]*endpoint),
-		outBusy:       make(map[*endpoint]sim.Time),
-		inBusy:        make(map[*sim.Port]sim.Time),
+		hub:     newHub(name, part, cfg),
+		outBusy: make(map[*endpoint]sim.Time),
+		inBusy:  make(map[*sim.Port]sim.Time),
 	}
-	c.ticker = sim.NewTicker(engine, c)
+	c.arb = c
 	return c
-}
-
-// Plug attaches an endpoint port.
-// Engine returns the event engine driving the crossbar.
-func (c *Crossbar) Engine() *sim.Engine { return c.engine }
-
-func (c *Crossbar) Plug(p *sim.Port) {
-	ep := &endpoint{port: p}
-	c.endpoints = append(c.endpoints, ep)
-	c.byPort[p] = ep
-	p.SetConnection(c)
-}
-
-// Send implements sim.Connection.
-func (c *Crossbar) Send(now sim.Time, m sim.Msg) bool {
-	src := m.Meta().Src
-	ep, ok := c.byPort[src]
-	if !ok {
-		panic(fmt.Sprintf("fabric %s: source port %s not plugged in", c.Name(), src.Name()))
-	}
-	if _, ok := c.byPort[m.Meta().Dst]; !ok {
-		panic(fmt.Sprintf("fabric %s: destination port %s not plugged in", c.Name(), m.Meta().Dst.Name()))
-	}
-	n := m.Meta().Bytes
-	if n <= 0 {
-		panic(fmt.Sprintf("fabric %s: message %d has no size", c.Name(), m.Meta().ID))
-	}
-	if ep.usedBytes+n > c.cfg.OutBufferBytes {
-		return false
-	}
-	m.Meta().SendTime = now
-	ep.queue = append(ep.queue, m)
-	ep.usedBytes += n
-	c.ticker.TickNow(now)
-	return true
-}
-
-// NotifyBufferFree implements sim.Connection.
-func (c *Crossbar) NotifyBufferFree(now sim.Time, _ *sim.Port) {
-	c.ticker.TickNow(now)
 }
 
 // xbarDeliverEvent completes one transfer.
@@ -135,10 +87,18 @@ type xbarDeliverEvent struct {
 	start sim.Time
 }
 
-// Handle implements sim.Handler.
+// Handle implements sim.Handler for the hub-side events.
 func (c *Crossbar) Handle(e sim.Event) error {
 	switch evt := e.(type) {
 	case *sim.TickEvent:
+		c.schedule(e.Time())
+		return nil
+	case linkIngressEvent:
+		evt.ep.queue = append(evt.ep.queue, evt.msg)
+		c.schedule(e.Time())
+		return nil
+	case inCreditEvent:
+		evt.ep.refund(evt.bytes)
 		c.schedule(e.Time())
 		return nil
 	case xbarDeliverEvent:
@@ -154,11 +114,11 @@ func (c *Crossbar) Handle(e sim.Event) error {
 				Kind:  fmt.Sprintf("%T", evt.msg),
 			})
 		}
-		deliverFaulty(c.engine, c, c.cfg.Fault, e.Time(), evt.msg)
+		c.finish(e.Time(), evt.msg)
 		c.schedule(e.Time())
 		return nil
 	case faultDeliverEvent:
-		redeliver(c.engine, c, e.Time(), evt.msg)
+		c.handOff(e.Time(), evt.msg)
 		return nil
 	default:
 		return fmt.Errorf("fabric %s: unexpected event %T", c.Name(), e)
@@ -185,25 +145,22 @@ func (c *Crossbar) schedule(now sim.Time) {
 			if c.outBusy[ep] > now || c.inBusy[dst] > now {
 				continue
 			}
-			if !dst.CanAccept(msg.Meta().Bytes) {
+			bytes := msg.Meta().Bytes
+			if !c.byPort[dst].reserve(bytes) {
 				continue
 			}
 			ep.queue = ep.queue[1:]
-			ep.usedBytes -= msg.Meta().Bytes
-			cycles := sim.Time((msg.Meta().Bytes + c.cfg.BytesPerCycle - 1) / c.cfg.BytesPerCycle)
-			if cycles == 0 {
-				cycles = 1
-			}
+			cycles := c.cycles(bytes)
 			done := now + cycles
 			c.outBusy[ep] = done
 			c.inBusy[dst] = done
 			c.busyCycles += uint64(cycles)
-			c.engine.Schedule(xbarDeliverEvent{
+			c.part.Schedule(xbarDeliverEvent{
 				EventBase: sim.NewEventBase(done, c),
 				msg:       msg,
 				start:     now,
 			})
-			ep.port.Component().NotifyPortFree(now, ep.port)
+			c.outCredit(now, ep, bytes)
 			c.nextRR = (c.nextRR + i + 1) % n
 			started = true
 			break
@@ -212,7 +169,8 @@ func (c *Crossbar) schedule(now sim.Time) {
 }
 
 // RegisterMetrics implements Fabric. The links gauge reads len(endpoints)
-// lazily, so registering before Plug still reports the final endpoint count.
+// lazily, so registering before Attach still reports the final endpoint
+// count.
 func (c *Crossbar) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.CounterFunc(prefix+"/bytes", func() uint64 { return c.bytesSent })
 	reg.CounterFunc(prefix+"/messages", func() uint64 { return c.messagesSent })

@@ -9,19 +9,22 @@ import (
 func setupXbar(t *testing.T, nNodes int, cfg Config, drain bool) (*sim.Engine, *Crossbar, []*node) {
 	t.Helper()
 	engine := sim.NewEngine()
-	xbar := NewCrossbar("xbar", engine, cfg)
+	hub := engine.Partition(0)
+	xbar := NewCrossbar("xbar", hub, cfg)
 	nodes := make([]*node, nNodes)
 	for i := range nodes {
-		nodes[i] = newNode("n"+string(rune('0'+i)), engine, 4*1024, drain)
-		xbar.Plug(nodes[i].port)
+		nodes[i] = newNode("n"+string(rune('0'+i)), 4*1024, drain)
+		xbar.Attach(nodes[i].port, hub)
 	}
 	return engine, xbar, nodes
 }
 
 func TestCrossbarDisjointPairsTransferConcurrently(t *testing.T) {
-	engine, _, nodes := setupXbar(t, 4, DefaultConfig(), true)
+	cfg := DefaultConfig()
+	engine, _, nodes := setupXbar(t, 4, cfg, true)
+	L := lat(cfg)
 	// 0→1 and 2→3 are disjoint: both 100-byte (5-cycle) messages must
-	// finish at cycle 5, which a shared bus cannot do.
+	// finish together after the two wire hops, which a shared bus cannot do.
 	nodes[0].port.Send(0, pkt(nodes[1].port, 100, 1))
 	nodes[2].port.Send(0, pkt(nodes[3].port, 100, 2))
 	if err := engine.Run(); err != nil {
@@ -30,9 +33,9 @@ func TestCrossbarDisjointPairsTransferConcurrently(t *testing.T) {
 	if len(nodes[1].received) != 1 || len(nodes[3].received) != 1 {
 		t.Fatal("messages lost")
 	}
-	if nodes[1].times[0] != 5 || nodes[3].times[0] != 5 {
-		t.Errorf("delivery times %d/%d, want concurrent 5/5",
-			nodes[1].times[0], nodes[3].times[0])
+	if nodes[1].times[0] != 2*L+5 || nodes[3].times[0] != 2*L+5 {
+		t.Errorf("delivery times %d/%d, want concurrent %d/%d",
+			nodes[1].times[0], nodes[3].times[0], 2*L+5, 2*L+5)
 	}
 }
 
@@ -51,8 +54,8 @@ func TestCrossbarSerializesSharedDestination(t *testing.T) {
 	if a == b {
 		t.Errorf("shared-destination transfers overlapped (%d, %d)", a, b)
 	}
-	if b < 10 {
-		t.Errorf("second delivery at %d, want ≥10 (two serialized 5-cycle transfers)", b)
+	if b < a+5 {
+		t.Errorf("second delivery at %d after first at %d, want ≥5 cycles apart (serialized 5-cycle transfers)", b, a)
 	}
 }
 
@@ -66,8 +69,8 @@ func TestCrossbarSerializesSharedSource(t *testing.T) {
 	if len(nodes[1].received) != 1 || len(nodes[2].received) != 1 {
 		t.Fatal("messages lost")
 	}
-	if nodes[2].times[0] < 10 {
-		t.Errorf("second transfer from one source at %d, want ≥10", nodes[2].times[0])
+	if nodes[2].times[0] < nodes[1].times[0]+5 {
+		t.Errorf("second transfer from one source at %d, first at %d, want ≥5 cycles apart", nodes[2].times[0], nodes[1].times[0])
 	}
 }
 
@@ -76,11 +79,12 @@ func TestCrossbarBeatsBusUnderAllToAllLoad(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Topology = topology
 		engine := sim.NewEngine()
-		f := New("f", engine, cfg)
+		hub := engine.Partition(0)
+		f := New("f", hub, cfg)
 		nodes := make([]*node, 4)
 		for i := range nodes {
-			nodes[i] = newNode("n"+string(rune('0'+i)), engine, 64*1024, true)
-			f.Plug(nodes[i].port)
+			nodes[i] = newNode("n"+string(rune('0'+i)), 64*1024, true)
+			f.Attach(nodes[i].port, hub)
 		}
 		for src := 0; src < 4; src++ {
 			for dst := 0; dst < 4; dst++ {
@@ -150,20 +154,23 @@ func TestCrossbarUtilization(t *testing.T) {
 	if err := engine.Run(); err != nil {
 		t.Fatal(err)
 	}
-	u := xbar.Utilization(engine.Now())
-	if u < 0.45 || u > 0.55 {
-		t.Errorf("utilization = %v, want ≈0.5 (one of two links busy)", u)
+	if xbar.busyCycles != 10 {
+		t.Errorf("busyCycles = %d, want 10 for a single 200-byte transfer", xbar.busyCycles)
+	}
+	want := float64(xbar.busyCycles) / float64(engine.Now()) / 2
+	if u := xbar.Utilization(engine.Now()); u != want {
+		t.Errorf("utilization = %v, want busy/elapsed/links = %v", u, want)
 	}
 }
 
 func TestNewSelectsTopology(t *testing.T) {
-	engine := sim.NewEngine()
-	if _, ok := New("f", engine, DefaultConfig()).(*Bus); !ok {
+	hub := sim.NewEngine().Partition(0)
+	if _, ok := New("f", hub, DefaultConfig()).(*Bus); !ok {
 		t.Error("default topology is not the paper's bus")
 	}
 	cfg := DefaultConfig()
 	cfg.Topology = TopologyCrossbar
-	if _, ok := New("f", engine, cfg).(*Crossbar); !ok {
+	if _, ok := New("f", hub, cfg).(*Crossbar); !ok {
 		t.Error("crossbar topology not selected")
 	}
 	defer func() {
@@ -173,5 +180,5 @@ func TestNewSelectsTopology(t *testing.T) {
 	}()
 	bad := DefaultConfig()
 	bad.Topology = "torus"
-	New("f", engine, bad)
+	New("f", hub, bad)
 }

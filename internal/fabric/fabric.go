@@ -4,6 +4,12 @@
 // occupying an integral number of cycles. Endpoints (the CPU and the four
 // GPUs) arbitrate round-robin and own 4 KB output and input buffers so a
 // stalled endpoint does not block the bus.
+//
+// The fabric is the seam between simulation partitions: arbitration runs as
+// a component of the hub partition, every attached endpoint keeps a small
+// link shim in its own partition, and the LinkLatency separating the two is
+// the explicit minimum latency from which the parallel engine derives its
+// conservative lookahead window.
 package fabric
 
 import (
@@ -21,6 +27,11 @@ type Config struct {
 	BytesPerCycle int
 	// OutBufferBytes bounds each endpoint's output queue (paper: 4 KB).
 	OutBufferBytes int
+	// LinkLatency is the one-way wire latency, in cycles, between an
+	// endpoint and the fabric arbiter. It is declared at construction and
+	// doubles as the conservative lookahead of the parallel engine, so it
+	// must be at least 1 (New normalizes smaller values up).
+	LinkLatency sim.Time
 	// Topology selects the implementation: TopologyBus (paper, default)
 	// or TopologyCrossbar (extension).
 	Topology Topology
@@ -36,25 +47,13 @@ type Config struct {
 
 // DefaultConfig returns the Table VII fabric (shared bus).
 func DefaultConfig() Config {
-	return Config{BytesPerCycle: 20, OutBufferBytes: 4 * 1024, Topology: TopologyBus}
+	return Config{BytesPerCycle: 20, OutBufferBytes: 4 * 1024, LinkLatency: 2, Topology: TopologyBus}
 }
 
-type endpoint struct {
-	port      *sim.Port
-	queue     []sim.Msg
-	usedBytes int
-}
-
-// Bus is the shared fabric. It implements sim.Connection for the plugged
-// endpoint ports.
+// Bus is the shared fabric arbiter; it lives in the hub partition and talks
+// to its endpoints through per-attachment links.
 type Bus struct {
-	sim.ComponentBase
-	engine *sim.Engine
-	ticker *sim.Ticker
-	cfg    Config
-
-	endpoints     []*endpoint
-	byPort        map[*sim.Port]*endpoint
+	hub
 	nextRR        int
 	busyUntil     sim.Time
 	inFlight      sim.Msg
@@ -66,62 +65,11 @@ type Bus struct {
 	BusyCycles   uint64
 }
 
-// NewBus creates the fabric.
-func NewBus(name string, engine *sim.Engine, cfg Config) *Bus {
-	if cfg.BytesPerCycle <= 0 {
-		panic("fabric: BytesPerCycle must be positive")
-	}
-	b := &Bus{
-		ComponentBase: sim.NewComponentBase(name),
-		engine:        engine,
-		cfg:           cfg,
-		byPort:        make(map[*sim.Port]*endpoint),
-	}
-	b.ticker = sim.NewTicker(engine, b)
+// NewBus creates the fabric on the hub partition part.
+func NewBus(name string, part *sim.Partition, cfg Config) *Bus {
+	b := &Bus{hub: newHub(name, part, cfg)}
+	b.arb = b
 	return b
-}
-
-// Engine returns the event engine driving the bus.
-func (b *Bus) Engine() *sim.Engine { return b.engine }
-
-// Plug attaches an endpoint port to the bus.
-func (b *Bus) Plug(p *sim.Port) {
-	ep := &endpoint{port: p}
-	b.endpoints = append(b.endpoints, ep)
-	b.byPort[p] = ep
-	p.SetConnection(b)
-}
-
-// Send implements sim.Connection: enqueue into the source endpoint's output
-// buffer, or report false when the buffer is full (the sender retries after
-// NotifyPortFree).
-func (b *Bus) Send(now sim.Time, m sim.Msg) bool {
-	src := m.Meta().Src
-	ep, ok := b.byPort[src]
-	if !ok {
-		panic(fmt.Sprintf("fabric %s: source port %s not plugged in", b.Name(), src.Name()))
-	}
-	if _, ok := b.byPort[m.Meta().Dst]; !ok {
-		panic(fmt.Sprintf("fabric %s: destination port %s not plugged in", b.Name(), m.Meta().Dst.Name()))
-	}
-	n := m.Meta().Bytes
-	if n <= 0 {
-		panic(fmt.Sprintf("fabric %s: message %d has no size", b.Name(), m.Meta().ID))
-	}
-	if ep.usedBytes+n > b.cfg.OutBufferBytes {
-		return false
-	}
-	m.Meta().SendTime = now
-	ep.queue = append(ep.queue, m)
-	ep.usedBytes += n
-	b.ticker.TickNow(now)
-	return true
-}
-
-// NotifyBufferFree implements sim.Connection: a destination input buffer
-// freed up, so a head-of-line-blocked transfer may now proceed.
-func (b *Bus) NotifyBufferFree(now sim.Time, _ *sim.Port) {
-	b.ticker.TickNow(now)
 }
 
 // transferDoneEvent completes an in-flight transmission.
@@ -129,62 +77,25 @@ type transferDoneEvent struct {
 	sim.EventBase
 }
 
-// faultDeliverEvent finishes a fault-delayed delivery. It is shared by the
-// bus and the crossbar; the handler is whichever fabric scheduled it.
-type faultDeliverEvent struct {
-	sim.EventBase
-	msg sim.Msg
-}
-
-// redeliver lands a delayed message. Arriving this late, the destination's
-// CanAccept reservation from arbitration time no longer holds, so the
-// delivery is re-checked and pushed back a few cycles while the input
-// buffer is full.
-func redeliver(engine *sim.Engine, h sim.Handler, now sim.Time, msg sim.Msg) {
-	if !msg.Meta().Dst.CanAccept(msg.Meta().Bytes) {
-		engine.Schedule(faultDeliverEvent{
-			EventBase: sim.NewEventBase(now+8, h),
-			msg:       msg,
-		})
-		return
-	}
-	msg.Meta().Dst.Deliver(now, msg)
-}
-
-// deliverFaulty routes one completed transfer through the injector (when
-// configured) and delivers what survives. It reports whether the message
-// was delivered immediately (false: dropped or postponed).
-func deliverFaulty(engine *sim.Engine, h sim.Handler, inj *fault.Injector, now sim.Time, msg sim.Msg) bool {
-	if inj == nil {
-		msg.Meta().Dst.Deliver(now, msg)
-		return true
-	}
-	out := inj.Apply(msg)
-	if out.Msg == nil {
-		return false // dropped; the RDMA guard's timeout recovers
-	}
-	if out.Delay > 0 {
-		engine.Schedule(faultDeliverEvent{
-			EventBase: sim.NewEventBase(now+out.Delay, h),
-			msg:       out.Msg,
-		})
-		return false
-	}
-	out.Msg.Meta().Dst.Deliver(now, out.Msg)
-	return true
-}
-
-// Handle implements sim.Handler.
+// Handle implements sim.Handler for the hub-side events.
 func (b *Bus) Handle(e sim.Event) error {
 	switch evt := e.(type) {
 	case *sim.TickEvent:
+		b.arbitrate(e.Time())
+		return nil
+	case linkIngressEvent:
+		evt.ep.queue = append(evt.ep.queue, evt.msg)
+		b.arbitrate(e.Time())
+		return nil
+	case inCreditEvent:
+		evt.ep.refund(evt.bytes)
 		b.arbitrate(e.Time())
 		return nil
 	case transferDoneEvent:
 		b.completeTransfer(e.Time())
 		return nil
 	case faultDeliverEvent:
-		redeliver(b.engine, b, e.Time(), evt.msg)
+		b.handOff(e.Time(), evt.msg)
 		return nil
 	default:
 		return fmt.Errorf("fabric %s: unexpected event %T", b.Name(), e)
@@ -193,7 +104,7 @@ func (b *Bus) Handle(e sim.Event) error {
 
 // arbitrate starts the next transmission if the bus is idle: scan endpoints
 // round-robin and pick the first whose head message fits in its
-// destination's input buffer.
+// destination's input credit.
 func (b *Bus) arbitrate(now sim.Time) {
 	if b.inFlight != nil || len(b.endpoints) == 0 {
 		return
@@ -205,24 +116,21 @@ func (b *Bus) arbitrate(now sim.Time) {
 			continue
 		}
 		msg := ep.queue[0]
-		if !msg.Meta().Dst.CanAccept(msg.Meta().Bytes) {
+		bytes := msg.Meta().Bytes
+		if !b.byPort[msg.Meta().Dst].reserve(bytes) {
 			continue // head-of-line blocked; try another endpoint
 		}
 		// Claim the bus.
 		ep.queue = ep.queue[1:]
-		ep.usedBytes -= msg.Meta().Bytes
 		b.nextRR = (b.nextRR + i + 1) % n
 		b.inFlight = msg
 		b.inFlightStart = now
-		cycles := sim.Time((msg.Meta().Bytes + b.cfg.BytesPerCycle - 1) / b.cfg.BytesPerCycle)
-		if cycles == 0 {
-			cycles = 1
-		}
+		cycles := b.cycles(bytes)
 		b.busyUntil = now + cycles
 		b.BusyCycles += uint64(cycles)
-		b.engine.Schedule(transferDoneEvent{EventBase: sim.NewEventBase(b.busyUntil, b)})
-		// Wake the sender: output space freed.
-		ep.port.Component().NotifyPortFree(now, ep.port)
+		b.part.Schedule(transferDoneEvent{EventBase: sim.NewEventBase(b.busyUntil, b)})
+		// Output space freed: credit the sender's link.
+		b.outCredit(now, ep, bytes)
 		return
 	}
 }
@@ -242,7 +150,7 @@ func (b *Bus) completeTransfer(now sim.Time) {
 			Kind:  fmt.Sprintf("%T", msg),
 		})
 	}
-	deliverFaulty(b.engine, b, b.cfg.Fault, now, msg)
+	b.finish(now, msg)
 	b.arbitrate(now)
 }
 

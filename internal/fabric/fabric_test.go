@@ -9,7 +9,6 @@ import (
 type node struct {
 	sim.ComponentBase
 	port     *sim.Port
-	engine   *sim.Engine
 	received []sim.Msg
 	times    []sim.Time
 	freed    int
@@ -17,8 +16,8 @@ type node struct {
 	drain bool
 }
 
-func newNode(name string, engine *sim.Engine, bufBytes int, drain bool) *node {
-	n := &node{ComponentBase: sim.NewComponentBase(name), engine: engine, drain: drain}
+func newNode(name string, bufBytes int, drain bool) *node {
+	n := &node{ComponentBase: sim.NewComponentBase(name), drain: drain}
 	n.port = sim.NewPort(n, name+".port", bufBytes)
 	return n
 }
@@ -68,19 +67,32 @@ func pkt(dst *sim.Port, bytes, tag int) *packet {
 func setup(t *testing.T, nNodes int, cfg Config, drain bool) (*sim.Engine, *Bus, []*node) {
 	t.Helper()
 	engine := sim.NewEngine()
-	bus := NewBus("bus", engine, cfg)
+	hub := engine.Partition(0)
+	bus := NewBus("bus", hub, cfg)
 	nodes := make([]*node, nNodes)
 	for i := range nodes {
-		nodes[i] = newNode("n"+string(rune('0'+i)), engine, 4*1024, drain)
-		bus.Plug(nodes[i].port)
+		nodes[i] = newNode("n"+string(rune('0'+i)), 4*1024, drain)
+		bus.Attach(nodes[i].port, hub)
 	}
 	return engine, bus, nodes
 }
 
+// lat returns the wire latency the tests must account for on each hop
+// (endpoint→arbiter and arbiter→endpoint).
+func lat(cfg Config) sim.Time {
+	if cfg.LinkLatency <= 0 {
+		return 1
+	}
+	return cfg.LinkLatency
+}
+
 func TestBusTransfersTakeIntegralCycles(t *testing.T) {
-	engine, bus, nodes := setup(t, 2, DefaultConfig(), true)
+	cfg := DefaultConfig()
+	engine, bus, nodes := setup(t, 2, cfg, true)
+	L := lat(cfg)
 	// Paper's example: a 62-byte message on a 20 B/cycle bus takes 4
-	// cycles; the next message starts at cycle 5.
+	// cycles; the next message starts at cycle 5. Each message additionally
+	// crosses the ingress and egress wire, one LinkLatency each way.
 	m1 := pkt(nodes[1].port, 62, 1)
 	m2 := pkt(nodes[1].port, 20, 2)
 	nodes[0].port.Send(0, m1)
@@ -91,11 +103,11 @@ func TestBusTransfersTakeIntegralCycles(t *testing.T) {
 	if len(nodes[1].received) != 2 {
 		t.Fatalf("delivered %d messages", len(nodes[1].received))
 	}
-	if nodes[1].times[0] != 4 {
-		t.Errorf("first message delivered at %d, want 4", nodes[1].times[0])
+	if nodes[1].times[0] != 2*L+4 {
+		t.Errorf("first message delivered at %d, want %d", nodes[1].times[0], 2*L+4)
 	}
-	if nodes[1].times[1] != 5 {
-		t.Errorf("second message delivered at %d, want 5 (starts cycle 5)", nodes[1].times[1])
+	if nodes[1].times[1] != 2*L+5 {
+		t.Errorf("second message delivered at %d, want %d (starts one bus cycle later)", nodes[1].times[1], 2*L+5)
 	}
 	if bus.MessagesSent != 2 || bus.BytesSent != 82 {
 		t.Errorf("stats = %d msgs / %d bytes", bus.MessagesSent, bus.BytesSent)
@@ -176,13 +188,14 @@ func TestBusOutputBufferBackpressure(t *testing.T) {
 func TestBusHeadOfLineSkipsBlockedDestination(t *testing.T) {
 	cfg := DefaultConfig()
 	engine := sim.NewEngine()
-	bus := NewBus("bus", engine, cfg)
-	sender := newNode("s", engine, 4096, true)
-	blocked := newNode("b", engine, 64, false) // tiny input buffer, no drain
-	open := newNode("o", engine, 4096, true)
-	other := newNode("x", engine, 4096, true)
+	hub := engine.Partition(0)
+	bus := NewBus("bus", hub, cfg)
+	sender := newNode("s", 4096, true)
+	blocked := newNode("b", 64, false) // tiny input buffer, no drain
+	open := newNode("o", 4096, true)
+	other := newNode("x", 4096, true)
 	for _, n := range []*node{sender, blocked, open, other} {
-		bus.Plug(n.port)
+		bus.Attach(n.port, hub)
 	}
 	// Fill blocked's input buffer with one message, then queue another for
 	// it, then one for the open node from a different endpoint.
@@ -215,9 +228,12 @@ func TestBusUtilization(t *testing.T) {
 	if err := engine.Run(); err != nil {
 		t.Fatal(err)
 	}
-	u := bus.Utilization(engine.Now())
-	if u <= 0.9 || u > 1.0 {
-		t.Errorf("utilization = %v for a saturating transfer", u)
+	if bus.BusyCycles != 10 {
+		t.Errorf("BusyCycles = %d, want 10 for a single 200-byte transfer", bus.BusyCycles)
+	}
+	want := float64(bus.BusyCycles) / float64(engine.Now())
+	if u := bus.Utilization(engine.Now()); u != want {
+		t.Errorf("utilization = %v, want busy/elapsed = %v", u, want)
 	}
 }
 
@@ -232,8 +248,8 @@ func TestBusZeroSizeMessagePanics(t *testing.T) {
 }
 
 func TestBusUnpluggedPanics(t *testing.T) {
-	engine, _, nodes := setup(t, 2, DefaultConfig(), true)
-	stranger := newNode("z", engine, 0, true)
+	_, _, nodes := setup(t, 2, DefaultConfig(), true)
+	stranger := newNode("z", 0, true)
 	defer func() {
 		if recover() == nil {
 			t.Error("unplugged destination did not panic")
@@ -243,11 +259,16 @@ func TestBusUnpluggedPanics(t *testing.T) {
 }
 
 func TestBusAccessors(t *testing.T) {
-	engine, bus, nodes := setup(t, 2, DefaultConfig(), true)
+	cfg := DefaultConfig()
+	engine, bus, nodes := setup(t, 2, cfg, true)
 	if bus.QueuedMessages() != 0 {
 		t.Error("fresh bus has queued messages")
 	}
 	nodes[0].port.Send(0, pkt(nodes[1].port, 40, 1))
+	// The message reaches the arbiter once it crosses the ingress wire.
+	if err := engine.RunUntil(lat(cfg)); err != nil {
+		t.Fatal(err)
+	}
 	if bus.QueuedMessages() != 1 {
 		t.Errorf("queued = %d, want 1", bus.QueuedMessages())
 	}
@@ -269,12 +290,13 @@ func TestBusAccessors(t *testing.T) {
 func TestCrossbarQueuedMessages(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Topology = TopologyCrossbar
-	engine, _, _ := setup(t, 1, cfg, true)
-	xbar := NewCrossbar("x", engine, cfg)
-	a := newNode("a", engine, 4096, true)
-	b := newNode("b", engine, 64, false) // blocked destination
-	xbar.Plug(a.port)
-	xbar.Plug(b.port)
+	engine := sim.NewEngine()
+	hub := engine.Partition(0)
+	xbar := NewCrossbar("x", hub, cfg)
+	a := newNode("a", 4096, true)
+	b := newNode("b", 64, false) // blocked destination
+	xbar.Attach(a.port, hub)
+	xbar.Attach(b.port, hub)
 	a.port.Send(0, pkt(b.port, 64, 1))
 	a.port.Send(0, pkt(b.port, 64, 2))
 	if err := engine.Run(); err != nil {

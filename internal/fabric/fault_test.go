@@ -126,21 +126,23 @@ func TestBusFaultDelayedDeliveryRespectsBackpressure(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Fault = fault.NewInjector(fault.Profile{DelayRate: 1, DelayCycles: 4}, 1)
 	engine := sim.NewEngine()
-	bus := NewBus("bus", engine, cfg)
-	src := newNode("src", engine, 4*1024, true)
-	// 24-byte input buffer, not drained: the control packet fills it before
-	// the delayed injectable arrives.
-	dst := newNode("dst", engine, 24, false)
-	bus.Plug(src.port)
-	bus.Plug(dst.port)
+	hub := engine.Partition(0)
+	bus := NewBus("bus", hub, cfg)
+	src := newNode("src", 4*1024, true)
+	// 24-byte input buffer, not drained: the delayed injectable holds its
+	// credit reservation, so the control packet stays queued behind it until
+	// the receiver drains.
+	dst := newNode("dst", 24, false)
+	bus.Attach(src.port, hub)
+	bus.Attach(dst.port, hub)
 
 	src.port.Send(0, ipkt(dst.port, make([]byte, 20))) // delayed by 4
-	src.port.Send(0, pkt(dst.port, 24, 1))             // fills the buffer first
-	if err := engine.RunUntil(40); err != nil {
+	src.port.Send(0, pkt(dst.port, 24, 1))             // blocked on input credit
+	if err := engine.RunUntil(60); err != nil {
 		t.Fatal(err)
 	}
 	if got := dst.port.Buffered(); got != 1 {
-		t.Fatalf("%d messages buffered at t=40, want 1 (the control packet)", got)
+		t.Fatalf("%d messages buffered mid-run, want 1 (the delayed injectable)", got)
 	}
 	dst.drainAll(engine.Now())
 	if err := engine.Run(); err != nil {
@@ -158,11 +160,12 @@ func TestCrossbarFaultInjection(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Fault = fault.NewInjector(fault.Profile{DropRate: 1}, 1)
 	engine := sim.NewEngine()
-	xbar := NewCrossbar("xbar", engine, cfg)
-	a := newNode("a", engine, 4*1024, true)
-	b := newNode("b", engine, 4*1024, true)
-	xbar.Plug(a.port)
-	xbar.Plug(b.port)
+	hub := engine.Partition(0)
+	xbar := NewCrossbar("xbar", hub, cfg)
+	a := newNode("a", 4*1024, true)
+	b := newNode("b", 4*1024, true)
+	xbar.Attach(a.port, hub)
+	xbar.Attach(b.port, hub)
 
 	a.port.Send(0, ipkt(b.port, make([]byte, 20)))
 	a.port.Send(0, pkt(b.port, 20, 1))

@@ -50,7 +50,7 @@ func (wg *wgInstance) complete() bool {
 // GPU's SIMD scheduler does.
 type CU struct {
 	sim.ComponentBase
-	engine *sim.Engine
+	part   *sim.Partition
 	ticker *sim.Ticker
 	cfg    CUConfig
 
@@ -85,7 +85,7 @@ func (c *CU) RegisterMetrics(reg *metrics.Registry, prefix string) {
 }
 
 // NewCU builds a compute unit.
-func NewCU(name string, engine *sim.Engine, cfg CUConfig) *CU {
+func NewCU(name string, part *sim.Partition, cfg CUConfig) *CU {
 	if cfg.IssueWidth <= 0 {
 		cfg.IssueWidth = 1
 	}
@@ -94,13 +94,13 @@ func NewCU(name string, engine *sim.Engine, cfg CUConfig) *CU {
 	}
 	c := &CU{
 		ComponentBase: sim.NewComponentBase(name),
-		engine:        engine,
+		part:          part,
 		cfg:           cfg,
 		pendingReads:  make(map[uint64]*wavefront),
 		pendingWrites: make(map[uint64]*wgInstance),
 	}
 	c.ToL1 = sim.NewPort(c, name+".ToL1", cfg.PortBufferBytes)
-	c.ticker = sim.NewTicker(engine, c)
+	c.ticker = sim.NewTicker(part, c)
 	return c
 }
 
@@ -239,7 +239,7 @@ func (c *CU) step(now sim.Time, wf *wavefront) bool {
 		return true
 	case ReadOp:
 		req := mem.NewReadReq(c.ToL1, c.l1Top(), op.Addr, op.N)
-		c.engine.AssignMsgID(req)
+		c.part.AssignMsgID(req)
 		if !c.ToL1.Send(now, req) {
 			return false
 		}
@@ -249,7 +249,7 @@ func (c *CU) step(now sim.Time, wf *wavefront) bool {
 		return true
 	case WriteOp:
 		req := mem.NewWriteReq(c.ToL1, c.l1Top(), op.Addr, op.Data)
-		c.engine.AssignMsgID(req)
+		c.part.AssignMsgID(req)
 		if !c.ToL1.Send(now, req) {
 			return false
 		}

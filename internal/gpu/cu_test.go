@@ -13,7 +13,7 @@ import (
 // tests.
 type memStub struct {
 	sim.ComponentBase
-	engine  *sim.Engine
+	part    *sim.Partition
 	space   *mem.Space
 	latency sim.Time
 	Top     *sim.Port
@@ -21,10 +21,10 @@ type memStub struct {
 	writes  int
 }
 
-func newMemStub(engine *sim.Engine, latency sim.Time) *memStub {
+func newMemStub(part *sim.Partition, latency sim.Time) *memStub {
 	s := &memStub{
 		ComponentBase: sim.NewComponentBase("memstub"),
-		engine:        engine,
+		part:          part,
 		space:         mem.NewSpace(1),
 		latency:       latency,
 	}
@@ -61,8 +61,8 @@ func (s *memStub) NotifyRecv(now sim.Time, p *sim.Port) {
 			s.space.Write(req.Addr, req.Data)
 			rsp = mem.NewWriteACK(s.Top, req.Src, req.ID, req.Addr)
 		}
-		s.engine.AssignMsgID(rsp)
-		s.engine.Schedule(stubRspEvent{
+		s.part.AssignMsgID(rsp)
+		s.part.Schedule(stubRspEvent{
 			EventBase: sim.NewEventBase(now+s.latency, s),
 			rsp:       rsp,
 		})
@@ -74,9 +74,10 @@ func (s *memStub) NotifyPortFree(sim.Time, *sim.Port) {}
 func cuBench(t *testing.T, cfg CUConfig) (*sim.Engine, *CU, *memStub) {
 	t.Helper()
 	engine := sim.NewEngine()
-	cu := NewCU("CU", engine, cfg)
-	stub := newMemStub(engine, 50)
-	conn := sim.NewDirectConnection("conn", engine, 1)
+	part := engine.Partition(0)
+	cu := NewCU("CU", part, cfg)
+	stub := newMemStub(part, 50)
+	conn := sim.NewDirectConnection("conn", part, 1)
 	conn.Plug(cu.ToL1)
 	conn.Plug(stub.Top)
 	cu.SetL1(stub.Top)

@@ -45,8 +45,8 @@ func (m *KernelDone) Meta() *sim.MsgMeta { return &m.MsgMeta }
 // CUs round-robin.
 type CommandProcessor struct {
 	sim.ComponentBase
-	engine *sim.Engine
-	GPU    int
+	part *sim.Partition
+	GPU  int
 
 	// ToFabric is the CP's bus endpoint.
 	ToFabric *sim.Port
@@ -61,10 +61,10 @@ type CommandProcessor struct {
 }
 
 // NewCommandProcessor builds a CP for gpu.
-func NewCommandProcessor(name string, engine *sim.Engine, gpu int) *CommandProcessor {
+func NewCommandProcessor(name string, part *sim.Partition, gpu int) *CommandProcessor {
 	cp := &CommandProcessor{
 		ComponentBase: sim.NewComponentBase(name),
-		engine:        engine,
+		part:          part,
 		GPU:           gpu,
 	}
 	cp.ToFabric = sim.NewPort(cp, name+".ToFabric", 4*1024)
@@ -114,14 +114,14 @@ func (cp *CommandProcessor) NotifyPortFree(now sim.Time, _ *sim.Port) {
 func (cp *CommandProcessor) wgDone(int) {
 	cp.outstanding--
 	if cp.outstanding == 0 {
-		cp.signalDone(cp.engine.Now())
+		cp.signalDone(cp.part.Now())
 	}
 }
 
 func (cp *CommandProcessor) signalDone(now sim.Time) {
 	done := &KernelDone{GPU: cp.GPU, Seq: cp.seq}
 	done.Src, done.Dst, done.Bytes = cp.ToFabric, cp.driverPort, KernelDoneBytes
-	cp.engine.AssignMsgID(done)
+	cp.part.AssignMsgID(done)
 	if !cp.ToFabric.Send(now, done) {
 		cp.pendingDone = true
 		return
@@ -135,8 +135,8 @@ func (cp *CommandProcessor) signalDone(now sim.Time) {
 // kernel boundaries.
 type Driver struct {
 	sim.ComponentBase
-	engine *sim.Engine
-	space  *mem.Space
+	part  *sim.Partition
+	space *mem.Space
 
 	// Ctrl is the driver's bus endpoint for launch/done control traffic.
 	Ctrl *sim.Port
@@ -178,10 +178,10 @@ func (d *Driver) RegisterMetrics(reg *metrics.Registry, prefix string) {
 }
 
 // NewDriver builds the host driver.
-func NewDriver(name string, engine *sim.Engine, space *mem.Space) *Driver {
+func NewDriver(name string, part *sim.Partition, space *mem.Space) *Driver {
 	d := &Driver{
 		ComponentBase: sim.NewComponentBase(name),
-		engine:        engine,
+		part:          part,
 		space:         space,
 	}
 	d.Ctrl = sim.NewPort(d, name+".Ctrl", 4*1024)
@@ -262,7 +262,7 @@ func (d *Driver) Launch(k *Kernel) error {
 	d.launchErr = nil
 	d.KernelsLaunched++
 
-	now := d.engine.Now()
+	now := d.part.Now()
 	d.pendingAcks = 0
 	if len(k.Args) > 0 {
 		d.writeArgs(now, k)
@@ -270,11 +270,17 @@ func (d *Driver) Launch(k *Kernel) error {
 	if d.pendingAcks == 0 {
 		d.broadcastLaunch(now)
 	}
-	if err := d.engine.Run(); err != nil {
+	if err := d.part.Engine().Run(); err != nil {
 		return err
 	}
 	if d.pendingDone != 0 {
 		return fmt.Errorf("gpu: kernel %q deadlocked with %d GPUs outstanding", k.Name, d.pendingDone)
+	}
+	// The kernel boundary: invalidate L1s from host code, once every
+	// partition has reached its barrier. finishKernel only pauses the run,
+	// so the invalidation never races a still-draining partition window.
+	if d.InvalidateL1s != nil {
+		d.InvalidateL1s()
 	}
 	if d.Spans != nil {
 		d.Spans.Record(trace.Span{
@@ -282,7 +288,7 @@ func (d *Driver) Launch(k *Kernel) error {
 			Name:  k.Name,
 			Cat:   "kernel",
 			Start: now,
-			End:   d.engine.Now(),
+			End:   d.part.Engine().Now(),
 		})
 	}
 	return d.launchErr
@@ -304,7 +310,7 @@ func (d *Driver) writeArgs(now sim.Time, k *Kernel) {
 		for off := 0; off < len(padded); off += mem.LineSize {
 			addr := buf.Addr(uint64(off))
 			w := mem.NewWriteReq(d.ToRDMA, d.RDMAPort, addr, padded[off:off+mem.LineSize])
-			d.engine.AssignMsgID(w)
+			d.part.AssignMsgID(w)
 			if !d.ToRDMA.Send(now, w) {
 				panic("gpu: driver RDMA rejected arg write")
 			}
@@ -318,7 +324,7 @@ func (d *Driver) broadcastLaunch(now sim.Time) {
 	for g, port := range d.CPPorts {
 		cmd := &LaunchCmd{Kernel: d.kernel, WGs: d.assignments[g], Seq: d.seq}
 		cmd.Src, cmd.Dst, cmd.Bytes = d.Ctrl, port, LaunchCmdBytes
-		d.engine.AssignMsgID(cmd)
+		d.part.AssignMsgID(cmd)
 		if !d.Ctrl.Send(now, cmd) {
 			panic("gpu: driver control port rejected launch")
 		}
@@ -326,8 +332,5 @@ func (d *Driver) broadcastLaunch(now sim.Time) {
 }
 
 func (d *Driver) finishKernel() {
-	if d.InvalidateL1s != nil {
-		d.InvalidateL1s()
-	}
-	d.engine.Pause()
+	d.part.Pause()
 }

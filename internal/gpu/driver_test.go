@@ -9,8 +9,9 @@ import (
 
 func TestDriverRejectsInvalidKernels(t *testing.T) {
 	engine := sim.NewEngine()
+	part := engine.Partition(0)
 	space := mem.NewSpace(4)
-	d := NewDriver("Driver", engine, space)
+	d := NewDriver("Driver", part, space)
 
 	if err := d.Launch(&Kernel{Name: "k", NumWorkgroups: 0,
 		Program: func(int) [][]Op { return nil }}); err == nil {
@@ -23,10 +24,11 @@ func TestDriverRejectsInvalidKernels(t *testing.T) {
 
 func TestDriverNoCUs(t *testing.T) {
 	engine := sim.NewEngine()
+	part := engine.Partition(0)
 	space := mem.NewSpace(4)
-	d := NewDriver("Driver", engine, space)
+	d := NewDriver("Driver", part, space)
 	// A CP with no CUs attached.
-	cp := NewCommandProcessor("CP", engine, 0)
+	cp := NewCommandProcessor("CP", part, 0)
 	d.CPPorts = []*sim.Port{cp.ToFabric}
 	err := d.Launch(&Kernel{Name: "k", NumWorkgroups: 1,
 		Program: func(int) [][]Op { return nil }})
@@ -57,17 +59,18 @@ func TestControlMessageSizes(t *testing.T) {
 // hierarchy. Args are empty so no RDMA is involved.
 func TestDriverLaunchFlow(t *testing.T) {
 	engine := sim.NewEngine()
+	part := engine.Partition(0)
 	space := mem.NewSpace(4)
-	d := NewDriver("Driver", engine, space)
+	d := NewDriver("Driver", part, space)
 
-	stub := newMemStub(engine, 10)
-	memConn := sim.NewDirectConnection("cumem", engine, 1)
+	stub := newMemStub(part, 10)
+	memConn := sim.NewDirectConnection("cumem", part, 1)
 	memConn.Plug(stub.Top)
 	var cps []*CommandProcessor
 	for g := 0; g < 2; g++ {
-		cp := NewCommandProcessor("CP", engine, g)
+		cp := NewCommandProcessor("CP", part, g)
 		for i := 0; i < 2; i++ {
-			cu := NewCU("CU", engine, DefaultCUConfig())
+			cu := NewCU("CU", part, DefaultCUConfig())
 			memConn.Plug(cu.ToL1)
 			cu.SetL1(stub.Top)
 			cp.CUs = append(cp.CUs, cu)
@@ -75,7 +78,7 @@ func TestDriverLaunchFlow(t *testing.T) {
 		cps = append(cps, cp)
 		d.CPPorts = append(d.CPPorts, cp.ToFabric)
 	}
-	ctrl := sim.NewDirectConnection("ctrl", engine, 2)
+	ctrl := sim.NewDirectConnection("ctrl", part, 2)
 	ctrl.Plug(d.Ctrl)
 	for _, cp := range cps {
 		ctrl.Plug(cp.ToFabric)
@@ -133,22 +136,23 @@ func TestDriverLaunchFlow(t *testing.T) {
 // driver must write one padded line per GPU and wait for the acks.
 func TestDriverArgWrites(t *testing.T) {
 	engine := sim.NewEngine()
+	part := engine.Partition(0)
 	space := mem.NewSpace(4)
-	d := NewDriver("Driver", engine, space)
+	d := NewDriver("Driver", part, space)
 
-	stub := newMemStub(engine, 5) // stands in for the host RDMA path
-	memConn := sim.NewDirectConnection("mem", engine, 1)
+	stub := newMemStub(part, 5) // stands in for the host RDMA path
+	memConn := sim.NewDirectConnection("mem", part, 1)
 	memConn.Plug(stub.Top)
 	memConn.Plug(d.ToRDMA)
 	d.RDMAPort = stub.Top
 
-	cp := NewCommandProcessor("CP", engine, 0)
-	cu := NewCU("CU", engine, DefaultCUConfig())
+	cp := NewCommandProcessor("CP", part, 0)
+	cu := NewCU("CU", part, DefaultCUConfig())
 	memConn.Plug(cu.ToL1)
 	cu.SetL1(stub.Top)
 	cp.CUs = []*CU{cu}
 	d.CPPorts = []*sim.Port{cp.ToFabric}
-	ctrl := sim.NewDirectConnection("ctrl", engine, 2)
+	ctrl := sim.NewDirectConnection("ctrl", part, 2)
 	ctrl.Plug(d.Ctrl)
 	ctrl.Plug(cp.ToFabric)
 	d.ArgBuffers = []mem.Buffer{space.AllocOnGPU(0, 4096)}

@@ -35,7 +35,7 @@ func DefaultDRAMConfig() DRAMConfig {
 // request completes, so the data a response carries is exact.
 type DRAM struct {
 	sim.ComponentBase
-	engine *sim.Engine
+	part   *sim.Partition
 	ticker *sim.Ticker
 	cfg    DRAMConfig
 	space  *Space
@@ -59,15 +59,15 @@ func (d *DRAM) RegisterMetrics(reg *metrics.Registry, prefix string) {
 }
 
 // NewDRAM builds a channel controller bound to space.
-func NewDRAM(name string, engine *sim.Engine, space *Space, cfg DRAMConfig) *DRAM {
+func NewDRAM(name string, part *sim.Partition, space *Space, cfg DRAMConfig) *DRAM {
 	d := &DRAM{
 		ComponentBase: sim.NewComponentBase(name),
-		engine:        engine,
+		part:          part,
 		cfg:           cfg,
 		space:         space,
 	}
 	d.Top = sim.NewPort(d, name+".Top", cfg.PortBufferBytes)
-	d.ticker = sim.NewTicker(engine, d)
+	d.ticker = sim.NewTicker(part, d)
 	return d
 }
 
@@ -122,7 +122,7 @@ func (d *DRAM) tick(now sim.Time) {
 		d.Top.Retrieve(now)
 		d.inflight++
 		d.busyUntil = now + d.cfg.CyclesPerLine
-		d.engine.Schedule(dramDoneEvent{
+		d.part.Schedule(dramDoneEvent{
 			EventBase: sim.NewEventBase(now+d.cfg.AccessLatency, d),
 			req:       msg,
 		})

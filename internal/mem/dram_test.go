@@ -40,10 +40,11 @@ func (r *requester) NotifyPortFree(sim.Time, *sim.Port) {}
 func buildDRAMTestbench(t *testing.T, cfg DRAMConfig) (*sim.Engine, *Space, *DRAM, *requester) {
 	t.Helper()
 	engine := sim.NewEngine()
+	part := engine.Partition(0)
 	space := NewSpace(4)
-	dram := NewDRAM("DRAM", engine, space, cfg)
+	dram := NewDRAM("DRAM", part, space, cfg)
 	req := newRequester("req")
-	conn := sim.NewDirectConnection("link", engine, 1)
+	conn := sim.NewDirectConnection("link", part, 1)
 	conn.Plug(dram.Top)
 	conn.Plug(req.port)
 	return engine, space, dram, req

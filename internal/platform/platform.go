@@ -38,8 +38,16 @@ type Config struct {
 	// endpoint: GPUs 0..NumGPUs-1 and the host (index NumGPUs). Nil means
 	// no compression anywhere.
 	NewPolicy func(unit int) core.Policy
-	// Recorder observes all RDMA traffic (may be nil).
-	Recorder rdma.Recorder
+	// NewRecorder builds the RDMA traffic observer for each compressing
+	// endpoint (same unit numbering as NewPolicy). Each unit's recorder is
+	// only ever invoked from that unit's partition, so per-unit recorders
+	// need no locking even under SimCores > 1; merge them in unit order
+	// after the run for a deterministic total. Nil means no recording.
+	NewRecorder func(unit int) rdma.Recorder
+	// SimCores is the number of OS threads the simulation engine may use
+	// to advance partitions concurrently (0 or 1 = serial). Results are
+	// byte-identical across any SimCores value.
+	SimCores int
 	// ArgBufferBytes sizes the per-GPU kernel-argument buffer.
 	ArgBufferBytes uint64
 	// RemoteCache, when non-nil, inserts a per-GPU cache for REMOTE data
@@ -118,9 +126,23 @@ type Device struct {
 	RemoteCache *cache.Cache
 }
 
+// Partitions is the typed partition map of a built platform: one partition
+// per GPU plus the hub. The engine's conservative parallel scheduler
+// advances these concurrently under SimCores > 1; all cross-partition
+// traffic rides the fabric links, whose latency is the lookahead window.
+type Partitions struct {
+	// GPUs[g] hosts GPU g's CUs, caches, DRAM channels, RDMA engine and
+	// command processor.
+	GPUs []*sim.Partition
+	// Hub hosts the shared side: the fabric arbiter, the host driver and
+	// the host RDMA engine.
+	Hub *sim.Partition
+}
+
 // Platform is the assembled multi-GPU system.
 type Platform struct {
 	Engine   *sim.Engine
+	Parts    Partitions
 	Space    *mem.Space
 	Bus      fabric.Fabric
 	Driver   *gpu.Driver
@@ -137,17 +159,18 @@ type Platform struct {
 }
 
 // phaseTracker turns a controller's phase-transition callbacks into
-// contiguous spans on one timeline track.
+// contiguous spans on one timeline track. It reads time from the unit's
+// own partition: transitions fire inside that partition's event handlers.
 type phaseTracker struct {
-	engine *sim.Engine
-	spans  *trace.Recorder
-	track  string
-	start  sim.Time
-	name   string
+	part  *sim.Partition
+	spans *trace.Recorder
+	track string
+	start sim.Time
+	name  string
 }
 
 func (t *phaseTracker) transition(sampling bool, selected comp.Algorithm) {
-	now := t.engine.Now()
+	now := t.part.Now()
 	t.close(now)
 	t.start = now
 	if sampling {
@@ -177,6 +200,15 @@ func (p *Platform) FinishTrace() {
 	}
 }
 
+// partitionOf returns the partition hosting compressing endpoint unit:
+// GPU partitions for 0..NumGPUs-1, the hub for the host (index NumGPUs).
+func (p *Platform) partitionOf(unit int) *sim.Partition {
+	if unit == p.cfg.NumGPUs {
+		return p.Parts.Hub
+	}
+	return p.Parts.GPUs[unit]
+}
+
 // instrumentPolicy registers an adaptive controller's metrics under
 // ctrl<unit> and, when tracing, tracks its phases as spans.
 func (p *Platform) instrumentPolicy(unit int, pol core.Policy) {
@@ -203,18 +235,22 @@ func (p *Platform) instrumentPolicy(unit int, pol core.Policy) {
 	}
 	if h, ok := pol.(hooked); ok && p.Spans != nil {
 		t := &phaseTracker{
-			engine: p.Engine,
-			spans:  p.Spans,
-			track:  prefix,
-			name:   "sampling", // adaptive controllers start sampling at t=0
+			part:  p.partitionOf(unit),
+			spans: p.Spans,
+			track: prefix,
+			name:  "sampling", // adaptive controllers start sampling at t=0
 		}
 		p.phases = append(p.phases, t)
 		h.SetPhaseHook(t.transition)
 	}
 }
 
-// New builds and wires the platform.
-func New(cfg Config) *Platform {
+// Build constructs and wires the platform, returning it together with its
+// typed partition map. Each GPU's components live on their own partition;
+// the fabric, driver and host RDMA share the hub partition. With
+// cfg.SimCores > 1 the engine advances the partitions concurrently, and
+// the run is byte-identical to a serial one.
+func Build(cfg Config) (*Platform, Partitions) {
 	base := DefaultConfig()
 	if cfg.NumGPUs == 0 {
 		cfg.NumGPUs = base.NumGPUs
@@ -243,8 +279,11 @@ func New(cfg Config) *Platform {
 	if cfg.ArgBufferBytes == 0 {
 		cfg.ArgBufferBytes = base.ArgBufferBytes
 	}
-	if cfg.Recorder == nil {
-		cfg.Recorder = rdma.NopRecorder{}
+	if cfg.NewRecorder == nil {
+		cfg.NewRecorder = func(int) rdma.Recorder { return rdma.NopRecorder{} }
+	}
+	if cfg.SimCores < 1 {
+		cfg.SimCores = 1
 	}
 
 	if cfg.Metrics == nil {
@@ -262,17 +301,24 @@ func New(cfg Config) *Platform {
 	}
 
 	p := &Platform{
-		Engine:  sim.NewEngine(),
+		Engine: sim.NewEngine(
+			sim.WithPartitions(cfg.NumGPUs+1),
+			sim.WithCores(cfg.SimCores),
+		),
 		Metrics: cfg.Metrics,
 		Spans:   cfg.Spans,
 		cfg:     cfg,
 	}
+	for g := 0; g < cfg.NumGPUs; g++ {
+		p.Parts.GPUs = append(p.Parts.GPUs, p.Engine.Partition(g))
+	}
+	p.Parts.Hub = p.Engine.Partition(cfg.NumGPUs)
 	p.Space = mem.NewSpace(cfg.NumGPUs)
-	p.Bus = fabric.New("Fabric", p.Engine, cfg.Fabric)
+	p.Bus = fabric.New("Fabric", p.Parts.Hub, cfg.Fabric)
 	if injector != nil {
 		injector.RegisterMetrics(p.Metrics, "fault")
 	}
-	p.Driver = gpu.NewDriver("Driver", p.Engine, p.Space)
+	p.Driver = gpu.NewDriver("Driver", p.Parts.Hub, p.Space)
 	p.Driver.Spans = cfg.Spans
 
 	p.Engine.RegisterMetrics(p.Metrics, "sim")
@@ -289,7 +335,8 @@ func New(cfg Config) *Platform {
 	}
 
 	// Host RDMA: carries the driver's kernel-argument writes.
-	p.HostRDMA = rdma.New("Host.RDMA", p.Engine, cfg.NumGPUs, policy(cfg.NumGPUs), cfg.Recorder)
+	p.HostRDMA = rdma.New("Host.RDMA", p.Parts.Hub, cfg.NumGPUs,
+		policy(cfg.NumGPUs), cfg.NewRecorder(cfg.NumGPUs))
 	p.HostRDMA.OwnerOf = p.Space.GPUOf
 	p.HostRDMA.L2Router = func(addr uint64) *sim.Port {
 		panic(fmt.Sprintf("platform: request for address %#x routed into the host", addr))
@@ -314,15 +361,17 @@ func New(cfg Config) *Platform {
 	}
 
 	// Bus endpoints: per paper, the CPU and GPUs arbitrate round-robin.
-	p.Bus.Plug(p.HostRDMA.ToFabric)
-	p.Bus.Plug(p.Driver.Ctrl)
+	// Attach order fixes the fabric's round-robin and outbox-drain order,
+	// so it is part of the deterministic schedule.
+	p.Bus.Attach(p.HostRDMA.ToFabric, p.Parts.Hub)
+	p.Bus.Attach(p.Driver.Ctrl, p.Parts.Hub)
 	for _, dev := range p.GPUs {
-		p.Bus.Plug(dev.RDMA.ToFabric)
-		p.Bus.Plug(dev.CP.ToFabric)
+		p.Bus.Attach(dev.RDMA.ToFabric, p.Parts.GPUs[dev.Index])
+		p.Bus.Attach(dev.CP.ToFabric, p.Parts.GPUs[dev.Index])
 	}
 
 	// Driver wiring.
-	hostConn := sim.NewDirectConnection("Host.conn", p.Engine, 1)
+	hostConn := sim.NewDirectConnection("Host.conn", p.Parts.Hub, 1)
 	hostConn.Plug(p.Driver.ToRDMA)
 	hostConn.Plug(p.HostRDMA.ToL1)
 	p.Driver.RDMAPort = p.HostRDMA.ToL1
@@ -341,28 +390,29 @@ func New(cfg Config) *Platform {
 			}
 		}
 	}
-	return p
+	return p, p.Parts
 }
 
 func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 	cfg := p.cfg
+	part := p.Parts.GPUs[g]
 	name := fmt.Sprintf("GPU%d", g)
 	// mpfx is the GPU's metric-path prefix ("gpu0", "gpu1", ...).
 	mpfx := fmt.Sprintf("gpu%d", g)
 	dev := &Device{Index: g}
 
-	dev.RDMA = rdma.New(name+".RDMA", p.Engine, g, policy, cfg.Recorder)
+	dev.RDMA = rdma.New(name+".RDMA", part, g, policy, cfg.NewRecorder(g))
 	dev.RDMA.OwnerOf = p.Space.GPUOf
 	dev.RDMA.RegisterMetrics(p.Metrics, mpfx+"/rdma")
 	p.enableGuard(dev.RDMA, mpfx+"/rdma")
 
 	// DRAM channels and L2 banks.
-	dramConn := sim.NewDirectConnection(name+".dram", p.Engine, 2)
+	dramConn := sim.NewDirectConnection(name+".dram", part, 2)
 	for ch := 0; ch < cfg.L2Banks; ch++ {
-		d := mem.NewDRAM(fmt.Sprintf("%s.DRAM%d", name, ch), p.Engine, p.Space, cfg.DRAM)
+		d := mem.NewDRAM(fmt.Sprintf("%s.DRAM%d", name, ch), part, p.Space, cfg.DRAM)
 		d.RegisterMetrics(p.Metrics, fmt.Sprintf("%s/dram_%d", mpfx, ch))
 		dev.DRAMs = append(dev.DRAMs, d)
-		l2 := cache.New(fmt.Sprintf("%s.L2_%d", name, ch), p.Engine, p.Space, cfg.L2)
+		l2 := cache.New(fmt.Sprintf("%s.L2_%d", name, ch), part, p.Space, cfg.L2)
 		l2.RegisterMetrics(p.Metrics, fmt.Sprintf("%s/l2_%d", mpfx, ch))
 		dev.L2s = append(dev.L2s, l2)
 		dramConn.Plug(l2.Bottom)
@@ -373,7 +423,7 @@ func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 
 	// Intra-GPU crossbar: L1 bottoms, L2 tops, and the RDMA's two local
 	// ports.
-	xbar := sim.NewDirectConnection(name+".xbar", p.Engine, 3)
+	xbar := sim.NewDirectConnection(name+".xbar", part, 3)
 	for _, l2 := range dev.L2s {
 		xbar.Plug(l2.Top)
 	}
@@ -390,7 +440,7 @@ func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 	if cfg.RemoteCache != nil {
 		rcCfg := *cfg.RemoteCache
 		rcCfg.Cacheable = func(addr uint64) bool { return p.Space.GPUOf(addr) != g }
-		rc := cache.New(name+".L1_5", p.Engine, p.Space, rcCfg)
+		rc := cache.New(name+".L1_5", part, p.Space, rcCfg)
 		// Metric path "l15", not "l1_5": keeps the remote cache out of the
 		// "l1_*" glob that aggregates the per-CU L1s.
 		rc.RegisterMetrics(p.Metrics, mpfx+"/l15")
@@ -402,11 +452,11 @@ func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 	}
 
 	// CUs and their private L1 vector caches.
-	cuConn := sim.NewDirectConnection(name+".cu", p.Engine, 1)
+	cuConn := sim.NewDirectConnection(name+".cu", part, 1)
 	l1cfg := cfg.L1
 	l1cfg.Cacheable = func(addr uint64) bool { return p.Space.GPUOf(addr) == g }
 	for i := 0; i < cfg.CUsPerGPU; i++ {
-		l1 := cache.New(fmt.Sprintf("%s.L1_%d", name, i), p.Engine, p.Space, l1cfg)
+		l1 := cache.New(fmt.Sprintf("%s.L1_%d", name, i), part, p.Space, l1cfg)
 		l1.RegisterMetrics(p.Metrics, fmt.Sprintf("%s/l1_%d", mpfx, i))
 		l1.Router = func(addr uint64) *sim.Port {
 			if p.Space.GPUOf(addr) == g {
@@ -415,7 +465,7 @@ func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 			return remotePort
 		}
 		xbar.Plug(l1.Bottom)
-		cu := gpu.NewCU(fmt.Sprintf("%s.CU%d", name, i), p.Engine, cfg.CU)
+		cu := gpu.NewCU(fmt.Sprintf("%s.CU%d", name, i), part, cfg.CU)
 		cu.RegisterMetrics(p.Metrics, fmt.Sprintf("%s/cu_%d", mpfx, i))
 		cuConn.Plug(cu.ToL1)
 		cuConn.Plug(l1.Top)
@@ -424,7 +474,7 @@ func (p *Platform) buildGPU(g int, policy core.Policy) *Device {
 		dev.L1s = append(dev.L1s, l1)
 	}
 
-	dev.CP = gpu.NewCommandProcessor(name+".CP", p.Engine, g)
+	dev.CP = gpu.NewCommandProcessor(name+".CP", part, g)
 	dev.CP.CUs = dev.CUs
 	return dev
 }

@@ -52,7 +52,7 @@ func copyKernel(src, dst mem.Buffer, lines, wgs int) *gpu.Kernel {
 }
 
 func TestPlatformCopyKernelMovesDataCorrectly(t *testing.T) {
-	p := New(testConfig())
+	p, _ := Build(testConfig())
 	const lines = 64
 	src := p.Space.AllocStriped(lines * mem.LineSize)
 	dst := p.Space.AllocStriped(lines * mem.LineSize)
@@ -81,8 +81,8 @@ func TestPlatformCopyKernelMovesDataCorrectly(t *testing.T) {
 func TestPlatformGeneratesRemoteTraffic(t *testing.T) {
 	rec := &countingRecorder{}
 	cfg := testConfig()
-	cfg.Recorder = rec
-	p := New(cfg)
+	cfg.NewRecorder = func(int) rdma.Recorder { return rec }
+	p, _ := Build(cfg)
 	const lines = 64
 	src := p.Space.AllocStriped(lines * mem.LineSize)
 	dst := p.Space.AllocStriped(lines * mem.LineSize)
@@ -118,7 +118,7 @@ func TestPlatformCompressionReducesExecTimeOnCompressibleData(t *testing.T) {
 	run := func(newPolicy func(int) core.Policy) (cycles, wireBytes uint64) {
 		cfg := testConfig()
 		cfg.NewPolicy = newPolicy
-		p := New(cfg)
+		p, _ := Build(cfg)
 		const lines = 256
 		src := p.Space.AllocStriped(lines * mem.LineSize)
 		dst := p.Space.AllocStriped(lines * mem.LineSize)
@@ -147,7 +147,7 @@ func TestPlatformCompressionReducesExecTimeOnCompressibleData(t *testing.T) {
 }
 
 func TestPlatformSequentialKernelLaunches(t *testing.T) {
-	p := New(testConfig())
+	p, _ := Build(testConfig())
 	const lines = 32
 	a := p.Space.AllocStriped(lines * mem.LineSize)
 	b := p.Space.AllocStriped(lines * mem.LineSize)
@@ -176,7 +176,7 @@ func TestPlatformSequentialKernelLaunches(t *testing.T) {
 }
 
 func TestPlatformBarrierOrdersIntraWGPhases(t *testing.T) {
-	p := New(testConfig())
+	p, _ := Build(testConfig())
 	buf := p.Space.AllocOnGPU(0, mem.PageSize)
 	// Wavefront 0 writes a value; after the barrier, wavefront 1 reads it
 	// and stores a transformed copy. Without the barrier this would race.
@@ -218,7 +218,7 @@ func TestPlatformBarrierOrdersIntraWGPhases(t *testing.T) {
 }
 
 func TestPlatformWorkgroupsSpreadAcrossAllGPUs(t *testing.T) {
-	p := New(testConfig())
+	p, _ := Build(testConfig())
 	buf := p.Space.AllocStriped(mem.PageSize * 8)
 	k := &gpu.Kernel{
 		Name:          "spread",
@@ -254,7 +254,7 @@ func TestPlatformWorkgroupsSpreadAcrossAllGPUs(t *testing.T) {
 func TestPlatformL1CachingReducesSecondKernelTraffic(t *testing.T) {
 	// Two identical read-only kernels on local data: within a kernel,
 	// repeated reads of the same line hit L1.
-	p := New(testConfig())
+	p, _ := Build(testConfig())
 	buf := p.Space.AllocOnGPU(0, mem.PageSize)
 	k := &gpu.Kernel{
 		Name:          "reread",
@@ -285,7 +285,7 @@ func TestPlatformL1CachingReducesSecondKernelTraffic(t *testing.T) {
 // bit-identical cycle counts and traffic.
 func TestPlatformDeterminism(t *testing.T) {
 	run := func() (uint64, uint64) {
-		p := New(testConfig())
+		p, _ := Build(testConfig())
 		const lines = 128
 		src := p.Space.AllocStriped(lines * mem.LineSize)
 		dst := p.Space.AllocStriped(lines * mem.LineSize)
@@ -312,7 +312,7 @@ func TestPlatformFullScaleSmoke(t *testing.T) {
 		t.Skip("full-scale platform")
 	}
 	cfg := FullConfig()
-	p := New(cfg)
+	p, _ := Build(cfg)
 	if p.TotalCUs() != 256 {
 		t.Fatalf("TotalCUs = %d, want 256", p.TotalCUs())
 	}
@@ -336,7 +336,7 @@ func TestPlatformFullScaleSmoke(t *testing.T) {
 func TestPlatformCrossbarTopology(t *testing.T) {
 	cfg := testConfig()
 	cfg.Fabric.Topology = fabric.TopologyCrossbar
-	p := New(cfg)
+	p, _ := Build(cfg)
 	const lines = 64
 	src := p.Space.AllocStriped(lines * mem.LineSize)
 	dst := p.Space.AllocStriped(lines * mem.LineSize)
@@ -363,8 +363,8 @@ func TestPlatformRemoteCacheExtension(t *testing.T) {
 	rc := RemoteCacheConfig()
 	cfg.RemoteCache = &rc
 	rec := &countingRecorder{}
-	cfg.Recorder = rec
-	p := New(cfg)
+	cfg.NewRecorder = func(int) rdma.Recorder { return rec }
+	p, _ := Build(cfg)
 
 	// A buffer on GPU 3, read repeatedly by workgroups running everywhere.
 	buf := p.Space.AllocOnGPU(3, mem.PageSize)
@@ -413,7 +413,7 @@ func TestPlatformRemoteCacheCorrectness(t *testing.T) {
 	cfg := testConfig()
 	rc := RemoteCacheConfig()
 	cfg.RemoteCache = &rc
-	p := New(cfg)
+	p, _ := Build(cfg)
 	const lines = 64
 	src := p.Space.AllocStriped(lines * mem.LineSize)
 	dst := p.Space.AllocStriped(lines * mem.LineSize)
@@ -434,7 +434,7 @@ func TestPlatformRemoteCacheCorrectness(t *testing.T) {
 // kernel cannot finish faster than total_bytes / bus_bandwidth, and a
 // healthy simulator should land within a modest factor of that bound.
 func TestPlatformExecTimeRespectsBandwidthBound(t *testing.T) {
-	p := New(testConfig())
+	p, _ := Build(testConfig())
 	const lines = 512
 	src := p.Space.AllocStriped(lines * mem.LineSize)
 	dst := p.Space.AllocStriped(lines * mem.LineSize)
@@ -462,7 +462,7 @@ func TestPlatformExecTimeRespectsBandwidthBound(t *testing.T) {
 }
 
 func TestPlatformStatsReport(t *testing.T) {
-	p := New(testConfig())
+	p, _ := Build(testConfig())
 	const lines = 64
 	src := p.Space.AllocStriped(lines * mem.LineSize)
 	dst := p.Space.AllocStriped(lines * mem.LineSize)

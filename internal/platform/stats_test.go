@@ -13,7 +13,7 @@ import (
 // runCopy builds a platform under cfg, runs one copy kernel, and returns it.
 func runCopy(t *testing.T, cfg Config) *Platform {
 	t.Helper()
-	p := New(cfg)
+	p, _ := Build(cfg)
 	const lines = 64
 	src := p.Space.AllocStriped(lines * mem.LineSize)
 	dst := p.Space.AllocStriped(lines * mem.LineSize)

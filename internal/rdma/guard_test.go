@@ -20,18 +20,19 @@ import (
 func newGuardedTestbed(t *testing.T, policy func(int) core.Policy, prof fault.Profile, seed int64) *testbed {
 	t.Helper()
 	tb := &testbed{engine: sim.NewEngine(), rec: &recorder{}}
+	tb.part = tb.engine.Partition(0)
 	tb.space = mem.NewSpace(2)
 	fcfg := fabric.DefaultConfig()
 	if prof.Enabled() {
 		fcfg.Fault = fault.NewInjector(prof, seed)
 	}
-	tb.bus = fabric.NewBus("bus", tb.engine, fcfg)
+	tb.bus = fabric.NewBus("bus", tb.part, fcfg)
 
 	for g := 0; g < 2; g++ {
 		g := g
-		tb.drams[g] = mem.NewDRAM("DRAM", tb.engine, tb.space, mem.DefaultDRAMConfig())
+		tb.drams[g] = mem.NewDRAM("DRAM", tb.part, tb.space, mem.DefaultDRAMConfig())
 		tb.l1s[g] = newL1Stub("L1")
-		tb.rdmas[g] = New("RDMA", tb.engine, g, policy(g), tb.rec)
+		tb.rdmas[g] = New("RDMA", tb.part, g, policy(g), tb.rec)
 		tb.rdmas[g].OwnerOf = tb.space.GPUOf
 		tb.rdmas[g].L2Router = func(uint64) *sim.Port { return tb.drams[g].Top }
 		tb.rdmas[g].RemotePort = func(gpu int) *sim.Port { return tb.rdmas[gpu].ToFabric }
@@ -40,13 +41,13 @@ func newGuardedTestbed(t *testing.T, policy func(int) core.Policy, prof fault.Pr
 			MaxAttempts:   prof.Attempts(),
 		}
 
-		l1conn := sim.NewDirectConnection("l1conn", tb.engine, 1)
+		l1conn := sim.NewDirectConnection("l1conn", tb.part, 1)
 		l1conn.Plug(tb.l1s[g].port)
 		l1conn.Plug(tb.rdmas[g].ToL1)
-		l2conn := sim.NewDirectConnection("l2conn", tb.engine, 1)
+		l2conn := sim.NewDirectConnection("l2conn", tb.part, 1)
 		l2conn.Plug(tb.rdmas[g].ToL2)
 		l2conn.Plug(tb.drams[g].Top)
-		tb.bus.Plug(tb.rdmas[g].ToFabric)
+		tb.bus.Attach(tb.rdmas[g].ToFabric, tb.part)
 	}
 	return tb
 }
@@ -296,7 +297,7 @@ func TestGuardRetrySpansRecorded(t *testing.T) {
 
 func TestStaleResponsesDroppedOnlyWithGuard(t *testing.T) {
 	mk := func(guard bool) *Engine {
-		e := New("R", sim.NewEngine(), 0, nil, nil)
+		e := New("R", sim.NewEngine().Partition(0), 0, nil, nil)
 		if guard {
 			e.Guard = &GuardConfig{TimeoutCycles: 128, MaxAttempts: 3}
 		}
@@ -340,7 +341,7 @@ func (p *integrityPolicy) ObserveIntegrity(ok bool) { p.signals = append(p.signa
 // as ObserveIntegrity(false); a raw-payload NACK carries no codec blame.
 func TestNACKFeedsIntegritySignal(t *testing.T) {
 	pol := &integrityPolicy{}
-	e := New("R", sim.NewEngine(), 0, pol, nil)
+	e := New("R", sim.NewEngine().Partition(0), 0, pol, nil)
 	e.Guard = &GuardConfig{TimeoutCycles: 128, MaxAttempts: 3}
 
 	if err := e.handleWire(0, &NACK{RspTo: 77, Alg: comp.BDI}); err != nil {

@@ -53,7 +53,7 @@ func (NopRecorder) Header(int) {}
 // decompressed (with the codec's latency) unless Comp Alg is 0.
 type Engine struct {
 	sim.ComponentBase
-	engine *sim.Engine
+	part   *sim.Partition
 	ticker *sim.Ticker
 
 	GPU    int
@@ -171,13 +171,13 @@ func (e *Engine) RegisterGuardMetrics(reg *metrics.Registry, prefix string) {
 }
 
 // New creates an RDMA engine for the given GPU index.
-func New(name string, engine *sim.Engine, gpu int, policy core.Policy, rec Recorder) *Engine {
+func New(name string, part *sim.Partition, gpu int, policy core.Policy, rec Recorder) *Engine {
 	if rec == nil {
 		rec = NopRecorder{}
 	}
 	e := &Engine{
 		ComponentBase: sim.NewComponentBase(name),
-		engine:        engine,
+		part:          part,
 		GPU:           gpu,
 		Policy:        policy,
 		Rec:           rec,
@@ -189,7 +189,7 @@ func New(name string, engine *sim.Engine, gpu int, policy core.Policy, rec Recor
 	e.ToL1 = sim.NewPort(e, name+".ToL1", 8*1024)
 	e.ToFabric = sim.NewPort(e, name+".ToFabric", 4*1024) // paper: 4 KB input buffer
 	e.ToL2 = sim.NewPort(e, name+".ToL2", 8*1024)
-	e.ticker = sim.NewTicker(engine, e)
+	e.ticker = sim.NewTicker(part, e)
 	return e
 }
 
@@ -292,7 +292,7 @@ func (e *Engine) handleLocal(now sim.Time, msg sim.Msg) error {
 		wire := &ReadReq{Addr: req.Addr, N: req.N}
 		wire.Src, wire.Dst = e.ToFabric, e.RemotePort(owner)
 		wire.Bytes = ReadReqHeaderBytes
-		e.engine.AssignMsgID(wire)
+		e.part.AssignMsgID(wire)
 		e.pendingReads[wire.ID] = &pendingRead{req: req, issued: now, wire: wire, attempts: 1}
 		e.ReadsSent++
 		e.Rec.RemoteRead(e.GPU)
@@ -311,7 +311,7 @@ func (e *Engine) handleLocal(now sim.Time, msg sim.Msg) error {
 			wire.Payload.CRC = PayloadCRC(wire.Payload)
 			wire.Bytes += CRCTrailerBytes
 		}
-		e.engine.AssignMsgID(wire)
+		e.part.AssignMsgID(wire)
 		e.pendingWrites[wire.ID] = &pendingWrite{req: req, wire: wire, attempts: 1}
 		e.WritesSent++
 		e.Rec.RemoteWrite(e.GPU)
@@ -359,7 +359,7 @@ func (e *Engine) scheduleSend(now sim.Time, msg sim.Msg, compressionCycles int) 
 		e.drainOutQueue(now)
 		return
 	}
-	e.engine.Schedule(delayedSendEvent{
+	e.part.Schedule(delayedSendEvent{
 		EventBase: sim.NewEventBase(now+sim.Time(compressionCycles), e),
 		msg:       msg,
 	})
@@ -372,7 +372,7 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 		// A remote GPU wants our data: forward into the local L2.
 		e.ReadsServed++
 		local := mem.NewReadReq(e.ToL2, e.L2Router(wire.Addr), wire.Addr, wire.N)
-		e.engine.AssignMsgID(local)
+		e.part.AssignMsgID(local)
 		e.serviceReads[local.ID] = wire
 		if !e.ToL2.Send(now, local) {
 			return fmt.Errorf("%s: L2 rejected forwarded read", e.Name())
@@ -396,7 +396,7 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 				return fmt.Errorf("%s: write payload: %w", e.Name(), err)
 			}
 			local := mem.NewWriteReq(e.ToL2, e.L2Router(wire.Addr), wire.Addr, data)
-			e.engine.AssignMsgID(local)
+			e.part.AssignMsgID(local)
 			e.serviceWrites[local.ID] = wire
 			if !e.ToL2.Send(now, local) {
 				return fmt.Errorf("%s: L2 rejected forwarded write", e.Name())
@@ -434,7 +434,7 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 			}
 			e.ReadLatency.Add(float64(now - pr.issued))
 			rsp := mem.NewDataReady(e.ToL1, orig.Src, orig.ID, orig.Addr, data)
-			e.engine.AssignMsgID(rsp)
+			e.part.AssignMsgID(rsp)
 			if !e.ToL1.Send(now, rsp) {
 				return fmt.Errorf("%s: L1 rejected response", e.Name())
 			}
@@ -458,7 +458,7 @@ func (e *Engine) handleWire(now sim.Time, msg sim.Msg) error {
 		}
 		orig := pw.req
 		ack := mem.NewWriteACK(e.ToL1, orig.Src, orig.ID, orig.Addr)
-		e.engine.AssignMsgID(ack)
+		e.part.AssignMsgID(ack)
 		if !e.ToL1.Send(now, ack) {
 			return fmt.Errorf("%s: L1 rejected ack", e.Name())
 		}
@@ -490,7 +490,7 @@ func (e *Engine) sendNACK(now sim.Time, dst *sim.Port, rspTo uint64, alg comp.Al
 	n := &NACK{RspTo: rspTo, Alg: alg}
 	n.Src, n.Dst = e.ToFabric, dst
 	n.Bytes = NACKHeaderBytes
-	e.engine.AssignMsgID(n)
+	e.part.AssignMsgID(n)
 	e.NACKsSent++
 	e.outQueue = append(e.outQueue, n)
 	e.drainOutQueue(now)
@@ -513,7 +513,7 @@ func (e *Engine) scheduleTimeout(now sim.Time, id uint64, attempt int, write boo
 	if shift > 10 {
 		shift = 10 // backoff cap; MaxAttempts bounds attempts anyway
 	}
-	e.engine.Schedule(retryTimeoutEvent{
+	e.part.Schedule(retryTimeoutEvent{
 		EventBase: sim.NewEventBase(now+e.Guard.TimeoutCycles<<shift, e),
 		id:        id,
 		attempt:   attempt,
@@ -595,7 +595,7 @@ func (e *Engine) afterDecompression(now sim.Time, cycles int, deliver func(sim.T
 	if cycles <= 0 {
 		return deliver(now)
 	}
-	e.engine.Schedule(delayedDeliverEvent{
+	e.part.Schedule(delayedDeliverEvent{
 		EventBase: sim.NewEventBase(now+sim.Time(cycles), e),
 		deliver:   deliver,
 	})
@@ -624,7 +624,7 @@ func (e *Engine) handleL2Response(now sim.Time, msg sim.Msg) error {
 			out.Payload.CRC = PayloadCRC(out.Payload)
 			out.Bytes += CRCTrailerBytes
 		}
-		e.engine.AssignMsgID(out)
+		e.part.AssignMsgID(out)
 		e.Rec.Header(DataReadyHeaderBytes)
 		e.scheduleSend(now, out, d.CompressionCycles)
 		return nil
@@ -637,7 +637,7 @@ func (e *Engine) handleL2Response(now sim.Time, msg sim.Msg) error {
 		out := &WriteACK{RspTo: wireReq.ID}
 		out.Src, out.Dst = e.ToFabric, wireReq.Src
 		out.Bytes = WriteACKHeaderBytes
-		e.engine.AssignMsgID(out)
+		e.part.AssignMsgID(out)
 		e.Rec.Header(WriteACKHeaderBytes)
 		e.outQueue = append(e.outQueue, out)
 		e.drainOutQueue(now)

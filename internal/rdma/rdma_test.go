@@ -74,6 +74,7 @@ func (r *recorder) Header(n int) { r.headerBytes += n }
 // channel standing in for the local L2 complex.
 type testbed struct {
 	engine *sim.Engine
+	part   *sim.Partition
 	space  *mem.Space
 	bus    *fabric.Bus
 	rdmas  [2]*Engine
@@ -88,25 +89,26 @@ func newTestbed(t *testing.T, policy func(gpu int) core.Policy) *testbed {
 		engine: sim.NewEngine(),
 		rec:    &recorder{},
 	}
+	tb.part = tb.engine.Partition(0)
 	tb.space = mem.NewSpace(2)
-	tb.bus = fabric.NewBus("bus", tb.engine, fabric.DefaultConfig())
+	tb.bus = fabric.NewBus("bus", tb.part, fabric.DefaultConfig())
 
 	for g := 0; g < 2; g++ {
 		g := g
-		tb.drams[g] = mem.NewDRAM("DRAM", tb.engine, tb.space, mem.DefaultDRAMConfig())
+		tb.drams[g] = mem.NewDRAM("DRAM", tb.part, tb.space, mem.DefaultDRAMConfig())
 		tb.l1s[g] = newL1Stub("L1")
-		tb.rdmas[g] = New("RDMA", tb.engine, g, policy(g), tb.rec)
+		tb.rdmas[g] = New("RDMA", tb.part, g, policy(g), tb.rec)
 		tb.rdmas[g].OwnerOf = tb.space.GPUOf
 		tb.rdmas[g].L2Router = func(uint64) *sim.Port { return tb.drams[g].Top }
 		tb.rdmas[g].RemotePort = func(gpu int) *sim.Port { return tb.rdmas[gpu].ToFabric }
 
-		l1conn := sim.NewDirectConnection("l1conn", tb.engine, 1)
+		l1conn := sim.NewDirectConnection("l1conn", tb.part, 1)
 		l1conn.Plug(tb.l1s[g].port)
 		l1conn.Plug(tb.rdmas[g].ToL1)
-		l2conn := sim.NewDirectConnection("l2conn", tb.engine, 1)
+		l2conn := sim.NewDirectConnection("l2conn", tb.part, 1)
 		l2conn.Plug(tb.rdmas[g].ToL2)
 		l2conn.Plug(tb.drams[g].Top)
-		tb.bus.Plug(tb.rdmas[g].ToFabric)
+		tb.bus.Attach(tb.rdmas[g].ToFabric, tb.part)
 	}
 	return tb
 }
@@ -425,7 +427,7 @@ func TestNopRecorder(t *testing.T) {
 	r.Header(4)
 	// New must substitute a NopRecorder when given nil.
 	engine := sim.NewEngine()
-	e := New("R", engine, 0, nil, nil)
+	e := New("R", engine.Partition(0), 0, nil, nil)
 	if e.Rec == nil {
 		t.Fatal("nil recorder not substituted")
 	}

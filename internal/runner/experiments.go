@@ -24,10 +24,15 @@ type ExpOptions struct {
 	// Fault applies a fault-injection profile to every job (zero = off;
 	// like Seed, it changes the job fingerprints when set).
 	Fault fault.Profile
+	// SimCores sets every job's engine worker count (0/1 = serial). Unlike
+	// Seed and Fault it never reaches the fingerprints: results are
+	// byte-identical for any value.
+	SimCores int
 }
 
 func (o ExpOptions) base() Options {
-	return Options{Scale: o.Scale, CUsPerGPU: o.CUsPerGPU, Seed: o.Seed, Fault: o.Fault}
+	return Options{Scale: o.Scale, CUsPerGPU: o.CUsPerGPU, Seed: o.Seed, Fault: o.Fault,
+		SimCores: o.SimCores}
 }
 
 // ---------------------------------------------------------------------------

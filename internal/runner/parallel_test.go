@@ -1,0 +1,54 @@
+package runner
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"mgpucompress/internal/core"
+	"mgpucompress/internal/workloads"
+)
+
+// snapshotBytes runs one workload and returns the serialized full metrics
+// snapshot — every counter of every component, traffic accounting, energy
+// gauges — plus the scalar results that must survive parallel execution.
+func snapshotBytes(t *testing.T, abbrev string, opts Options) []byte {
+	t.Helper()
+	m, err := Run(abbrev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Snapshot.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelMatchesSerial is the end-to-end differential gate of the
+// conservative parallel engine: a full platform run — CUs, caches, DRAM,
+// RDMA with an adaptive policy, the shared fabric — must produce a
+// byte-identical metrics snapshot for -sim-cores 1, 2 and 8, under any
+// GOMAXPROCS. Run it with -race to also catch unsynchronized sharing.
+func TestParallelMatchesSerial(t *testing.T) {
+	opts := Options{
+		Scale:     workloads.ScaleTiny,
+		CUsPerGPU: 2,
+		Policy:    core.PolicyAdaptive,
+		SimCores:  1,
+	}
+	for _, abbrev := range []string{"SC", "MT"} {
+		want := snapshotBytes(t, abbrev, opts)
+		for _, procs := range []int{1, runtime.GOMAXPROCS(0)} {
+			prev := runtime.GOMAXPROCS(procs)
+			for _, cores := range []int{2, 8} {
+				o := opts
+				o.SimCores = cores
+				if got := snapshotBytes(t, abbrev, o); !bytes.Equal(got, want) {
+					t.Errorf("%s: -sim-cores %d (GOMAXPROCS=%d) snapshot diverged from serial", abbrev, cores, procs)
+				}
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mgpucompress/internal/fault"
 	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/platform"
+	"mgpucompress/internal/rdma"
 	"mgpucompress/internal/stats"
 	"mgpucompress/internal/trace"
 	"mgpucompress/internal/workloads"
@@ -68,6 +69,11 @@ type Options struct {
 	// reliability guard (CRC trailers, NACK/retry/timeout) and the
 	// controller's degradation rule.
 	Fault fault.Profile
+	// SimCores is the number of OS threads the simulation engine may use
+	// to advance platform partitions concurrently (0 or 1 = serial).
+	// Results are byte-identical across any SimCores value. Runs that
+	// capture ordered streams (Trace, SeriesLimit) are forced serial.
+	SimCores int
 }
 
 // Validate reports the first configuration error, consolidating the checks
@@ -94,6 +100,9 @@ func (o Options) Validate() error {
 	}
 	if o.FabricBytesPerCycle < 0 {
 		return fmt.Errorf("negative fabric bytes/cycle %d", o.FabricBytesPerCycle)
+	}
+	if o.SimCores < 0 {
+		return fmt.Errorf("negative sim cores %d", o.SimCores)
 	}
 	switch o.Topology {
 	case "", fabric.TopologyBus, fabric.TopologyCrossbar:
@@ -176,9 +185,11 @@ func (m *Result) CodecRatio(alg comp.Algorithm) float64 {
 	return float64(m.Traffic.UncompressedPayloadBytes) / float64(cs.CompressedBytes)
 }
 
-// recorder implements rdma.Recorder.
+// recorder implements rdma.Recorder for one compressing endpoint. Each
+// unit gets its own shard, touched only from that unit's partition, so
+// recording needs no locking even when the engine runs partitions on
+// several cores.
 type recorder struct {
-	opts    Options
 	codecs  []comp.Compressor
 	traffic stats.Traffic
 	energy  float64
@@ -187,29 +198,87 @@ type recorder struct {
 	scratch []byte // characterization encode buffer, reused across lines
 }
 
-func newRecorder(opts Options) *recorder {
-	r := &recorder{opts: opts, per: make(map[comp.Algorithm]*CodecStats)}
-	if opts.Characterize {
-		r.codecs = comp.AllCompressors()
-		for _, c := range r.codecs {
-			r.per[c.Algorithm()] = &CodecStats{}
-		}
-	}
-	if opts.SeriesLimit > 0 {
-		r.series = stats.NewSeries(opts.SeriesLimit)
-	}
-	return r
+// recorderSet is the per-unit sharding of the run's traffic accounting.
+// Totals are folded in unit order, which makes the float sums (energy,
+// entropy) a pure function of each unit's deterministic local stream —
+// i.e. identical for any SimCores value.
+type recorderSet struct {
+	shards []*recorder
 }
 
-// registerMetrics publishes the recorder's traffic accounting under
+func newRecorderSet(opts Options, units int) *recorderSet {
+	s := &recorderSet{}
+	// SeriesLimit captures a globally ordered transfer stream, so those
+	// runs are forced serial (SimCores=1) and the shards may share one
+	// series sink.
+	var series *stats.Series
+	if opts.SeriesLimit > 0 {
+		series = stats.NewSeries(opts.SeriesLimit)
+	}
+	for u := 0; u < units; u++ {
+		r := &recorder{per: make(map[comp.Algorithm]*CodecStats), series: series}
+		if opts.Characterize {
+			r.codecs = comp.AllCompressors()
+			for _, c := range r.codecs {
+				r.per[c.Algorithm()] = &CodecStats{}
+			}
+		}
+		s.shards = append(s.shards, r)
+	}
+	return s
+}
+
+// forUnit hands out the unit's shard to the platform.
+func (s *recorderSet) forUnit(unit int) *recorder { return s.shards[unit] }
+
+// traffic merges the shards' traffic accounting in unit order.
+func (s *recorderSet) trafficTotal() stats.Traffic {
+	var t stats.Traffic
+	for _, r := range s.shards {
+		t.Merge(&r.traffic)
+	}
+	return t
+}
+
+// energyTotal merges codec energy in unit order (float sum: the fixed
+// order keeps it deterministic).
+func (s *recorderSet) energyTotal() float64 {
+	e := 0.0
+	for _, r := range s.shards {
+		e += r.energy
+	}
+	return e
+}
+
+// perTotal merges the characterization results in unit order.
+func (s *recorderSet) perTotal() map[comp.Algorithm]*CodecStats {
+	total := make(map[comp.Algorithm]*CodecStats)
+	for _, r := range s.shards {
+		for alg, cs := range r.per {
+			t, ok := total[alg]
+			if !ok {
+				t = &CodecStats{}
+				total[alg] = t
+			}
+			t.CompressedBytes += cs.CompressedBytes
+			t.Patterns.Add(cs.Patterns)
+		}
+	}
+	return total
+}
+
+func (s *recorderSet) series() *stats.Series { return s.shards[0].series }
+
+// registerMetrics publishes the merged traffic accounting under
 // "traffic/*" so the snapshot carries the paper's Table V quantities.
-func (r *recorder) registerMetrics(reg *metrics.Registry) {
-	reg.CounterFunc("traffic/remote_reads", func() uint64 { return r.traffic.RemoteReads })
-	reg.CounterFunc("traffic/remote_writes", func() uint64 { return r.traffic.RemoteWrites })
-	reg.CounterFunc("traffic/header_bytes", func() uint64 { return r.traffic.HeaderBytes })
-	reg.CounterFunc("traffic/payload_bytes", func() uint64 { return r.traffic.PayloadBytes })
-	reg.CounterFunc("traffic/uncompressed_payload_bytes", func() uint64 { return r.traffic.UncompressedPayloadBytes })
-	reg.CounterFunc("traffic/messages", func() uint64 { return r.traffic.Messages })
+// Snapshots are taken after the run, so the lazy merge is race-free.
+func (s *recorderSet) registerMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("traffic/remote_reads", func() uint64 { return s.trafficTotal().RemoteReads })
+	reg.CounterFunc("traffic/remote_writes", func() uint64 { return s.trafficTotal().RemoteWrites })
+	reg.CounterFunc("traffic/header_bytes", func() uint64 { return s.trafficTotal().HeaderBytes })
+	reg.CounterFunc("traffic/payload_bytes", func() uint64 { return s.trafficTotal().PayloadBytes })
+	reg.CounterFunc("traffic/uncompressed_payload_bytes", func() uint64 { return s.trafficTotal().UncompressedPayloadBytes })
+	reg.CounterFunc("traffic/messages", func() uint64 { return s.trafficTotal().Messages })
 }
 
 func (r *recorder) RemoteRead(int)  { r.traffic.RemoteReads++ }
@@ -253,10 +322,15 @@ func Run(abbrev string, opts Options) (*Result, error) {
 		}
 	}
 
+	// Ordered-stream captures are serial by construction: a transfer time
+	// series and a trace file reflect one global interleaving, so those
+	// runs pin the engine to one core. Everything else may parallelize.
+	if opts.Trace || opts.SeriesLimit > 0 {
+		opts.SimCores = 1
+	}
+
 	reg := metrics.NewRegistry()
 	spans := &trace.Recorder{}
-	rec := newRecorder(opts)
-	rec.registerMetrics(reg)
 
 	cfg := platform.DefaultConfig()
 	cfg.Metrics = reg
@@ -282,7 +356,10 @@ func Run(abbrev string, opts Options) (*Result, error) {
 		traceLog = &trace.Log{Cap: 1 << 20}
 		cfg.Fabric.Trace = traceLog
 	}
-	cfg.Recorder = rec
+	cfg.SimCores = opts.SimCores
+	recs := newRecorderSet(opts, cfg.NumGPUs+1)
+	recs.registerMetrics(reg)
+	cfg.NewRecorder = func(unit int) rdma.Recorder { return recs.forUnit(unit) }
 	if opts.Fault.Enabled() {
 		cfg.Fault = opts.Fault
 		// Faults must be a pure function of the job fingerprint: reuse the
@@ -305,7 +382,7 @@ func Run(abbrev string, opts Options) (*Result, error) {
 		}
 		cfg.NewPolicy = func(int) core.Policy { return newPolicy() }
 	}
-	p := platform.New(cfg)
+	p, _ := platform.Build(cfg)
 
 	link := opts.Link
 	if link == energy.OnChip {
@@ -316,7 +393,7 @@ func Run(abbrev string, opts Options) (*Result, error) {
 	reg.GaugeFunc("energy/fabric_pj", func() float64 {
 		return float64(p.Bus.TotalBytes()*8) * link.PJPerBit()
 	})
-	reg.GaugeFunc("energy/codec_pj", func() float64 { return rec.energy })
+	reg.GaugeFunc("energy/codec_pj", func() float64 { return recs.energyTotal() })
 
 	stage := func(name string, fn func(*platform.Platform) error) error {
 		start := p.Engine.Now()
@@ -343,10 +420,10 @@ func Run(abbrev string, opts Options) (*Result, error) {
 		Policy:        opts.Policy.String(),
 		ExecCycles:    uint64(p.ExecCycles()),
 		FabricBytes:   p.Bus.TotalBytes(),
-		Traffic:       rec.traffic,
-		CodecEnergyPJ: rec.energy,
-		PerCodec:      rec.per,
-		Series:        rec.series,
+		Traffic:       recs.trafficTotal(),
+		CodecEnergyPJ: recs.energyTotal(),
+		PerCodec:      recs.perTotal(),
+		Series:        recs.series(),
 		TraceLog:      traceLog,
 		Spans:         spans,
 	}

@@ -79,15 +79,30 @@ type Manifest struct {
 const (
 	EventJob   = "job"   // one job settled
 	EventBatch = "batch" // terminal: the batch reached StateDone/StateError
+	EventGap   = "gap"   // reconnect watermark did not match this stream
 )
 
 // Event is one SSE frame on GET /v1/batches/{id}/events. Seq increases by
 // one per event within a batch; exactly one terminal EventBatch frame ends
-// every stream.
+// every stream. Epoch is the daemon's boot counter: a restarted daemon
+// rebuilds batch histories from its journals with fresh sequence numbers,
+// so (epoch, seq) — not seq alone — is the resume watermark a client must
+// present when reconnecting.
+//
+// A synthetic EventGap frame (seq 0, Since = the client's stale watermark)
+// opens the stream when the presented watermark does not identify a point
+// in the current history — wrong epoch after a restart, or a seq beyond
+// what this life recorded. Everything after the gap frame is the full
+// rebuilt history: the client knows it is re-observing, not continuing.
 type Event struct {
 	Seq   int    `json:"seq"`
+	Epoch int64  `json:"epoch,omitempty"`
 	Type  string `json:"type"`
 	Batch string `json:"batch"`
+
+	// Since echoes, on an EventGap frame only, the seq watermark the
+	// client presented and the server could not honor.
+	Since int `json:"since,omitempty"`
 
 	// Job-event fields.
 	Fingerprint string `json:"fingerprint,omitempty"`

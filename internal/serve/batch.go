@@ -239,6 +239,7 @@ func (s *Service[R]) finishBatch(b *batch) {
 // rather than allowed to stall the sweep.
 func (s *Service[R]) emitLocked(b *batch, ev Event) {
 	ev.Seq = len(b.events) + 1
+	ev.Epoch = s.epoch
 	b.events = append(b.events, ev)
 	for ch := range b.subs {
 		select {

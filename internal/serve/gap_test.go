@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// collectEvents drains one Client.Events stream into a slice.
+func collectEvents(t *testing.T, c *Client, id string, epoch int64, after int) []Event {
+	t.Helper()
+	var events []Event
+	if err := c.Events(id, epoch, after, func(ev Event) bool {
+		events = append(events, ev)
+		return true
+	}); err != nil {
+		t.Fatalf("Events(%s, %d, %d): %v", id, epoch, after, err)
+	}
+	return events
+}
+
+// TestSSEResumeSameEpoch proves the watermark protocol within one daemon
+// life: a reconnect presenting the (epoch, seq) of the last event it saw
+// receives exactly the events after it — no gap frame, no replay.
+func TestSSEResumeSameEpoch(t *testing.T) {
+	s := newTestService(t, t.TempDir(), func(c *Config[testResult]) {
+		c.Workers = 1
+		c.Supervisor.Workers = 1
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+
+	st, err := s.Submit(BatchRequest{Keys: gateKeys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, s, st.ID)
+
+	full := collectEvents(t, c, st.ID, 0, 0)
+	if len(full) != 6 { // 5 jobs + terminal
+		t.Fatalf("full stream has %d events, want 6", len(full))
+	}
+	for i, ev := range full {
+		if ev.Epoch != s.Epoch() {
+			t.Fatalf("event %d has epoch %d, want the boot epoch %d", i, ev.Epoch, s.Epoch())
+		}
+	}
+
+	// Reconnect from the middle: only the suffix arrives, gap-free.
+	mid := full[2]
+	resumed := collectEvents(t, c, st.ID, mid.Epoch, mid.Seq)
+	if len(resumed) != len(full)-mid.Seq {
+		t.Fatalf("resume after seq %d got %d events, want %d", mid.Seq, len(resumed), len(full)-mid.Seq)
+	}
+	for i, ev := range resumed {
+		if ev.Type == EventGap {
+			t.Fatalf("same-epoch resume surfaced a gap: %+v", ev)
+		}
+		if want := full[mid.Seq+i]; ev.Seq != want.Seq || ev.Fingerprint != want.Fingerprint {
+			t.Fatalf("resumed event %d = %+v, want %+v", i, ev, want)
+		}
+	}
+
+	// Reconnect from the terminal event: nothing left, still no gap.
+	last := full[len(full)-1]
+	if tail := collectEvents(t, c, st.ID, last.Epoch, last.Seq); len(tail) != 0 {
+		t.Fatalf("resume at the terminal event got %d events, want 0", len(tail))
+	}
+
+	// The ?epoch=&after= query form is equivalent to the header.
+	resp, err := http.Get(ts.URL + fmt.Sprintf("/v1/batches/%s/events?epoch=%d&after=%d",
+		st.ID, mid.Epoch, mid.Seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var viaQuery []Event
+	if err := ParseSSE(resp.Body, func(ev Event) bool { viaQuery = append(viaQuery, ev); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(viaQuery) != len(resumed) || viaQuery[0].Seq != resumed[0].Seq {
+		t.Fatalf("query-form resume got %d events from seq %d, want %d from seq %d",
+			len(viaQuery), viaQuery[0].Seq, len(resumed), resumed[0].Seq)
+	}
+}
+
+// TestSSEGapAcrossRestart is the satellite's acceptance case: a consumer
+// reconnecting after a daemon restart presents its old watermark, and the
+// daemon — which rebuilt the batch history from its journal under a new
+// boot epoch — opens the stream with a gap frame instead of silently
+// replaying renumbered events the client would mistake for fresh progress.
+func TestSSEGapAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := newTestService(t, dir, nil)
+	st, err := s1.Submit(BatchRequest{Keys: gateKeys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, s1, st.ID)
+
+	ts1 := httptest.NewServer(s1.Handler())
+	c1 := &Client{BaseURL: ts1.URL}
+	before := collectEvents(t, c1, st.ID, 0, 0)
+	ts1.Close()
+	oldEpoch := s1.Epoch()
+	last := before[len(before)-1]
+	s1.Close()
+
+	s2 := newTestService(t, dir, nil)
+	if s2.Epoch() <= oldEpoch {
+		t.Fatalf("restart epoch %d did not advance past %d", s2.Epoch(), oldEpoch)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	c2 := &Client{BaseURL: ts2.URL}
+
+	got := collectEvents(t, c2, st.ID, last.Epoch, last.Seq)
+	if len(got) == 0 || got[0].Type != EventGap {
+		t.Fatalf("restart reconnect did not open with a gap frame: %+v", got)
+	}
+	gap := got[0]
+	if gap.Epoch != s2.Epoch() || gap.Since != last.Seq || gap.Batch != st.ID || gap.Seq != 0 {
+		t.Fatalf("gap frame = %+v, want epoch %d, since %d", gap, s2.Epoch(), last.Seq)
+	}
+
+	// After the gap frame comes the full rebuilt history, renumbered from 1
+	// under the new epoch, same settled jobs as before the restart.
+	history := got[1:]
+	if len(history) != len(before) {
+		t.Fatalf("rebuilt history has %d events, want %d", len(history), len(before))
+	}
+	seen := make(map[string]bool)
+	for i, ev := range history {
+		if ev.Seq != i+1 || ev.Epoch != s2.Epoch() {
+			t.Fatalf("rebuilt event %d = seq %d epoch %d, want seq %d epoch %d",
+				i, ev.Seq, ev.Epoch, i+1, s2.Epoch())
+		}
+		seen[ev.Fingerprint] = true
+	}
+	for _, ev := range before[:len(before)-1] {
+		if !seen[ev.Fingerprint] {
+			t.Fatalf("rebuilt history lost job %s", ev.Fingerprint)
+		}
+	}
+	if history[len(history)-1].Type != EventBatch {
+		t.Fatalf("rebuilt history does not end terminally: %+v", history[len(history)-1])
+	}
+}
+
+// TestSSEGapBeyondHistory covers the other mismatch: a watermark from the
+// right epoch but past anything recorded (a client that outlived a data
+// wipe, or a corrupted cursor) also surfaces as a gap plus full history.
+func TestSSEGapBeyondHistory(t *testing.T) {
+	s := newTestService(t, t.TempDir(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+
+	st, err := s.Submit(BatchRequest{Keys: gateKeys()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, s, st.ID)
+
+	got := collectEvents(t, c, st.ID, s.Epoch(), 99)
+	if len(got) != 7 || got[0].Type != EventGap || got[0].Since != 99 {
+		t.Fatalf("beyond-history reconnect = %d events, first %+v; want gap then 6 events",
+			len(got), got[0])
+	}
+
+	// A malformed Last-Event-ID degrades to a fresh, gap-free subscription.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/batches/"+st.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "not-a-watermark")
+	resp, err := (&http.Client{Timeout: 10 * time.Second}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fresh []Event
+	if err := ParseSSE(resp.Body, func(ev Event) bool { fresh = append(fresh, ev); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 6 || fresh[0].Type == EventGap {
+		t.Fatalf("malformed watermark stream = %d events, first %+v; want the plain history", len(fresh), fresh[0])
+	}
+}

@@ -59,6 +59,11 @@ type Service[R any] struct {
 	eng   *sweep.Engine[R]
 	sup   *Supervisor
 
+	// epoch is this daemon life's boot counter (Store.BootEpoch), stamped
+	// on every SSE event so reconnecting clients can detect that a restart
+	// renumbered the history they were following. Immutable after New.
+	epoch int64
+
 	// reg is the service-level metrics registry (jobs, batches,
 	// supervisor health). The registry type is single-threaded by design,
 	// so every touch — registration, increments, snapshots — happens
@@ -92,9 +97,14 @@ func New[R any](cfg Config[R]) (*Service[R], error) {
 	if err != nil {
 		return nil, err
 	}
+	epoch, err := store.BootEpoch()
+	if err != nil {
+		return nil, err
+	}
 	s := &Service[R]{
 		cfg:     cfg,
 		store:   store,
+		epoch:   epoch,
 		batches: make(map[string]*batch),
 		jobs:    make(map[string]json.RawMessage),
 	}
@@ -148,6 +158,10 @@ func (s *Service[R]) Close() {
 		b.closeJournal()
 	}
 }
+
+// Epoch returns this daemon life's boot counter — the epoch stamped on
+// every SSE event it emits.
+func (s *Service[R]) Epoch() int64 { return s.epoch }
 
 // Engine exposes the underlying sweep engine (tests, stats).
 func (s *Service[R]) Engine() *sweep.Engine[R] { return s.eng }

@@ -17,11 +17,14 @@ func newLineScanner(r io.Reader) *bufio.Scanner {
 
 // writeSSE encodes one Event as a Server-Sent-Events frame:
 //
-//	id: <seq>
+//	id: <epoch>.<seq>
 //	event: <type>
 //	data: <single-line JSON>
 //	<blank>
 //
+// The id is the resume watermark in Watermark form: a standard SSE client
+// replays it verbatim in the Last-Event-ID header on reconnect, which is
+// exactly what the events handler needs to decide continuation vs gap.
 // json.Marshal never emits raw newlines, so one data: line always suffices
 // and the frame cannot be broken by event content.
 func writeSSE(w io.Writer, ev Event) error {
@@ -29,8 +32,26 @@ func writeSSE(w io.Writer, ev Event) error {
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	_, err = fmt.Fprintf(w, "id: %s\nevent: %s\ndata: %s\n\n", Watermark(ev.Epoch, ev.Seq), ev.Type, data)
 	return err
+}
+
+// Watermark renders an (epoch, seq) resume position as the wire form used
+// in SSE ids and Last-Event-ID headers: "<epoch>.<seq>".
+func Watermark(epoch int64, seq int) string {
+	return fmt.Sprintf("%d.%d", epoch, seq)
+}
+
+// parseWatermark inverts Watermark. A malformed or empty watermark parses
+// as (0, 0) — indistinguishable from "no watermark", so a garbled header
+// degrades to a fresh subscription rather than an error.
+func parseWatermark(s string) (epoch int64, seq int) {
+	var e int64
+	var n int
+	if _, err := fmt.Sscanf(s, "%d.%d", &e, &n); err != nil || e < 0 || n < 0 {
+		return 0, 0
+	}
+	return e, n
 }
 
 // ParseSSE decodes a Server-Sent-Events stream of Events (the client-side

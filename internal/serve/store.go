@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -69,6 +70,27 @@ func (st *Store) journalPath(id string) string {
 }
 func (st *Store) resultsPath(id string) string {
 	return filepath.Join(st.batchDir(id), "results.jsonl")
+}
+
+// BootEpoch increments and persists the store's boot counter
+// (<dir>/epoch), returning the new value. Each daemon life gets a distinct
+// epoch; SSE events carry it so a client reconnecting across a restart can
+// tell a genuine stream continuation from a rebuilt history (gap
+// detection). A missing or corrupt file restarts the counter at 1 — epochs
+// only need to differ across lives, not be gapless.
+func (st *Store) BootEpoch() (int64, error) {
+	path := filepath.Join(st.dir, "epoch")
+	var epoch int64
+	if b, err := os.ReadFile(path); err == nil {
+		if v, perr := strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64); perr == nil && v > 0 {
+			epoch = v
+		}
+	}
+	epoch++
+	if err := atomicWrite(path, []byte(strconv.FormatInt(epoch, 10)+"\n")); err != nil {
+		return 0, fmt.Errorf("serve: writing boot epoch: %w", err)
+	}
+	return epoch, nil
 }
 
 // NewBatchID reserves the next batch ID.

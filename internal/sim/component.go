@@ -29,8 +29,9 @@ func NewComponentBase(name string) ComponentBase {
 func (c *ComponentBase) Name() string { return c.name }
 
 // TickEvent asks a ticking component to make progress at a certain cycle.
-// Ticks dispatched through Engine.ScheduleTick arrive as a *TickEvent that
-// the engine reuses across dispatches; handlers must read what they need
+// Ticks dispatched through Partition.ScheduleTick arrive as a *TickEvent
+// that the partition reuses across dispatches; handlers must read what they
+// need
 // (typically just Time) during Handle and not retain the pointer.
 type TickEvent struct {
 	EventBase
@@ -40,16 +41,16 @@ type TickEvent struct {
 // each component runs at most once per cycle. Embed one per component and
 // call TickLater whenever there may be work to do.
 type Ticker struct {
-	Engine    *Engine
+	Part      *Partition
 	Handler   Handler
 	Freq      Time // cycles between ticks; 1 = every cycle
 	nextAsked Time
 	hasAsked  bool
 }
 
-// NewTicker creates a Ticker driving handler h on engine e.
-func NewTicker(e *Engine, h Handler) *Ticker {
-	return &Ticker{Engine: e, Handler: h, Freq: 1}
+// NewTicker creates a Ticker driving handler h on partition p.
+func NewTicker(p *Partition, h Handler) *Ticker {
+	return &Ticker{Part: p, Handler: h, Freq: 1}
 }
 
 // TickLater schedules a tick for the next cycle if one is not already
@@ -75,7 +76,7 @@ func (t *Ticker) TickAt(when Time) {
 	// tickerTrampoline is a single-pointer struct, so converting it to
 	// Handler is a direct interface — together with ScheduleTick's reusable
 	// event this makes a tick request allocation-free.
-	t.Engine.ScheduleTick(when, tickerTrampoline{t})
+	t.Part.ScheduleTick(when, tickerTrampoline{t})
 }
 
 // tickerTrampoline filters stale tick events: only the event matching the

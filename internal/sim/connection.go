@@ -5,7 +5,9 @@ import "fmt"
 // Connection moves messages from a source port to a destination port with
 // some timing model. The inter-GPU bus fabric (internal/fabric) implements
 // this interface with shared-bus arbitration; DirectConnection below models
-// the wide on-die links inside a GPU.
+// the wide on-die links inside a GPU. A connection's latency is a property
+// of its construction, and every connection lives in exactly one partition —
+// the one all of its ports' components belong to.
 type Connection interface {
 	// Send starts transmitting m from m.Meta().Src toward m.Meta().Dst.
 	// It reports false if the connection cannot take the message now.
@@ -15,9 +17,9 @@ type Connection interface {
 	NotifyBufferFree(now Time, port *Port)
 	// Plug attaches a port to this connection.
 	Plug(p *Port)
-	// Engine returns the event engine driving this connection. Ports use it
-	// to reach the run's message-ID counter.
-	Engine() *Engine
+	// Partition returns the partition this connection schedules on. Ports
+	// use it to reach the run's message-ID counter.
+	Partition() *Partition
 }
 
 // deliverEvent delivers a message into its destination port at a scheduled
@@ -37,7 +39,7 @@ func (d directDeliverer) Handle(e Event) error {
 		d.c.parked[dst] = append(d.c.parked[dst], evt.msg)
 		return nil
 	}
-	dst.Deliver(d.c.engine.Now(), evt.msg)
+	dst.Deliver(d.c.part.Now(), evt.msg)
 	return nil
 }
 
@@ -46,18 +48,18 @@ func (d directDeliverer) Handle(e Event) error {
 // the paper treats as abundant relative to the inter-GPU fabric.
 type DirectConnection struct {
 	name    string
-	engine  *Engine
+	part    *Partition
 	latency Time
 	ports   map[*Port]bool
 	parked  map[*Port][]Msg
 }
 
-// NewDirectConnection creates a direct connection with the given one-way
-// latency in cycles.
-func NewDirectConnection(name string, engine *Engine, latency Time) *DirectConnection {
+// NewDirectConnection creates a direct connection on partition p with the
+// given one-way latency in cycles, fixed for the connection's lifetime.
+func NewDirectConnection(name string, p *Partition, latency Time) *DirectConnection {
 	return &DirectConnection{
 		name:    name,
-		engine:  engine,
+		part:    p,
 		latency: latency,
 		ports:   make(map[*Port]bool),
 		parked:  make(map[*Port][]Msg),
@@ -70,8 +72,11 @@ func (c *DirectConnection) Plug(p *Port) {
 	p.SetConnection(c)
 }
 
-// Engine returns the event engine driving this connection.
-func (c *DirectConnection) Engine() *Engine { return c.engine }
+// Partition returns the partition this connection schedules on.
+func (c *DirectConnection) Partition() *Partition { return c.part }
+
+// Latency returns the connection's fixed one-way latency.
+func (c *DirectConnection) Latency() Time { return c.latency }
 
 // Send schedules delivery after the connection latency. A DirectConnection
 // never rejects a send; back-pressure is applied at the destination buffer
@@ -85,7 +90,7 @@ func (c *DirectConnection) Send(now Time, m Msg) bool {
 		panic(fmt.Sprintf("sim: %s: destination port %s is not plugged in", c.name, dst.Name()))
 	}
 	m.Meta().SendTime = now
-	c.engine.Schedule(deliverEvent{
+	c.part.Schedule(deliverEvent{
 		EventBase: NewEventBase(now+c.latency, directDeliverer{c}),
 		msg:       m,
 	})

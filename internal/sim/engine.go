@@ -6,11 +6,31 @@
 // Time is measured in integer cycles. The multi-GPU platform built on top of
 // this package runs everything in a single 1 GHz clock domain, matching the
 // configuration in the paper (Table VII), so one cycle corresponds to 1 ns.
+//
+// # Conservative parallel execution
+//
+// The engine is split into partitions (one per GPU plus a hub for the shared
+// fabric in the platform's use). Each partition owns a private event queue
+// and clock; components belong to exactly one partition and schedule only on
+// it. Cross-partition traffic travels over Remote links that declare a
+// minimum latency at construction. Run advances all partitions window by
+// window: with T the earliest pending event anywhere and L the minimum
+// cross-partition link latency, every partition may safely process its local
+// events with time < T+L, because no event created inside the window can
+// land before T+L. Windows execute concurrently on up to WithCores workers;
+// the barrier between windows merges Remote traffic into the destination
+// queues in a fixed link order. Event order inside a partition is the
+// (time, seq) total order, and seq is a pure function of the partition index
+// and the partition-local schedule count — never of goroutine scheduling —
+// so a run's observable behaviour is byte-identical for any core count.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mgpucompress/internal/metrics"
 )
@@ -131,108 +151,213 @@ func (q *eventQueue) pop() queuedEvent {
 	return top
 }
 
-// Engine drives the simulation. It is not safe for concurrent use; the
-// entire simulation runs on one goroutine, which keeps runs deterministic.
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithPartitions splits the engine into n independently clocked event queues
+// (default 1). Components are built against one Partition each; traffic
+// between partitions must travel over Remote links (see Engine.Link).
+func WithPartitions(n int) Option {
+	if n < 1 {
+		panic("sim: WithPartitions needs at least 1 partition")
+	}
+	return func(e *Engine) { e.npart = n }
+}
+
+// WithCores sets how many OS-level workers advance partitions concurrently
+// inside each lookahead window (default 1, i.e. fully serial execution).
+// Results are byte-identical for any value.
+func WithCores(n int) Option {
+	if n < 1 {
+		panic("sim: WithCores needs at least 1 core")
+	}
+	return func(e *Engine) { e.cores = n }
+}
+
+// WithLookahead pins the window width instead of deriving it from the
+// minimum cross-partition link latency. A value larger than the derived
+// minimum would break conservative safety, so Run panics on it; smaller
+// values are safe (they only add barriers).
+func WithLookahead(t Time) Option {
+	if t == 0 {
+		panic("sim: WithLookahead needs a nonzero window")
+	}
+	return func(e *Engine) { e.explicitLA = t }
+}
+
+// Engine drives the simulation: it owns the partitions, the cross-partition
+// links, and the windowed run loop. Scheduling happens on Partitions, never
+// on the Engine itself. Run/RunUntil must be called from host code (outside
+// event handlers), one call at a time.
 type Engine struct {
-	queue     eventQueue
-	now       Time
-	seq       uint64
-	scheduled uint64
-	handled   uint64
-	paused    bool
-	maxTime   Time
-	msgID     uint64
-	// tick is the reusable event dispatched for ScheduleTick entries. It is
-	// rewritten before every lightweight dispatch, so handlers must not
-	// retain it past Handle.
-	tick TickEvent
+	parts   []*Partition
+	remotes []*Remote
+
+	npart      int
+	cores      int
+	explicitLA Time
+	maxTime    Time
+	running    bool
+
+	// Window-barrier state for the spinning worker pool. A macro run with a
+	// two-cycle lookahead crosses tens of thousands of window barriers, so
+	// workers spin on the epoch counter between windows instead of parking on
+	// a channel: a futex wake/sleep round trip per window would cost more
+	// than the window's own work. jobs and limit are plain fields published
+	// by the epoch increment and fenced off by the per-worker acks, which the
+	// coordinator waits on before touching them again.
+	jobs    []*Partition
+	limit   Time
+	epoch   atomic.Int64
+	ticket  atomic.Int64
+	stop    atomic.Bool
+	acks    []atomic.Int64
+	workers sync.WaitGroup
 }
 
-// NewEngine creates an empty engine at time 0.
-func NewEngine() *Engine {
-	return &Engine{maxTime: TimeInf}
-}
-
-// Now returns the current simulated time.
-func (e *Engine) Now() Time { return e.now }
-
-// EventCount returns the number of events handled so far.
-func (e *Engine) EventCount() uint64 { return e.handled }
-
-// Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
-
-// Schedule enqueues an event. Scheduling an event in the past panics: it is
-// always a model bug and silently reordering would corrupt results.
-func (e *Engine) Schedule(evt Event) {
-	t := evt.Time()
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+// NewEngine creates an engine at time 0. With no options it has a single
+// partition and runs serially, which reproduces the classic single-queue
+// discrete-event kernel exactly.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{npart: 1, cores: 1, maxTime: TimeInf}
+	for _, opt := range opts {
+		opt(e)
 	}
-	e.seq++
-	e.scheduled++
-	e.queue.push(queuedEvent{time: t, seq: e.seq, evt: evt})
-}
-
-// ScheduleTick enqueues a lightweight tick for h at time t without
-// allocating: the handler receives a reusable *TickEvent owned by the
-// engine, valid only for the duration of Handle. It shares Schedule's
-// (time, seq) order and counters, so a run is indistinguishable from one
-// that scheduled equivalent TickEvent values.
-func (e *Engine) ScheduleTick(t Time, h Handler) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling tick at %d before now %d", t, e.now))
+	e.parts = make([]*Partition, e.npart)
+	for i := range e.parts {
+		e.parts[i] = &Partition{eng: e, idx: i}
 	}
-	e.seq++
-	e.scheduled++
-	e.queue.push(queuedEvent{time: t, seq: e.seq, h: h})
+	return e
 }
 
-// Pause stops Run before the next event is dispatched. It may be called from
-// inside an event handler.
-func (e *Engine) Pause() { e.paused = true }
+// Partition returns partition i.
+func (e *Engine) Partition(i int) *Partition { return e.parts[i] }
+
+// Partitions returns the number of partitions.
+func (e *Engine) Partitions() int { return len(e.parts) }
+
+// Link declares a scheduling channel from src to dst whose events always run
+// at least minLatency cycles after the source's current time. Cross-partition
+// links (src != dst) define the conservative lookahead: the run loop's window
+// width is the minimum of their latencies. A link with src == dst is a
+// convenience for components wired symmetrically against local and remote
+// peers; it enforces the same latency floor but adds no synchronization.
+func (e *Engine) Link(src, dst *Partition, minLatency Time) *Remote {
+	if src.eng != e || dst.eng != e {
+		panic("sim: Link across engines")
+	}
+	if src != dst && minLatency == 0 {
+		panic("sim: cross-partition link needs a nonzero minimum latency")
+	}
+	r := &Remote{src: src, dst: dst, latency: minLatency}
+	e.remotes = append(e.remotes, r)
+	return r
+}
+
+// Now returns the current simulated time: the furthest any partition has
+// advanced. With one partition this is exactly the classic engine clock.
+func (e *Engine) Now() Time {
+	var now Time
+	for _, p := range e.parts {
+		if p.now > now {
+			now = p.now
+		}
+	}
+	return now
+}
+
+// EventCount returns the number of events handled so far, over all
+// partitions.
+func (e *Engine) EventCount() uint64 {
+	var n uint64
+	for _, p := range e.parts {
+		n += p.handled
+	}
+	return n
+}
+
+// Pending returns the number of events waiting across all partitions.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, p := range e.parts {
+		n += len(p.queue)
+	}
+	return n
+}
 
 // SetMaxTime makes Run stop once simulated time would exceed the deadline.
 // Events at exactly the deadline still run.
 func (e *Engine) SetMaxTime(t Time) { e.maxTime = t }
 
-// Run processes events in time order until the queue drains, Pause is
-// called, or the max-time deadline passes. It returns the first handler
-// error encountered.
-func (e *Engine) Run() error {
-	e.paused = false
-	for len(e.queue) > 0 && !e.paused {
-		// Peek first: an event past the deadline stays queued so a later
-		// Run with a larger deadline can resume.
-		if e.queue[0].time > e.maxTime {
-			return nil
-		}
-		next := e.queue.pop()
-		t := next.time
-		e.now = t
-		e.handled++
-		var err error
-		if next.evt != nil {
-			err = next.evt.Handler().Handle(next.evt)
-		} else {
-			e.tick = TickEvent{EventBase: NewEventBase(t, next.h)}
-			err = next.h.Handle(&e.tick)
-		}
-		if err != nil {
-			return fmt.Errorf("sim: event at %d: %w", t, err)
+// lookahead returns the effective window width: the minimum cross-partition
+// link latency, optionally tightened by WithLookahead. TimeInf (no cross
+// links) means every partition runs to completion independently.
+func (e *Engine) lookahead() Time {
+	derived := TimeInf
+	for _, r := range e.remotes {
+		if r.src != r.dst && r.latency < derived {
+			derived = r.latency
 		}
 	}
-	return nil
+	if e.explicitLA != 0 {
+		if e.explicitLA > derived {
+			panic(fmt.Sprintf("sim: explicit lookahead %d exceeds minimum link latency %d", e.explicitLA, derived))
+		}
+		return e.explicitLA
+	}
+	return derived
 }
 
-// RegisterMetrics exposes the engine's event-loop counters under prefix
-// (conventionally "sim"). The closures read the engine's live fields, so a
-// snapshot always reflects the state at snapshot time.
-func (e *Engine) RegisterMetrics(reg *metrics.Registry, prefix string) {
-	reg.CounterFunc(prefix+"/cycles", func() uint64 { return uint64(e.now) })
-	reg.CounterFunc(prefix+"/events_handled", func() uint64 { return e.handled })
-	reg.CounterFunc(prefix+"/events_scheduled", func() uint64 { return e.scheduled })
-	reg.GaugeFunc(prefix+"/events_pending", func() float64 { return float64(len(e.queue)) })
+// Run processes events in time order until every queue drains, a partition
+// pauses, or the max-time deadline passes. It returns the first handler
+// error in the global (time, seq) order. Events past the deadline stay
+// queued so a later Run with a larger deadline can resume.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	for _, p := range e.parts {
+		p.stopped = false
+		p.err = nil
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	la := e.lookahead()
+	if n := e.extraWorkers(); n > 0 {
+		e.stop.Store(false)
+		e.acks = make([]atomic.Int64, n)
+		base := e.epoch.Load()
+		for i := 0; i < n; i++ {
+			e.acks[i].Store(base)
+			e.workers.Add(1)
+			go e.worker(i, base)
+		}
+		defer func() {
+			e.stop.Store(true)
+			e.epoch.Add(1) // release spinners so they observe stop
+			e.workers.Wait()
+			e.acks = nil
+		}()
+	}
+
+	for {
+		e.drainRemotes()
+		limit, ok := e.nextWindow(la)
+		if !ok {
+			return nil
+		}
+		e.runWindow(limit)
+		e.drainRemotes()
+		if err := e.windowError(); err != nil {
+			return err
+		}
+		for _, p := range e.parts {
+			if p.stopped {
+				return nil
+			}
+		}
+	}
 }
 
 // RunUntil runs events up to and including time t.
@@ -242,4 +367,173 @@ func (e *Engine) RunUntil(t Time) error {
 	err := e.Run()
 	e.maxTime = saved
 	return err
+}
+
+// nextWindow computes the exclusive upper bound of the next window, or
+// reports false when nothing runnable remains under the deadline.
+func (e *Engine) nextWindow(la Time) (Time, bool) {
+	t := TimeInf
+	for _, p := range e.parts {
+		if len(p.queue) > 0 && p.queue[0].time < t {
+			t = p.queue[0].time
+		}
+	}
+	if t == TimeInf || t > e.maxTime {
+		return 0, false
+	}
+	limit := TimeInf
+	if la < TimeInf-t {
+		limit = t + la
+	}
+	if e.maxTime != TimeInf && limit > e.maxTime {
+		limit = e.maxTime + 1 // events at exactly the deadline still run
+	}
+	return limit, true
+}
+
+// extraWorkers returns how many worker goroutines a Run should start, on top
+// of the coordinator itself (0 = run windows inline on the caller). The
+// coordinator always participates in window work, so cores=2 means one extra
+// worker.
+func (e *Engine) extraWorkers() int {
+	if e.cores <= 1 || len(e.parts) == 1 {
+		return 0
+	}
+	n := e.cores
+	if n > len(e.parts) {
+		n = len(e.parts)
+	}
+	return n - 1
+}
+
+// runWindow advances every partition with work under the limit. Partitions
+// never touch each other's state inside a window (cross traffic sits in
+// Remote outboxes until the barrier), so dispatch order — and the worker
+// count — cannot influence results.
+func (e *Engine) runWindow(limit Time) {
+	if e.acks == nil {
+		for _, p := range e.parts {
+			if len(p.queue) > 0 && p.queue[0].time < limit {
+				p.window(limit)
+			}
+		}
+		return
+	}
+	e.jobs = e.jobs[:0]
+	for _, p := range e.parts {
+		if len(p.queue) > 0 && p.queue[0].time < limit {
+			e.jobs = append(e.jobs, p)
+		}
+	}
+	if len(e.jobs) == 1 {
+		// A lone active partition (serial phases, drained tails) skips the
+		// barrier round trip entirely.
+		e.jobs[0].window(limit)
+		return
+	}
+	e.limit = limit
+	e.ticket.Store(0)
+	ep := e.epoch.Add(1) // publishes jobs/limit to the spinning workers
+	e.windowWork()
+	// Wait until every worker has quiesced for this epoch. A worker acks only
+	// after its last ticket claim, so all jobs are both claimed and finished
+	// once the coordinator's own windowWork returns and all acks match.
+	for i := range e.acks {
+		for spins := 0; e.acks[i].Load() != ep; spins++ {
+			if spins > spinBudget {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// spinBudget is how many times a barrier loop polls before yielding the OS
+// thread. Windows are microseconds apart, so a short busy wait almost always
+// wins; the Gosched fallback keeps GOMAXPROCS=1 runs live.
+const spinBudget = 256
+
+// windowWork claims partitions off the shared ticket until the window's job
+// list is exhausted. Claim order is irrelevant to results: partitions only
+// touch their own state inside a window.
+func (e *Engine) windowWork() {
+	for {
+		i := e.ticket.Add(1) - 1
+		if i >= int64(len(e.jobs)) {
+			return
+		}
+		e.jobs[i].window(e.limit)
+	}
+}
+
+// worker spins between window barriers: it waits for the coordinator to bump
+// the epoch, grabs partitions off the ticket, then acks the epoch to signal
+// it will no longer touch the job list.
+func (e *Engine) worker(idx int, last int64) {
+	defer e.workers.Done()
+	for {
+		ep := e.epoch.Load()
+		if ep == last {
+			for spins := 0; e.epoch.Load() == last; spins++ {
+				if spins > spinBudget {
+					runtime.Gosched()
+				}
+			}
+			continue
+		}
+		if e.stop.Load() {
+			return
+		}
+		last = ep
+		e.windowWork()
+		e.acks[idx].Store(ep)
+	}
+}
+
+// drainRemotes merges every link's outbox into its destination queue. Link
+// order and outbox order are both deterministic (creation order and source
+// processing order), so the sequence numbers the destination assigns are
+// too.
+func (e *Engine) drainRemotes() {
+	for _, r := range e.remotes {
+		for i, entry := range r.buf {
+			r.dst.enqueue(entry.time, entry.evt, nil)
+			r.buf[i] = remoteEntry{}
+		}
+		r.buf = r.buf[:0]
+	}
+}
+
+// windowError picks the earliest failure of the last window in the global
+// (time, seq) order, matching what a fully serial run would have hit first.
+func (e *Engine) windowError() error {
+	var best *Partition
+	for _, p := range e.parts {
+		if p.err == nil {
+			continue
+		}
+		if best == nil || p.errTime < best.errTime ||
+			(p.errTime == best.errTime && p.errSeq < best.errSeq) {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.err
+}
+
+// RegisterMetrics exposes the engine's event-loop counters under prefix
+// (conventionally "sim"). The closures aggregate over partitions at snapshot
+// time, so a snapshot always reflects the state at snapshot time.
+func (e *Engine) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.CounterFunc(prefix+"/cycles", func() uint64 { return uint64(e.Now()) })
+	reg.CounterFunc(prefix+"/events_handled", func() uint64 { return e.EventCount() })
+	reg.CounterFunc(prefix+"/events_scheduled", func() uint64 {
+		var n uint64
+		for _, p := range e.parts {
+			n += p.scheduled
+		}
+		return n
+	})
+	reg.GaugeFunc(prefix+"/events_pending", func() float64 { return float64(e.Pending()) })
 }

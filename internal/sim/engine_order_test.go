@@ -16,6 +16,7 @@ func TestEngineDispatchTotalOrderRandomized(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		rng := rand.New(rand.NewSource(int64(1000 + trial)))
 		e := NewEngine()
+		p := e.Partition(0)
 		var times []Time // scheduled time per seq (seq = index)
 		var fired []int  // seqs in dispatch order
 		var schedule func(at Time, depth int)
@@ -37,9 +38,9 @@ func TestEngineDispatchTotalOrderRandomized(t *testing.T) {
 				return nil
 			})
 			if rng.Intn(2) == 0 {
-				e.ScheduleTick(at, h)
+				p.ScheduleTick(at, h)
 			} else {
-				e.Schedule(TickEvent{EventBase: NewEventBase(at, h)})
+				p.Schedule(TickEvent{EventBase: NewEventBase(at, h)})
 			}
 		}
 		for i := 0; i < 200; i++ {

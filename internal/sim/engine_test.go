@@ -19,9 +19,10 @@ func (h *recordingHandler) Handle(e Event) error {
 
 func TestEngineRunsEventsInTimeOrder(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	h := &recordingHandler{}
 	for _, tm := range []Time{5, 1, 9, 3, 3, 7, 0} {
-		e.Schedule(TickEvent{EventBase: NewEventBase(tm, h)})
+		p.Schedule(TickEvent{EventBase: NewEventBase(tm, h)})
 	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -42,6 +43,7 @@ func TestEngineRunsEventsInTimeOrder(t *testing.T) {
 
 func TestEngineSameTimeEventsKeepScheduleOrder(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	var order []int
 	mk := func(id int) Handler {
 		return handlerFunc(func(Event) error {
@@ -50,7 +52,7 @@ func TestEngineSameTimeEventsKeepScheduleOrder(t *testing.T) {
 		})
 	}
 	for i := 0; i < 10; i++ {
-		e.Schedule(TickEvent{EventBase: NewEventBase(4, mk(i))})
+		p.Schedule(TickEvent{EventBase: NewEventBase(4, mk(i))})
 	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -68,8 +70,9 @@ func (f handlerFunc) Handle(e Event) error { return f(e) }
 
 func TestEngineSchedulingInPastPanics(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	h := &recordingHandler{}
-	e.Schedule(TickEvent{EventBase: NewEventBase(10, h)})
+	p.Schedule(TickEvent{EventBase: NewEventBase(10, h)})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -78,13 +81,14 @@ func TestEngineSchedulingInPastPanics(t *testing.T) {
 			t.Error("scheduling in the past did not panic")
 		}
 	}()
-	e.Schedule(TickEvent{EventBase: NewEventBase(5, h)})
+	p.Schedule(TickEvent{EventBase: NewEventBase(5, h)})
 }
 
 func TestEnginePropagatesHandlerError(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	h := &recordingHandler{err: errors.New("boom")}
-	e.Schedule(TickEvent{EventBase: NewEventBase(1, h)})
+	p.Schedule(TickEvent{EventBase: NewEventBase(1, h)})
 	if err := e.Run(); err == nil {
 		t.Error("Run did not propagate handler error")
 	}
@@ -92,14 +96,15 @@ func TestEnginePropagatesHandlerError(t *testing.T) {
 
 func TestEnginePauseStopsDispatch(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	var count int
 	h := handlerFunc(func(Event) error {
 		count++
-		e.Pause()
+		p.Pause()
 		return nil
 	})
-	e.Schedule(TickEvent{EventBase: NewEventBase(1, h)})
-	e.Schedule(TickEvent{EventBase: NewEventBase(2, h)})
+	p.Schedule(TickEvent{EventBase: NewEventBase(1, h)})
+	p.Schedule(TickEvent{EventBase: NewEventBase(2, h)})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -116,9 +121,10 @@ func TestEnginePauseStopsDispatch(t *testing.T) {
 
 func TestEngineRunUntilLeavesFutureEvents(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	h := &recordingHandler{}
 	for _, tm := range []Time{1, 5, 10, 15} {
-		e.Schedule(TickEvent{EventBase: NewEventBase(tm, h)})
+		p.Schedule(TickEvent{EventBase: NewEventBase(tm, h)})
 	}
 	if err := e.RunUntil(10); err != nil {
 		t.Fatal(err)
@@ -142,9 +148,10 @@ func TestEngineRunUntilLeavesFutureEvents(t *testing.T) {
 func TestEngineOrderingProperty(t *testing.T) {
 	f := func(raw []uint16) bool {
 		e := NewEngine()
+		p := e.Partition(0)
 		h := &recordingHandler{}
 		for _, r := range raw {
-			e.Schedule(TickEvent{EventBase: NewEventBase(Time(r), h)})
+			p.Schedule(TickEvent{EventBase: NewEventBase(Time(r), h)})
 		}
 		if err := e.Run(); err != nil {
 			return false
@@ -166,9 +173,10 @@ func TestEngineOrderingProperty(t *testing.T) {
 
 func TestTickerCoalescesDuplicateRequests(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	var ticks []Time
 	var tk *Ticker
-	tk = NewTicker(e, handlerFunc(func(ev Event) error {
+	tk = NewTicker(p, handlerFunc(func(ev Event) error {
 		ticks = append(ticks, ev.Time())
 		return nil
 	}))
@@ -185,8 +193,9 @@ func TestTickerCoalescesDuplicateRequests(t *testing.T) {
 
 func TestTickerEarlierRequestSupersedesLater(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	var ticks []Time
-	tk := NewTicker(e, handlerFunc(func(ev Event) error {
+	tk := NewTicker(p, handlerFunc(func(ev Event) error {
 		ticks = append(ticks, ev.Time())
 		return nil
 	}))
@@ -202,9 +211,10 @@ func TestTickerEarlierRequestSupersedesLater(t *testing.T) {
 
 func TestTickerRescheduleFromHandler(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	var ticks []Time
 	var tk *Ticker
-	tk = NewTicker(e, handlerFunc(func(ev Event) error {
+	tk = NewTicker(p, handlerFunc(func(ev Event) error {
 		ticks = append(ticks, ev.Time())
 		if len(ticks) < 5 {
 			tk.TickLater(ev.Time())
@@ -232,9 +242,10 @@ func TestTickerNeverDoubleFiresProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 100; trial++ {
 		e := NewEngine()
+		p := e.Partition(0)
 		fired := map[Time]int{}
 		var tk *Ticker
-		tk = NewTicker(e, handlerFunc(func(ev Event) error {
+		tk = NewTicker(p, handlerFunc(func(ev Event) error {
 			fired[ev.Time()]++
 			if rng.Intn(2) == 0 {
 				tk.TickAt(ev.Time() + Time(rng.Intn(5)+1))
@@ -262,10 +273,11 @@ func TestTickerNeverDoubleFiresProperty(t *testing.T) {
 // the whole simulator's wall-clock cost scales with.
 func BenchmarkEngineThroughput(b *testing.B) {
 	e := NewEngine()
+	p := e.Partition(0)
 	h := handlerFunc(func(Event) error { return nil })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Schedule(TickEvent{EventBase: NewEventBase(e.Now()+Time(i%64), h)})
+		p.Schedule(TickEvent{EventBase: NewEventBase(e.Now()+Time(i%64), h)})
 		if i%1024 == 1023 {
 			if err := e.Run(); err != nil {
 				b.Fatal(err)

@@ -23,15 +23,3 @@ type MsgMeta struct {
 	// into the destination port buffer.
 	RecvTime Time
 }
-
-// AssignMsgID gives the message an ID unique within this engine's run.
-// The counter lives on the Engine, not in a process global: the sweep
-// engine runs independent simulations in parallel, and a shared counter
-// would leak scheduling order between concurrent runs into the IDs. With
-// a per-engine counter the full message stream — IDs included — is a pure
-// function of the simulation's inputs, byte-identical for any worker
-// count.
-func (e *Engine) AssignMsgID(m Msg) {
-	e.msgID++
-	m.Meta().ID = e.msgID
-}

@@ -34,6 +34,11 @@ func (p *Port) Connection() Connection { return p.conn }
 // when the port is attached.
 func (p *Port) SetConnection(c Connection) { p.conn = c }
 
+// Capacity returns the port's buffer capacity in bytes (0 = unbounded).
+// Connections with credit-based flow control read it once at attach time to
+// seed their credit counters.
+func (p *Port) Capacity() int { return p.capBytes }
+
 // CanAccept reports whether a message of n bytes fits in the buffer.
 func (p *Port) CanAccept(n int) bool {
 	return p.capBytes == 0 || p.usedBytes+n <= p.capBytes
@@ -85,9 +90,14 @@ func (p *Port) Send(now Time, m Msg) bool {
 	if p.conn == nil {
 		panic(fmt.Sprintf("sim: port %s is not connected", p.name))
 	}
-	m.Meta().Src = p
+	if m.Meta().Src != p {
+		// Skip the redundant store on retransmissions: the original send
+		// already set Src, and the receiving side (possibly in another
+		// partition) reads it to route NACKs.
+		m.Meta().Src = p
+	}
 	if m.Meta().ID == 0 {
-		p.conn.Engine().AssignMsgID(m)
+		p.conn.Partition().AssignMsgID(m)
 	}
 	return p.conn.Send(now, m)
 }

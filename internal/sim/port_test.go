@@ -86,7 +86,7 @@ func TestDirectConnectionDeliversAfterLatency(t *testing.T) {
 	dst := newStubComponent("dst")
 	srcPort := NewPort(src, "src.out", 0)
 	dstPort := NewPort(dst, "dst.in", 0)
-	conn := NewDirectConnection("link", e, 3)
+	conn := NewDirectConnection("link", e.Partition(0), 3)
 	conn.Plug(srcPort)
 	conn.Plug(dstPort)
 
@@ -118,7 +118,7 @@ func TestDirectConnectionBackpressureParksAndResumes(t *testing.T) {
 	dst := newStubComponent("dst")
 	srcPort := NewPort(src, "src.out", 0)
 	dstPort := NewPort(dst, "dst.in", 64) // room for exactly one message
-	conn := NewDirectConnection("link", e, 1)
+	conn := NewDirectConnection("link", e.Partition(0), 1)
 	conn.Plug(srcPort)
 	conn.Plug(dstPort)
 
@@ -158,7 +158,7 @@ func TestDirectConnectionUnpluggedDestinationPanics(t *testing.T) {
 	dst := newStubComponent("dst")
 	srcPort := NewPort(src, "src.out", 0)
 	dstPort := NewPort(dst, "dst.in", 0)
-	conn := NewDirectConnection("link", e, 1)
+	conn := NewDirectConnection("link", e.Partition(0), 1)
 	conn.Plug(srcPort)
 	defer func() {
 		if recover() == nil {

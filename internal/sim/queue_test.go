@@ -71,6 +71,7 @@ func TestEventQueueInterleavedPushPop(t *testing.T) {
 // at equal timestamps.
 func TestScheduleTickInterleavesWithSchedule(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	var order []int
 	mk := func(id int) Handler {
 		return handlerFunc(func(Event) error {
@@ -78,11 +79,11 @@ func TestScheduleTickInterleavesWithSchedule(t *testing.T) {
 			return nil
 		})
 	}
-	e.ScheduleTick(3, mk(0))
-	e.Schedule(TickEvent{EventBase: NewEventBase(3, mk(1))})
-	e.ScheduleTick(1, mk(2))
-	e.Schedule(TickEvent{EventBase: NewEventBase(3, mk(3))})
-	e.ScheduleTick(3, mk(4))
+	p.ScheduleTick(3, mk(0))
+	p.Schedule(TickEvent{EventBase: NewEventBase(3, mk(1))})
+	p.ScheduleTick(1, mk(2))
+	p.Schedule(TickEvent{EventBase: NewEventBase(3, mk(3))})
+	p.ScheduleTick(3, mk(4))
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -105,6 +106,7 @@ func TestScheduleTickInterleavesWithSchedule(t *testing.T) {
 // in flight.
 func TestScheduleTickEventCarriesTime(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	var times []Time
 	h := handlerFunc(func(ev Event) error {
 		times = append(times, ev.Time())
@@ -114,7 +116,7 @@ func TestScheduleTickEventCarriesTime(t *testing.T) {
 		return nil
 	})
 	for _, tm := range []Time{7, 2, 2, 9} {
-		e.ScheduleTick(tm, h)
+		p.ScheduleTick(tm, h)
 	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -130,7 +132,8 @@ func TestScheduleTickEventCarriesTime(t *testing.T) {
 // TestScheduleTickInPastPanics mirrors the Schedule contract.
 func TestScheduleTickInPastPanics(t *testing.T) {
 	e := NewEngine()
-	e.ScheduleTick(10, handlerFunc(func(Event) error { return nil }))
+	p := e.Partition(0)
+	p.ScheduleTick(10, handlerFunc(func(Event) error { return nil }))
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -139,20 +142,21 @@ func TestScheduleTickInPastPanics(t *testing.T) {
 			t.Error("scheduling a tick in the past did not panic")
 		}
 	}()
-	e.ScheduleTick(5, handlerFunc(func(Event) error { return nil }))
+	p.ScheduleTick(5, handlerFunc(func(Event) error { return nil }))
 }
 
 // TestRunUntilLeavesTickQueued: the peek-based deadline check must also hold
 // for lightweight ticks.
 func TestRunUntilLeavesTickQueued(t *testing.T) {
 	e := NewEngine()
+	p := e.Partition(0)
 	var fired []Time
 	h := handlerFunc(func(ev Event) error {
 		fired = append(fired, ev.Time())
 		return nil
 	})
-	e.ScheduleTick(5, h)
-	e.ScheduleTick(15, h)
+	p.ScheduleTick(5, h)
+	p.ScheduleTick(15, h)
 	if err := e.RunUntil(10); err != nil {
 		t.Fatal(err)
 	}
@@ -172,11 +176,12 @@ func TestRunUntilLeavesTickQueued(t *testing.T) {
 // 0 allocs/op in steady state.
 func BenchmarkEngineScheduleTickChurn(b *testing.B) {
 	e := NewEngine()
+	p := e.Partition(0)
 	h := handlerFunc(func(Event) error { return nil })
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.ScheduleTick(e.Now()+Time(i%64), h)
+		p.ScheduleTick(e.Now()+Time(i%64), h)
 		if i%1024 == 1023 {
 			if err := e.Run(); err != nil {
 				b.Fatal(err)
@@ -193,20 +198,21 @@ func BenchmarkEngineScheduleTickChurn(b *testing.B) {
 // the heap's O(log n) regime. Must be 0 allocs/op in steady state.
 func BenchmarkEngineDeepQueueChurn(b *testing.B) {
 	e := NewEngine()
+	p := e.Partition(0)
 	rng := rand.New(rand.NewSource(8))
 	var h handlerFunc
 	h = func(ev Event) error {
-		e.ScheduleTick(ev.Time()+1+Time(rng.Intn(1024)), h)
+		p.ScheduleTick(ev.Time()+1+Time(rng.Intn(1024)), h)
 		return nil
 	}
 	const depth = 4096
 	for i := 0; i < depth; i++ {
-		e.ScheduleTick(1+Time(rng.Intn(1024)), h)
+		p.ScheduleTick(1+Time(rng.Intn(1024)), h)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.RunUntil(e.queue[0].time); err != nil {
+		if err := e.RunUntil(p.queue[0].time); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,53 @@
+package sim
+
+// remoteEntry is one event parked in a link's outbox until the next window
+// barrier.
+type remoteEntry struct {
+	time Time
+	evt  Event
+}
+
+// Remote is a scheduling channel between two partitions, created with
+// Engine.Link. During a window the source side appends events to a private
+// outbox (the source partition's worker is the only writer); at the barrier
+// the engine drains every outbox into the destination queue in link-creation
+// order, where the destination assigns sequence numbers. Because the
+// declared latency is at least the engine's lookahead window, drained events
+// always land at or after the barrier — never in a partition's past.
+type Remote struct {
+	src     *Partition
+	dst     *Partition
+	latency Time
+	buf     []remoteEntry
+}
+
+// MinLatency returns the link's declared minimum latency.
+func (r *Remote) MinLatency() Time { return r.latency }
+
+// Dst returns the destination partition.
+func (r *Remote) Dst() *Partition { return r.dst }
+
+// Schedule sends evt across the link. The event's time must be at least the
+// source partition's current time plus the link latency — that floor is what
+// makes the conservative window safe, so violating it panics. Local links
+// (src == dst) and calls from host code between runs bypass the outbox and
+// enqueue directly on the destination.
+func (r *Remote) Schedule(evt Event) {
+	t := evt.Time()
+	if min := satAdd(r.src.now, r.latency); t < min {
+		panic("sim: remote event scheduled under the link's latency floor")
+	}
+	if r.src == r.dst || !r.src.eng.running {
+		r.dst.Schedule(evt)
+		return
+	}
+	r.buf = append(r.buf, remoteEntry{time: t, evt: evt})
+}
+
+// satAdd adds two times, saturating at TimeInf.
+func satAdd(a, b Time) Time {
+	if b >= TimeInf-a {
+		return TimeInf
+	}
+	return a + b
+}

@@ -25,7 +25,7 @@ import (
 // timestamps, payload — into a hash.
 type schedDriver struct {
 	ComponentBase
-	eng    *Engine
+	part   *Partition
 	out    *Port
 	in     *Port
 	dst    *Port
@@ -40,7 +40,7 @@ func (d *schedDriver) Handle(e Event) error {
 		m := &testMsg{MsgMeta: MsgMeta{Dst: d.dst, Bytes: 64}, payload: d.sent}
 		d.out.Send(e.Time(), m)
 		d.sent++
-		d.eng.ScheduleTick(e.Time()+1, d)
+		d.part.ScheduleTick(e.Time()+1, d)
 	}
 	return nil
 }
@@ -93,13 +93,14 @@ func (c *schedEcho) NotifyPortFree(Time, *Port) {}
 // (message IDs included) and the engine's metrics snapshot.
 func runScheduleDigest(t *testing.T, rounds int) [32]byte {
 	e := NewEngine()
-	drv := &schedDriver{ComponentBase: NewComponentBase("drv"), eng: e, rounds: rounds}
+	p0 := e.Partition(0)
+	drv := &schedDriver{ComponentBase: NewComponentBase("drv"), part: p0, rounds: rounds}
 	ech := &schedEcho{ComponentBase: NewComponentBase("echo")}
 	drv.out = NewPort(drv, "drv.out", 0)
 	drv.in = NewPort(drv, "drv.in", 0)
 	ech.in = NewPort(ech, "echo.in", 256) // bounded: parking paths run too
 	ech.out = NewPort(ech, "echo.out", 0)
-	conn := NewDirectConnection("link", e, 2)
+	conn := NewDirectConnection("link", p0, 2)
 	for _, p := range []*Port{drv.out, drv.in, ech.in, ech.out} {
 		conn.Plug(p)
 	}
@@ -108,7 +109,7 @@ func runScheduleDigest(t *testing.T, rounds int) [32]byte {
 
 	reg := metrics.NewRegistry()
 	e.RegisterMetrics(reg, "sim")
-	e.ScheduleTick(0, drv)
+	p0.ScheduleTick(0, drv)
 	if err := e.Run(); err != nil {
 		t.Error(err)
 	}

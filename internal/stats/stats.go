@@ -81,6 +81,26 @@ func (t *Traffic) AddLine(line []byte, wireBytes int, compressed bool) {
 	t.PayloadBytes += uint64(wireBytes)
 }
 
+// Merge folds o into t. The runner shards traffic accounting per
+// compressing endpoint and merges the shards in unit order after the run;
+// the fixed order makes the float EntropySum total deterministic for any
+// degree of simulation parallelism.
+func (t *Traffic) Merge(o *Traffic) {
+	t.RemoteReads += o.RemoteReads
+	t.RemoteWrites += o.RemoteWrites
+	t.HeaderBytes += o.HeaderBytes
+	t.PayloadBytes += o.PayloadBytes
+	t.UncompressedPayloadBytes += o.UncompressedPayloadBytes
+	t.Messages += o.Messages
+	t.EntropySum += o.EntropySum
+	t.EntropyLines += o.EntropyLines
+	for i, c := range o.ByteCounts {
+		t.ByteCounts[i] += c
+	}
+	t.Lines += o.Lines
+	t.CompressedLines += o.CompressedLines
+}
+
 // MeanEntropy returns the average per-line byte entropy (the Fig. 1
 // measure).
 func (t *Traffic) MeanEntropy() float64 {

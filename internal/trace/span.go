@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 
 	"mgpucompress/internal/sim"
 )
@@ -32,15 +33,21 @@ type Span struct {
 
 // Recorder accumulates spans in record order. A zero Recorder is ready to
 // use; Cap bounds memory for long runs (0 = unbounded), and the Dropped
-// count survives JSON round trips just like Log's.
+// count survives JSON round trips just like Log's. Record is safe for
+// concurrent use: span sources live on different simulation partitions
+// (controller phases, RDMA guards), which the engine may advance on
+// several cores.
 type Recorder struct {
 	Cap     int
+	mu      sync.Mutex
 	spans   []Span
 	dropped uint64
 }
 
 // Record appends a span, dropping it if the recorder is full.
 func (r *Recorder) Record(s Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.Cap > 0 && len(r.spans) >= r.Cap {
 		r.dropped++
 		return
@@ -48,11 +55,20 @@ func (r *Recorder) Record(s Span) {
 	r.spans = append(r.spans, s)
 }
 
-// Spans returns the recorded spans in record order.
-func (r *Recorder) Spans() []Span { return r.spans }
+// Spans returns the recorded spans in record order. Call it only after the
+// simulation has quiesced.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spans
+}
 
 // Dropped returns how many spans did not fit under Cap.
-func (r *Recorder) Dropped() uint64 { return r.dropped }
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
 
 // recorderJSON is the exported wire form of a Recorder.
 type recorderJSON struct {
@@ -62,7 +78,9 @@ type recorderJSON struct {
 }
 
 // MarshalJSON preserves the spans and the drop accounting.
-func (r Recorder) MarshalJSON() ([]byte, error) {
+func (r *Recorder) MarshalJSON() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return json.Marshal(recorderJSON{Cap: r.Cap, Spans: r.spans, Dropped: r.dropped})
 }
 

@@ -8,7 +8,7 @@ import (
 )
 
 func TestRecorderJSONRoundTrip(t *testing.T) {
-	r := Recorder{Cap: 2}
+	r := &Recorder{Cap: 2}
 	r.Record(Span{Track: "kernel", Name: "fir", Cat: "kernel", Start: 10, End: 90})
 	r.Record(Span{Track: "ctrl0", Name: "sampling", Cat: "phase", Start: 0, End: 64,
 		Args: map[string]string{"selected": "BDI"}})
@@ -29,7 +29,7 @@ func TestRecorderJSONRoundTrip(t *testing.T) {
 		t.Errorf("dropped lost in round trip: %d", got.Dropped())
 	}
 	if got.Cap != 2 || !reflect.DeepEqual(got.Spans(), r.Spans()) {
-		t.Errorf("round trip mismatch:\n  %+v\n  %+v", got, r)
+		t.Errorf("round trip mismatch:\n  %+v\n  %+v", got.Spans(), r.Spans())
 	}
 }
 

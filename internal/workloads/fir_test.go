@@ -86,7 +86,8 @@ func TestFIRTwoKernelsLaunched(t *testing.T) {
 func testPlatformGPU1() *platform.Platform {
 	cfg := platform.DefaultConfig()
 	cfg.CUsPerGPU = 1
-	return platform.New(cfg)
+	p, _ := platform.Build(cfg)
+	return p
 }
 
 // FIR must verify even with a single CU per GPU (different workgroup→GPU

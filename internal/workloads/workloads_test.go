@@ -6,6 +6,7 @@ import (
 	"mgpucompress/internal/comp"
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/platform"
+	"mgpucompress/internal/rdma"
 	"mgpucompress/internal/stats"
 )
 
@@ -17,7 +18,8 @@ func testPlatform(newPolicy func(int) core.Policy) *platform.Platform {
 	cfg := platform.DefaultConfig()
 	cfg.CUsPerGPU = 2
 	cfg.NewPolicy = newPolicy
-	return platform.New(cfg)
+	p, _ := platform.Build(cfg)
+	return p
 }
 
 // runAndVerify executes a workload end to end and checks its output.
@@ -139,8 +141,8 @@ func runWithRecorder(t *testing.T, w Workload) *entropyRecorder {
 	rec := &entropyRecorder{}
 	cfg := platform.DefaultConfig()
 	cfg.CUsPerGPU = 2
-	cfg.Recorder = rec
-	p := platform.New(cfg)
+	cfg.NewRecorder = func(int) rdma.Recorder { return rec }
+	p, _ := platform.Build(cfg)
 	if err := w.Setup(p); err != nil {
 		t.Fatal(err)
 	}
