@@ -83,11 +83,12 @@ fuzz-smoke:
 
 # Full benchmark pass: every Go benchmark with allocation reporting, then
 # the committed hot-path report (micro numbers, baseline speedups, the
-# workload × policy macro table, and the -sim-cores scaling table of the
-# parallel engine) regenerated into BENCH_PR8.json.
+# workload × policy macro table, the -sim-cores scaling table of the
+# parallel engine, and the adaptive-vs-fixed window-scheduling table)
+# regenerated into BENCH_PR9.json.
 bench:
 	go test -bench=. -benchmem ./...
-	go run ./cmd/benchreport -out BENCH_PR8.json
+	go run ./cmd/benchreport -out BENCH_PR9.json
 
 # Cheap pre-merge benchmark smoke: one iteration of the hot-path
 # microbenchmarks at the smallest scale, purely to catch benchmarks that no

@@ -41,6 +41,10 @@ func main() {
 	server := flag.String("server", "", "sweepd base URL (e.g. http://127.0.0.1:8372): execute jobs on a resident daemon instead of simulating locally")
 	flag.Parse()
 
+	if *simCores < 1 {
+		log.Fatalf("-sim-cores must be at least 1 (got %d)", *simCores)
+	}
+
 	o := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus, Seed: *seed,
 		SimCores: *simCores}
 	// One shared sweep across studies: -study all re-uses baseline and

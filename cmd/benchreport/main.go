@@ -1,8 +1,11 @@
 // Command benchreport measures the hot paths and writes a machine-readable
-// benchmark report (BENCH_PR8.json): the zero-allocation
+// benchmark report (BENCH_PR9.json): the zero-allocation
 // codec/bitstream/event-queue microbenchmarks, a workload × policy macro
-// table (simulated cycles, wall time, allocations per full run), and the
-// -sim-cores scaling table of the conservative parallel engine.
+// table (simulated cycles, wall time, allocations per full run), the
+// -sim-cores scaling table of the conservative parallel engine, and the
+// window-scheduling table comparing the adaptive window scheduler against
+// the classic fixed-lookahead schedule (windows per run, events per window,
+// with exec-cycles equality checked on every row).
 //
 // The JSON also embeds the pre-optimization baseline numbers (measured on the
 // commit before PR 4, same machine class) and the resulting speedups, so
@@ -13,7 +16,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR8.json] [-short]
+//	go run ./cmd/benchreport [-out BENCH_PR9.json] [-short]
 //
 // BENCH_SCALE (default 1) selects the macro workload scale.
 package main
@@ -34,6 +37,7 @@ import (
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/runner"
 	"mgpucompress/internal/sim"
+	"mgpucompress/internal/sim/schedbench"
 	"mgpucompress/internal/workloads"
 )
 
@@ -78,6 +82,26 @@ type CoresResult struct {
 	ExecCycles uint64 `json:"exec_cycles"`
 }
 
+// WindowResult is one row of the window-scheduling table: the same workload
+// run under the default adaptive window scheduler and under the classic
+// fixed-lookahead schedule (the PR 8 engine's only mode). Both runs must
+// simulate the identical execution — exec_cycles_equal records the check —
+// so the window counts compare synchronization cost, never behaviour.
+// Workloads prefixed "sched/" are the synthetic engine schedules of
+// internal/sim/schedbench; the rest are the macro workload set, whose
+// fine-grained per-cycle fabric traffic bounds any conservative schedule.
+type WindowResult struct {
+	Workload        string  `json:"workload"`
+	ExecCycles      uint64  `json:"exec_cycles"`
+	ExecCyclesEqual bool    `json:"exec_cycles_equal"`
+	Windows         uint64  `json:"windows"`
+	FixedWindows    uint64  `json:"fixed_lookahead_windows"`
+	Reduction       float64 `json:"window_reduction"`
+	EventsPerWindow float64 `json:"events_per_window"`
+	SerialWindows   uint64  `json:"serial_fallback_windows"`
+	BarrierWindows  uint64  `json:"barrier_windows"`
+}
+
 // Report is the benchmark-report JSON schema.
 type Report struct {
 	Generated string `json:"generated"`
@@ -98,8 +122,9 @@ type Report struct {
 		NsPerLine float64 `json:"ns_per_line"`
 		Speedup   float64 `json:"speedup_vs_baseline"`
 	} `json:"sampling_trio"`
-	Macro    []MacroResult `json:"macro"`
-	SimCores []CoresResult `json:"sim_cores"`
+	Macro    []MacroResult  `json:"macro"`
+	SimCores []CoresResult  `json:"sim_cores"`
+	Windows  []WindowResult `json:"window_scheduling"`
 }
 
 // preBaseline is the recorded state of the encode hot path on the parent
@@ -344,8 +369,86 @@ func coresSuite(scale int, short bool) ([]CoresResult, error) {
 	return out, nil
 }
 
+// windowSuite builds the window-scheduling table: every workload twice, once
+// under adaptive windows and once pinned to the fixed lookahead, asserting
+// the simulated execution did not move. The synthetic schedules run first —
+// they are where traffic has locality and the barrier-count reduction is
+// large; the macro rows document honestly that a near-saturated shared bus
+// leaves a conservative scheduler little room (cross messages arrive faster
+// than one per link-latency, so windows already batch several of them).
+func windowSuite(scale int, short bool) ([]WindowResult, error) {
+	var out []WindowResult
+	for _, shape := range schedbench.Shapes {
+		adaptive, err := schedbench.Run(shape, 7, 1, 0)
+		if err != nil {
+			return nil, fmt.Errorf("sched/%s: %w", shape, err)
+		}
+		fixed, err := schedbench.Run(shape, 7, 1, schedbench.LinkLatency)
+		if err != nil {
+			return nil, fmt.Errorf("sched/%s fixed: %w", shape, err)
+		}
+		equal := adaptive.Digest == fixed.Digest && adaptive.Cycles == fixed.Cycles
+		if !equal {
+			return nil, fmt.Errorf("sched/%s: adaptive and fixed runs diverged", shape)
+		}
+		out = append(out, WindowResult{
+			Workload:        "sched/" + string(shape),
+			ExecCycles:      uint64(adaptive.Cycles),
+			ExecCyclesEqual: equal,
+			Windows:         adaptive.Windows,
+			FixedWindows:    fixed.Windows,
+			Reduction:       round2(float64(fixed.Windows) / float64(adaptive.Windows)),
+			EventsPerWindow: round2(adaptive.EventsPerWindow),
+			SerialWindows:   adaptive.SerialWindows,
+			BarrierWindows:  adaptive.BarrierWindows,
+		})
+	}
+
+	abbrevs := []string{"AES", "BS", "FIR", "GD", "KM", "MT", "SC"}
+	if short {
+		abbrevs = []string{"SC", "MT"}
+	}
+	for _, ab := range abbrevs {
+		row := WindowResult{Workload: ab}
+		var fixedCycles uint64
+		for _, la := range []int{0, 2} {
+			opts := runner.Options{
+				Scale:          workloads.Scale(scale),
+				Policy:         core.PolicyAdaptive,
+				Lambda:         core.DefaultLambda,
+				FixedLookahead: la,
+			}
+			res, err := runner.Run(ab, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s/la=%d: %w", ab, la, err)
+			}
+			windows := uint64(res.Snapshot.Value("sim/windows"))
+			if la == 0 {
+				row.ExecCycles = res.ExecCycles
+				row.Windows = windows
+				row.SerialWindows = uint64(res.Snapshot.Value("sim/serial_fallback_windows"))
+				row.BarrierWindows = uint64(res.Snapshot.Value("sim/barrier_spins"))
+				if ev, ok := res.Snapshot.Get("sim/events_per_window"); ok && ev.Dist != nil {
+					row.EventsPerWindow = round2(ev.Dist.Mean())
+				}
+			} else {
+				row.FixedWindows = windows
+				fixedCycles = res.ExecCycles
+			}
+		}
+		row.ExecCyclesEqual = row.ExecCycles == fixedCycles
+		if !row.ExecCyclesEqual {
+			return nil, fmt.Errorf("%s: adaptive simulated %d cycles, fixed lookahead %d: window policy changed behaviour",
+				ab, row.ExecCycles, fixedCycles)
+		}
+		row.Reduction = round2(float64(row.FixedWindows) / float64(row.Windows))
+		out = append(out, row)
+	}
+	return out, nil
+}
+
 func main() {
-	outPath := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: 2 workloads × 2 policies, skip nothing else")
 	flag.Parse()
 
@@ -400,6 +503,14 @@ func main() {
 		os.Exit(1)
 	}
 	rep.SimCores = simCores
+
+	fmt.Fprintln(os.Stderr, "benchreport: running window-scheduling table...")
+	windows, err := windowSuite(scale, *short)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	rep.Windows = windows
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

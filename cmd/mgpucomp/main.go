@@ -47,6 +47,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
 	flag.Parse()
 
+	if *simCores < 1 {
+		log.Fatalf("-sim-cores must be at least 1 (got %d)", *simCores)
+	}
+
 	pol, err := core.ParsePolicy(strings.ToLower(*policy))
 	if err != nil {
 		log.Fatal(err)

@@ -55,6 +55,10 @@ func main() {
 	server := flag.String("server", "", "sweepd base URL (e.g. http://127.0.0.1:8372): run the plan on a resident daemon instead of simulating locally")
 	flag.Parse()
 
+	if *simCores < 1 {
+		log.Fatalf("-sim-cores must be at least 1 (got %d)", *simCores)
+	}
+
 	prof, err := fault.Parse(*faultProfile)
 	if err != nil {
 		log.Fatal(err)

@@ -31,6 +31,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of all jobs to this file")
 	flag.Parse()
 
+	if *simCores < 1 {
+		log.Fatalf("-sim-cores must be at least 1 (got %d)", *simCores)
+	}
+
 	if *area {
 		fmt.Print(runner.FormatAreaOverhead())
 		return

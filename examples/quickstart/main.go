@@ -24,6 +24,10 @@ func main() {
 	simCores := flag.Int("sim-cores", 1, "engine workers advancing partitions in parallel (results are byte-identical for any value)")
 	flag.Parse()
 
+	if *simCores < 1 {
+		log.Fatalf("-sim-cores must be at least 1 (got %d)", *simCores)
+	}
+
 	// --- 1. Compress single cache lines -----------------------------------
 	lines := map[string][]byte{
 		"zeros":             make([]byte, comp.LineSize),

@@ -118,6 +118,7 @@ func (c *Crossbar) Handle(e sim.Event) error {
 		c.schedule(e.Time())
 		return nil
 	case faultDeliverEvent:
+		c.pendingFaults--
 		c.handOff(e.Time(), evt.msg)
 		return nil
 	default:

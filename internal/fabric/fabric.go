@@ -8,8 +8,10 @@
 // The fabric is the seam between simulation partitions: arbitration runs as
 // a component of the hub partition, every attached endpoint keeps a small
 // link shim in its own partition, and the LinkLatency separating the two is
-// the explicit minimum latency from which the parallel engine derives its
-// conservative lookahead window.
+// the explicit minimum latency that floors the parallel engine's adaptive
+// window scheduler. While a transfer occupies the bus, the arbiter also
+// publishes next-send bounds on its hub-to-owner links (see arbitrate),
+// letting the engine widen windows past the busy stretch.
 package fabric
 
 import (
@@ -29,8 +31,8 @@ type Config struct {
 	OutBufferBytes int
 	// LinkLatency is the one-way wire latency, in cycles, between an
 	// endpoint and the fabric arbiter. It is declared at construction and
-	// doubles as the conservative lookahead of the parallel engine, so it
-	// must be at least 1 (New normalizes smaller values up).
+	// is the latency floor under the parallel engine's adaptive windows, so
+	// it must be at least 1 (New normalizes smaller values up).
 	LinkLatency sim.Time
 	// Topology selects the implementation: TopologyBus (paper, default)
 	// or TopologyCrossbar (extension).
@@ -95,6 +97,7 @@ func (b *Bus) Handle(e sim.Event) error {
 		b.completeTransfer(e.Time())
 		return nil
 	case faultDeliverEvent:
+		b.pendingFaults--
 		b.handOff(e.Time(), evt.msg)
 		return nil
 	default:
@@ -131,6 +134,21 @@ func (b *Bus) arbitrate(now sim.Time) {
 		b.part.Schedule(transferDoneEvent{EventBase: sim.NewEventBase(b.busyUntil, b)})
 		// Output space freed: credit the sender's link.
 		b.outCredit(now, ep, bytes)
+		// The wire is committed through busyUntil: arbitrate is a no-op while
+		// a transfer is in flight, so after this claim's own credit (just
+		// emitted, entry now+latency) nothing leaves the hub before the
+		// transfer completes. Publish that horizon as the next-send bound of
+		// every egress link — the parallel engine widens its window past the
+		// hub's head events up to it. The completing transfer's delivery and
+		// the next claim's credit both land at exactly busyUntil+latency, so
+		// the bound is tight. Suppressed while a fault-delayed delivery is
+		// outstanding, since it may land inside the horizon.
+		if b.pendingFaults == 0 {
+			horizon := b.busyUntil + b.cfg.LinkLatency
+			for _, other := range b.endpoints {
+				other.toOwner.SetNextSend(horizon)
+			}
+		}
 		return
 	}
 }

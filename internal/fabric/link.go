@@ -23,6 +23,12 @@ type hub struct {
 
 	endpoints []*endpoint
 	byPort    map[*sim.Port]*endpoint
+
+	// pendingFaults counts fault-delayed deliveries scheduled but not yet
+	// fired. While any are outstanding the bus must not raise next-send
+	// bounds on its egress links: a delayed delivery may land earlier than
+	// the busy horizon of a later transfer.
+	pendingFaults int
 }
 
 // endpoint is the hub-side view of one attached port: its ingress queue
@@ -59,8 +65,8 @@ func newHub(name string, part *sim.Partition, cfg Config) hub {
 // fabric. It builds the owner-side link (a sim.Connection local to the
 // owner) and the two sim.Remote channels carrying traffic and credits
 // between the owner and the hub; the fabric's LinkLatency is the declared
-// minimum latency of both, which is what derives the engine's conservative
-// lookahead window.
+// minimum latency of both, which floors the engine's adaptive window
+// bounds on these links.
 func (h *hub) Attach(p *sim.Port, owner *sim.Partition) {
 	credit := -1
 	if c := p.Capacity(); c > 0 {
@@ -113,6 +119,7 @@ func (h *hub) finish(now sim.Time, msg sim.Msg) {
 			return // dropped; the RDMA guard's timeout recovers
 		}
 		if out.Delay > 0 {
+			h.pendingFaults++
 			h.part.Schedule(faultDeliverEvent{
 				EventBase: sim.NewEventBase(now+out.Delay, h.arb),
 				msg:       out.Msg,

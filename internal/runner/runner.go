@@ -16,6 +16,7 @@ import (
 	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/platform"
 	"mgpucompress/internal/rdma"
+	"mgpucompress/internal/sim"
 	"mgpucompress/internal/stats"
 	"mgpucompress/internal/trace"
 	"mgpucompress/internal/workloads"
@@ -74,6 +75,12 @@ type Options struct {
 	// Results are byte-identical across any SimCores value. Runs that
 	// capture ordered streams (Trace, SeriesLimit) are forced serial.
 	SimCores int
+	// FixedLookahead, when positive, pins the engine's window width to this
+	// many cycles instead of the default adaptive widening — the PR 8
+	// scheduling baseline. Results are byte-identical either way; only
+	// windows-per-run changes. Used by cmd/benchreport's window-scheduling
+	// table. Must not exceed the fabric link latency.
+	FixedLookahead int
 }
 
 // Validate reports the first configuration error, consolidating the checks
@@ -103,6 +110,9 @@ func (o Options) Validate() error {
 	}
 	if o.SimCores < 0 {
 		return fmt.Errorf("negative sim cores %d", o.SimCores)
+	}
+	if o.FixedLookahead < 0 {
+		return fmt.Errorf("negative fixed lookahead %d", o.FixedLookahead)
 	}
 	switch o.Topology {
 	case "", fabric.TopologyBus, fabric.TopologyCrossbar:
@@ -357,6 +367,7 @@ func Run(abbrev string, opts Options) (*Result, error) {
 		cfg.Fabric.Trace = traceLog
 	}
 	cfg.SimCores = opts.SimCores
+	cfg.FixedLookahead = sim.Time(opts.FixedLookahead)
 	recs := newRecorderSet(opts, cfg.NumGPUs+1)
 	recs.registerMetrics(reg)
 	cfg.NewRecorder = func(unit int) rdma.Recorder { return recs.forUnit(unit) }

@@ -14,15 +14,25 @@
 // and clock; components belong to exactly one partition and schedule only on
 // it. Cross-partition traffic travels over Remote links that declare a
 // minimum latency at construction. Run advances all partitions window by
-// window: with T the earliest pending event anywhere and L the minimum
-// cross-partition link latency, every partition may safely process its local
-// events with time < T+L, because no event created inside the window can
-// land before T+L. Windows execute concurrently on up to WithCores workers;
-// the barrier between windows merges Remote traffic into the destination
-// queues in a fixed link order. Event order inside a partition is the
-// (time, seq) total order, and seq is a pure function of the partition index
-// and the partition-local schedule count — never of goroutine scheduling —
-// so a run's observable behaviour is byte-identical for any core count.
+// window; cross traffic parks in per-link outboxes until the window barrier
+// merges it into the destination queues.
+//
+// Window widths adapt to traffic rather than tracking simulated time: a
+// partition whose next event is at time h cannot emit anything that lands
+// before h plus its cheapest outgoing link, so the window limit is the
+// minimum of those bounds over every partition with pending work — idle and
+// locally-busy stretches execute in one window instead of one window per
+// minimum link latency. When a single partition has work under the limit the
+// engine elides the barrier entirely and runs it inline, widening the window
+// dynamically as far as the other partitions' queued events (and the lone
+// partition's own emissions, reflected through the link graph) allow.
+//
+// Event order inside a partition is the (time, seq) total order. Sequence
+// numbers are partition-striped and assigned by the emitting partition — for
+// cross-partition events, stamped by the source at emission time — so the
+// order is a pure function of simulation content, never of window placement,
+// goroutine scheduling, or the core count: a run's observable behaviour is
+// byte-identical for any WithCores value and either window policy.
 package sim
 
 import (
@@ -174,10 +184,13 @@ func WithCores(n int) Option {
 	return func(e *Engine) { e.cores = n }
 }
 
-// WithLookahead pins the window width instead of deriving it from the
-// minimum cross-partition link latency. A value larger than the derived
-// minimum would break conservative safety, so Run panics on it; smaller
-// values are safe (they only add barriers).
+// WithLookahead pins every window to a fixed width instead of the default
+// adaptive widening, reproducing the classic conservative schedule whose
+// barrier count tracks simulated time. A value larger than the minimum
+// cross-partition link latency would break conservative safety, so Run
+// panics on it; smaller values are safe (they only add barriers). Results
+// are byte-identical between fixed and adaptive windows — this option only
+// exists as a baseline for benchmarking the window scheduler.
 func WithLookahead(t Time) Option {
 	if t == 0 {
 		panic("sim: WithLookahead needs a nonzero window")
@@ -199,21 +212,46 @@ type Engine struct {
 	maxTime    Time
 	running    bool
 
-	// Window-barrier state for the spinning worker pool. A macro run with a
-	// two-cycle lookahead crosses tens of thousands of window barriers, so
-	// workers spin on the epoch counter between windows instead of parking on
-	// a channel: a futex wake/sleep round trip per window would cost more
-	// than the window's own work. jobs and limit are plain fields published
-	// by the epoch increment and fenced off by the per-worker acks, which the
-	// coordinator waits on before touching them again.
-	jobs    []*Partition
-	limit   Time
-	epoch   atomic.Int64
-	ticket  atomic.Int64
-	stop    atomic.Bool
-	acks    []atomic.Int64
-	workers sync.WaitGroup
+	// Window-scheduling inputs, rebuilt by prepare at the start of each Run
+	// from the link graph (host code may add links between runs).
+	fixedLA Time      // nonzero: fixed window width (WithLookahead)
+	cross   []*Remote // cross-partition links only (src != dst)
+	dist    [][]Time  // all-pairs min cross-partition path latency (closure)
+
+	// Window-scheduling telemetry. All counts derive from the deterministic
+	// job list — never from worker scheduling — so snapshots stay
+	// byte-identical across core counts.
+	windows     uint64
+	barrierWins uint64
+	serialWins  uint64
+	crossMsgs   uint64
+	evw         metrics.Distribution
+
+	// Window-barrier state for the spinning worker pool. A macro run still
+	// crosses many window barriers, so workers spin on the epoch counter
+	// between windows instead of parking on a channel: a futex wake/sleep
+	// round trip per window would cost more than the window's own work. jobs
+	// and limit are plain fields published by the epoch increment and fenced
+	// off by the per-worker acks, which the coordinator waits on before
+	// touching them again. The pool starts lazily at the first multi-partition
+	// window and parks again (stopWorkers) after a sustained single-partition
+	// phase, so serial stretches burn no cores spinning.
+	jobs         []*Partition
+	limit        Time
+	epoch        atomic.Int64
+	ticket       atomic.Int64
+	stop         atomic.Bool
+	acks         []atomic.Int64
+	workers      sync.WaitGroup
+	workersUp    bool
+	consecSerial int
 }
+
+// parkAfter is how many consecutive single-partition windows the engine
+// tolerates before stopping the spinning workers. Low enough that a long
+// serial phase (kernel launch, drained tail) frees the cores quickly, high
+// enough that alternating phases do not thrash goroutine creation.
+const parkAfter = 128
 
 // NewEngine creates an engine at time 0. With no options it has a single
 // partition and runs serially, which reproduces the classic single-queue
@@ -238,10 +276,11 @@ func (e *Engine) Partitions() int { return len(e.parts) }
 
 // Link declares a scheduling channel from src to dst whose events always run
 // at least minLatency cycles after the source's current time. Cross-partition
-// links (src != dst) define the conservative lookahead: the run loop's window
-// width is the minimum of their latencies. A link with src == dst is a
-// convenience for components wired symmetrically against local and remote
-// peers; it enforces the same latency floor but adds no synchronization.
+// links (src != dst) bound how soon one partition can disturb another, which
+// is what the window scheduler's adaptive limits are computed from. A link
+// with src == dst is a convenience for components wired symmetrically against
+// local and remote peers; it enforces the same latency floor but adds no
+// synchronization.
 func (e *Engine) Link(src, dst *Partition, minLatency Time) *Remote {
 	if src.eng != e || dst.eng != e {
 		panic("sim: Link across engines")
@@ -289,23 +328,61 @@ func (e *Engine) Pending() int {
 // Events at exactly the deadline still run.
 func (e *Engine) SetMaxTime(t Time) { e.maxTime = t }
 
-// lookahead returns the effective window width: the minimum cross-partition
-// link latency, optionally tightened by WithLookahead. TimeInf (no cross
-// links) means every partition runs to completion independently.
-func (e *Engine) lookahead() Time {
+// prepare rebuilds the window scheduler's link-graph summaries: the list of
+// cross-partition links (cross) and the all-pairs shortest-path closure over
+// them (dist), both with saturating arithmetic. dist bounds how soon any
+// causal chain starting at one partition can reach another, which is what
+// lets a lone partition run far ahead of the fixed window. K is small (GPU
+// count plus one), so the Floyd–Warshall closure is negligible next to a
+// single window's work.
+func (e *Engine) prepare() {
+	k := len(e.parts)
 	derived := TimeInf
-	for _, r := range e.remotes {
-		if r.src != r.dst && r.latency < derived {
-			derived = r.latency
+	if len(e.dist) != k {
+		e.dist = make([][]Time, k)
+		for i := range e.dist {
+			e.dist[i] = make([]Time, k)
 		}
 	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			e.dist[i][j] = TimeInf
+		}
+		e.dist[i][i] = 0
+	}
+	e.cross = e.cross[:0]
+	for _, r := range e.remotes {
+		if r.src == r.dst {
+			continue
+		}
+		e.cross = append(e.cross, r)
+		if r.latency < derived {
+			derived = r.latency
+		}
+		if r.latency < e.dist[r.src.idx][r.dst.idx] {
+			e.dist[r.src.idx][r.dst.idx] = r.latency
+		}
+	}
+	for m := 0; m < k; m++ {
+		for i := 0; i < k; i++ {
+			if e.dist[i][m] == TimeInf {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if via := satAdd(e.dist[i][m], e.dist[m][j]); via < e.dist[i][j] {
+					e.dist[i][j] = via
+				}
+			}
+		}
+	}
+	e.fixedLA = 0
 	if e.explicitLA != 0 {
 		if e.explicitLA > derived {
 			panic(fmt.Sprintf("sim: explicit lookahead %d exceeds minimum link latency %d", e.explicitLA, derived))
 		}
-		return e.explicitLA
+		e.fixedLA = e.explicitLA
 	}
-	return derived
+	e.consecSerial = 0
 }
 
 // Run processes events in time order until every queue drains, a partition
@@ -322,28 +399,12 @@ func (e *Engine) Run() error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-
-	la := e.lookahead()
-	if n := e.extraWorkers(); n > 0 {
-		e.stop.Store(false)
-		e.acks = make([]atomic.Int64, n)
-		base := e.epoch.Load()
-		for i := 0; i < n; i++ {
-			e.acks[i].Store(base)
-			e.workers.Add(1)
-			go e.worker(i, base)
-		}
-		defer func() {
-			e.stop.Store(true)
-			e.epoch.Add(1) // release spinners so they observe stop
-			e.workers.Wait()
-			e.acks = nil
-		}()
-	}
+	e.prepare()
+	defer e.stopWorkers()
 
 	for {
 		e.drainRemotes()
-		limit, ok := e.nextWindow(la)
+		limit, ok := e.nextWindow()
 		if !ok {
 			return nil
 		}
@@ -371,7 +432,18 @@ func (e *Engine) RunUntil(t Time) error {
 
 // nextWindow computes the exclusive upper bound of the next window, or
 // reports false when nothing runnable remains under the deadline.
-func (e *Engine) nextWindow(la Time) (Time, bool) {
+//
+// Adaptive rule (default): the window is bounded per cross link, not per
+// simulated cycle. A link whose source's head event is at time h carries
+// nothing that arrives before h plus the link latency — the source is asleep
+// until h — and never anything before the link's next-send bound, which the
+// owning component may raise when its committed state rules out earlier
+// traffic (a fabric bus mid-transfer, for example). The window extends to
+// the minimum of those per-link bounds; events created inside the window
+// land at or past the limit, never inside it. Every bound is at least
+// head+latency, so the adaptive window is never narrower than the fixed
+// one, and it grows without bound while traffic stays local.
+func (e *Engine) nextWindow() (Time, bool) {
 	t := TimeInf
 	for _, p := range e.parts {
 		if len(p.queue) > 0 && p.queue[0].time < t {
@@ -381,9 +453,23 @@ func (e *Engine) nextWindow(la Time) (Time, bool) {
 	if t == TimeInf || t > e.maxTime {
 		return 0, false
 	}
-	limit := TimeInf
-	if la < TimeInf-t {
-		limit = t + la
+	var limit Time
+	if e.fixedLA != 0 {
+		limit = satAdd(t, e.fixedLA)
+	} else {
+		limit = TimeInf
+		for _, r := range e.cross {
+			if len(r.src.queue) == 0 {
+				continue
+			}
+			b := satAdd(r.src.queue[0].time, r.latency)
+			if r.nextSend > b {
+				b = r.nextSend
+			}
+			if b < limit {
+				limit = b
+			}
+		}
 	}
 	if e.maxTime != TimeInf && limit > e.maxTime {
 		limit = e.maxTime + 1 // events at exactly the deadline still run
@@ -391,10 +477,10 @@ func (e *Engine) nextWindow(la Time) (Time, bool) {
 	return limit, true
 }
 
-// extraWorkers returns how many worker goroutines a Run should start, on top
-// of the coordinator itself (0 = run windows inline on the caller). The
-// coordinator always participates in window work, so cores=2 means one extra
-// worker.
+// extraWorkers returns how many worker goroutines the pool holds when
+// running, on top of the coordinator itself (0 = run windows inline on the
+// caller). The coordinator always participates in window work, so cores=2
+// means one extra worker.
 func (e *Engine) extraWorkers() int {
 	if e.cores <= 1 || len(e.parts) == 1 {
 		return 0
@@ -406,29 +492,89 @@ func (e *Engine) extraWorkers() int {
 	return n - 1
 }
 
+// startWorkers spins up the worker pool. Called lazily at the first window
+// that actually has concurrent work, and again after stopWorkers parked the
+// pool through a serial phase.
+func (e *Engine) startWorkers() {
+	n := e.extraWorkers()
+	if n <= 0 || e.workersUp {
+		return
+	}
+	e.stop.Store(false)
+	e.acks = make([]atomic.Int64, n)
+	base := e.epoch.Load()
+	for i := 0; i < n; i++ {
+		e.acks[i].Store(base)
+		e.workers.Add(1)
+		go e.worker(i, base)
+	}
+	e.workersUp = true
+}
+
+// stopWorkers parks the pool: workers observe the stop flag on the next
+// epoch bump and exit. Only called between windows (and at Run exit), when
+// every worker has already acked and quiesced.
+func (e *Engine) stopWorkers() {
+	if !e.workersUp {
+		return
+	}
+	e.stop.Store(true)
+	e.epoch.Add(1) // release spinners so they observe stop
+	e.workers.Wait()
+	e.acks = nil
+	e.workersUp = false
+}
+
 // runWindow advances every partition with work under the limit. Partitions
 // never touch each other's state inside a window (cross traffic sits in
 // Remote outboxes until the barrier), so dispatch order — and the worker
 // count — cannot influence results.
+//
+// Windows with a single active partition elide the barrier entirely: the
+// lone partition runs inline on the coordinator under a dynamically widened
+// limit (see wideLimit), and a sustained single-partition phase parks the
+// worker pool so serial stretches burn no cores spinning.
 func (e *Engine) runWindow(limit Time) {
-	if e.acks == nil {
-		for _, p := range e.parts {
-			if len(p.queue) > 0 && p.queue[0].time < limit {
-				p.window(limit)
-			}
-		}
-		return
-	}
 	e.jobs = e.jobs[:0]
 	for _, p := range e.parts {
 		if len(p.queue) > 0 && p.queue[0].time < limit {
 			e.jobs = append(e.jobs, p)
 		}
 	}
+	e.windows++
+	before := e.EventCount()
 	if len(e.jobs) == 1 {
-		// A lone active partition (serial phases, drained tails) skips the
-		// barrier round trip entirely.
-		e.jobs[0].window(limit)
+		e.serialWins++
+		e.consecSerial++
+		p := e.jobs[0]
+		if e.fixedLA == 0 {
+			limit = e.wideLimit(p, limit)
+			p.dynamic = true
+		}
+		p.window(limit)
+		p.dynamic = false
+		if e.consecSerial >= parkAfter {
+			e.stopWorkers()
+		}
+	} else {
+		e.barrierWins++
+		e.consecSerial = 0
+		e.runJobs(limit)
+	}
+	e.evw.Observe(float64(e.EventCount() - before))
+}
+
+// runJobs executes a multi-partition window, starting the worker pool on
+// demand and falling back to inline execution when there is none (cores=1,
+// or a single partition).
+func (e *Engine) runJobs(limit Time) {
+	if !e.workersUp {
+		e.startWorkers()
+	}
+	if !e.workersUp {
+		for _, p := range e.jobs {
+			p.window(limit)
+		}
 		return
 	}
 	e.limit = limit
@@ -445,6 +591,37 @@ func (e *Engine) runWindow(limit Time) {
 			}
 		}
 	}
+}
+
+// wideLimit returns the dynamic window bound for a lone active partition p:
+// the earliest time any other partition's queued work could reach p through
+// the link graph. The first hop of every such chain honours both the source's
+// head event and the link's next-send bound; the rest of the chain is bounded
+// by the latency closure. While p runs, its own emissions tighten the bound
+// further (Remote.Schedule collapses p's curLimit through the same closure),
+// so nothing p does can be disturbed retroactively. With no other pending
+// work and no emissions, p simply runs to completion in one window.
+func (e *Engine) wideLimit(p *Partition, limit Time) Time {
+	w := TimeInf
+	for _, r := range e.cross {
+		if r.src == p || len(r.src.queue) == 0 {
+			continue
+		}
+		b := satAdd(r.src.queue[0].time, r.latency)
+		if r.nextSend > b {
+			b = r.nextSend
+		}
+		if b = satAdd(b, e.dist[r.dst.idx][p.idx]); b < w {
+			w = b
+		}
+	}
+	if e.maxTime != TimeInf && w > e.maxTime {
+		w = e.maxTime + 1
+	}
+	if w < limit {
+		return limit
+	}
+	return w
 }
 
 // spinBudget is how many times a barrier loop polls before yielding the OS
@@ -489,17 +666,30 @@ func (e *Engine) worker(idx int, last int64) {
 	}
 }
 
-// drainRemotes merges every link's outbox into its destination queue. Link
-// order and outbox order are both deterministic (creation order and source
-// processing order), so the sequence numbers the destination assigns are
-// too.
+// drainRemotes merges the window's cross-partition batches into the
+// destination queues. Only links that actually carried traffic are visited
+// (each source partition keeps a dirty-link list), entries arrive already
+// stamped with source-assigned sequence numbers, and the emptied buffers
+// return to the source partition's pool for the next window. Merge order is
+// irrelevant to results — the (time, seq) order was fixed at emission — but
+// stays deterministic anyway (partition then dirty order).
 func (e *Engine) drainRemotes() {
-	for _, r := range e.remotes {
-		for i, entry := range r.buf {
-			r.dst.enqueue(entry.time, entry.evt, nil)
-			r.buf[i] = remoteEntry{}
+	for _, p := range e.parts {
+		if len(p.dirty) == 0 {
+			continue
 		}
-		r.buf = r.buf[:0]
+		for di, r := range p.dirty {
+			buf := r.buf
+			r.buf = nil
+			e.crossMsgs += uint64(len(buf))
+			for i := range buf {
+				r.dst.enqueueStamped(buf[i].time, buf[i].seq, buf[i].evt)
+				buf[i] = remoteEntry{} // release the Event reference
+			}
+			p.pool = append(p.pool, buf[:0])
+			p.dirty[di] = nil
+		}
+		p.dirty = p.dirty[:0]
 	}
 }
 
@@ -522,9 +712,12 @@ func (e *Engine) windowError() error {
 	return best.err
 }
 
-// RegisterMetrics exposes the engine's event-loop counters under prefix
-// (conventionally "sim"). The closures aggregate over partitions at snapshot
-// time, so a snapshot always reflects the state at snapshot time.
+// RegisterMetrics exposes the engine's event-loop and window-scheduler
+// counters under prefix (conventionally "sim"). The closures aggregate over
+// partitions at snapshot time, so a snapshot always reflects the state at
+// snapshot time. Every value is a pure function of simulation content — the
+// window counts derive from the deterministic job lists, never from worker
+// scheduling — so snapshots are byte-identical across core counts.
 func (e *Engine) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.CounterFunc(prefix+"/cycles", func() uint64 { return uint64(e.Now()) })
 	reg.CounterFunc(prefix+"/events_handled", func() uint64 { return e.EventCount() })
@@ -536,4 +729,9 @@ func (e *Engine) RegisterMetrics(reg *metrics.Registry, prefix string) {
 		return n
 	})
 	reg.GaugeFunc(prefix+"/events_pending", func() float64 { return float64(e.Pending()) })
+	reg.CounterFunc(prefix+"/windows", func() uint64 { return e.windows })
+	reg.CounterFunc(prefix+"/remote_msgs", func() uint64 { return e.crossMsgs })
+	reg.CounterFunc(prefix+"/barrier_spins", func() uint64 { return e.barrierWins })
+	reg.CounterFunc(prefix+"/serial_fallback_windows", func() uint64 { return e.serialWins })
+	reg.DistributionFunc(prefix+"/events_per_window", e.evw.Value)
 }

@@ -33,6 +33,19 @@ type Partition struct {
 	// tick is reused across ScheduleTick dispatches so handling a
 	// lightweight tick allocates nothing.
 	tick TickEvent
+
+	// Window-scheduling state. curLimit is the exclusive bound the current
+	// window dispatches under; in a lone-partition dynamic window (dynamic
+	// set by the engine) the partition's own Remote emissions collapse it,
+	// so the dispatch loop re-reads it every iteration. dirty lists the
+	// outgoing links that buffered traffic this window, and pool recycles
+	// their outbox buffers across windows. All four fields are only touched
+	// by whoever owns the partition at the time: its worker inside a window,
+	// the coordinator at the barrier.
+	curLimit Time
+	dynamic  bool
+	dirty    []*Remote
+	pool     [][]remoteEntry
 }
 
 // Engine returns the engine this partition belongs to.
@@ -61,6 +74,31 @@ func (p *Partition) enqueue(t Time, evt Event, h Handler) {
 	}
 	p.scheduled++
 	p.queue.push(queuedEvent{time: t, seq: p.nextSeq(), evt: evt, h: h})
+}
+
+// enqueueStamped merges a cross-partition entry whose sequence number was
+// already assigned by the emitting partition. Striped numbering keeps
+// foreign stamps disjoint from local ones, and because the stamp was fixed
+// at emission time, the (time, seq) order — and therefore every run's
+// behaviour — is independent of window placement and merge timing.
+func (p *Partition) enqueueStamped(t Time, seq uint64, evt Event) {
+	if t < p.now {
+		panic(fmt.Sprintf("sim: merging remote event at %d before now %d", t, p.now))
+	}
+	p.scheduled++
+	p.queue.push(queuedEvent{time: t, seq: seq, evt: evt})
+}
+
+// takeBuf hands out a pooled outbox buffer (or a fresh one) for a link that
+// starts buffering this window. Buffers come back via the barrier drain.
+func (p *Partition) takeBuf() []remoteEntry {
+	if n := len(p.pool); n > 0 {
+		b := p.pool[n-1]
+		p.pool[n-1] = nil
+		p.pool = p.pool[:n-1]
+		return b
+	}
+	return make([]remoteEntry, 0, 16)
 }
 
 // Schedule adds an event to this partition's queue. It panics if the event
@@ -94,13 +132,17 @@ func (p *Partition) AssignMsgID(m Msg) {
 // Run resumes where the simulation left off.
 func (p *Partition) Pause() { p.stopped = true }
 
-// window dispatches this partition's events with time < limit, in (time,
-// seq) order. It touches only partition-local state (plus whatever the
-// handlers own within this partition), so windows of different partitions
-// are safe to run concurrently.
+// window dispatches this partition's events with time < the window limit,
+// in (time, seq) order. It touches only partition-local state (plus whatever
+// the handlers own within this partition), so windows of different
+// partitions are safe to run concurrently. The limit lives in curLimit and
+// is re-read every iteration: in a dynamic lone-partition window the
+// partition's own Remote emissions collapse it mid-window, which is what
+// keeps running far ahead of the other partitions conservative.
 func (p *Partition) window(limit Time) {
+	p.curLimit = limit
 	for len(p.queue) > 0 && !p.stopped {
-		if p.queue[0].time >= limit {
+		if p.queue[0].time >= p.curLimit {
 			return
 		}
 		next := p.queue.pop()
