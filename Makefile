@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci lint lint-baseline test short race cover fuzz-smoke bench bench-smoke serve-smoke reproduce ablations examples fmt vet
+.PHONY: all ci lint lint-baseline test short race cover fuzz-smoke bench bench-smoke serve-smoke serve-load reproduce ablations examples fmt vet
 
 # Packages whose hot paths must stay clean of lint suppressions: the
 # zero-allocation fast paths are exactly where a silenced analyzer would
@@ -39,6 +39,15 @@ ci:
 	go run ./examples/quickstart -sim-cores 8 -metrics-out bin/metrics-p.json >/dev/null
 	cmp bin/metrics-a.json bin/metrics-p.json
 	@echo "parallel determinism gate (-sim-cores 1 vs 8): OK"
+	@for topo in bus crossbar ring mesh tree; do \
+		go run ./cmd/mgpucomp -bench SC -policy adaptive -lambda 6 -scale 1 \
+			-topology $$topo -gpus 8 -sim-cores 1 -metrics-out bin/topo-a.json >/dev/null || exit 1; \
+		go run ./cmd/mgpucomp -bench SC -policy adaptive -lambda 6 -scale 1 \
+			-topology $$topo -gpus 8 -sim-cores 8 -metrics-out bin/topo-b.json >/dev/null || exit 1; \
+		cmp bin/topo-a.json bin/topo-b.json || { echo "$$topo: parallel run diverged"; exit 1; }; \
+		echo "  $$topo @ 8 GPUs: OK"; \
+	done
+	@echo "topology smoke matrix (-sim-cores 1 vs 8, 8 GPUs): OK"
 
 # mgpulint: the determinism- and invariant-checking analyzers of
 # internal/analysis (see DESIGN.md "Determinism rules").
@@ -84,11 +93,11 @@ fuzz-smoke:
 # Full benchmark pass: every Go benchmark with allocation reporting, then
 # the committed hot-path report (micro numbers, baseline speedups, the
 # workload × policy macro table, the -sim-cores scaling table of the
-# parallel engine, and the adaptive-vs-fixed window-scheduling table)
-# regenerated into BENCH_PR9.json.
+# parallel engine, the adaptive-vs-fixed window-scheduling table, and the
+# topology × codec-selection table) regenerated into BENCH_PR10.json.
 bench:
 	go test -bench=. -benchmem ./...
-	go run ./cmd/benchreport -out BENCH_PR9.json
+	go run ./cmd/benchreport -out BENCH_PR10.json
 
 # Cheap pre-merge benchmark smoke: one iteration of the hot-path
 # microbenchmarks at the smallest scale, purely to catch benchmarks that no
@@ -103,6 +112,16 @@ bench-smoke:
 # (DESIGN.md "Sweep service"). Runs under the race detector; ~1 s.
 serve-smoke:
 	go test -race -count=1 -run '^TestServeSmoke$$' ./cmd/sweepd
+
+# Savina-style fan-out/fan-in load gate for the sweepd API at full pressure:
+# one large batch, many SSE consumers all dropping and resuming mid-stream.
+# Every consumer must see the gapless sequence with exactly one terminal
+# event, and the results artifact must match a direct internal/sweep run
+# byte for byte. (`go test ./internal/serve` runs the same test at its
+# default scale; -short shrinks it to a smoke.)
+serve-load:
+	SERVE_LOAD_JOBS=1000 SERVE_LOAD_CONSUMERS=64 \
+		go test -race -count=1 -v -run '^TestServeLoad$$' ./internal/serve
 
 reproduce:
 	go run ./cmd/reproduce -out results -scale 4

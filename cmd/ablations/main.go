@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 
+	"mgpucompress/internal/fabric"
 	"mgpucompress/internal/runner"
 	"mgpucompress/internal/serve"
 	"mgpucompress/internal/sweep"
@@ -32,6 +33,8 @@ func main() {
 	study := flag.String("study", "all", "sampling|onoff|link|extensions|topology|l15|scale|bandwidth|all")
 	scale := flag.Int("scale", 2, "input scale factor")
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
+	gpus := flag.Int("gpus", 0, "GPU count (0 = the paper's 4)")
+	topology := flag.String("topology", "", "fabric topology for every study except -study topology (which sweeps them all)")
 	bench := flag.String("bench", "SC", "benchmark for single-benchmark studies")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	simCores := flag.Int("sim-cores", 1, "engine workers per simulation (results are byte-identical for any value)")
@@ -46,7 +49,7 @@ func main() {
 	}
 
 	o := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus, Seed: *seed,
-		SimCores: *simCores}
+		SimCores: *simCores, Topology: fabric.Topology(*topology), NumGPUs: *gpus}
 	// One shared sweep across studies: -study all re-uses baseline and
 	// adaptive runs that several studies have in common.
 	cfg := runner.SweepConfig{Jobs: *jobs, Trace: *traceOut != ""}

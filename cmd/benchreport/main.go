@@ -1,11 +1,15 @@
 // Command benchreport measures the hot paths and writes a machine-readable
-// benchmark report (BENCH_PR9.json): the zero-allocation
+// benchmark report (BENCH_PR10.json): the zero-allocation
 // codec/bitstream/event-queue microbenchmarks, a workload × policy macro
 // table (simulated cycles, wall time, allocations per full run), the
-// -sim-cores scaling table of the conservative parallel engine, and the
+// -sim-cores scaling table of the conservative parallel engine, the
 // window-scheduling table comparing the adaptive window scheduler against
 // the classic fixed-lookahead schedule (windows per run, events per window,
-// with exec-cycles equality checked on every row).
+// with exec-cycles equality checked on every row), and the topology table
+// running the adaptive controller with per-link codec selection against a
+// single global controller on every switched interconnect at 8, 16 and 64
+// GPUs (with the parallel engine's metric snapshots byte-compared against
+// the serial run on every row).
 //
 // The JSON also embeds the pre-optimization baseline numbers (measured on the
 // commit before PR 4, same machine class) and the resulting speedups, so
@@ -16,12 +20,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-out BENCH_PR9.json] [-short]
+//	go run ./cmd/benchreport [-out BENCH_PR10.json] [-short]
 //
 // BENCH_SCALE (default 1) selects the macro workload scale.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +40,7 @@ import (
 	"mgpucompress/internal/bitstream"
 	"mgpucompress/internal/comp"
 	"mgpucompress/internal/core"
+	"mgpucompress/internal/fabric"
 	"mgpucompress/internal/runner"
 	"mgpucompress/internal/sim"
 	"mgpucompress/internal/sim/schedbench"
@@ -102,6 +108,33 @@ type WindowResult struct {
 	BarrierWindows  uint64  `json:"barrier_windows"`
 }
 
+// TopoResult is one row of the topology table: a single workload on one
+// interconnect shape, run uncompressed, under the paper's per-link adaptive
+// controller, and under one shared global controller. The global controller
+// sees every endpoint's traffic but can only pick one codec for the whole
+// fabric — the counterpoint the paper's Sec. V design argues against — so
+// per_link_fabric_bytes <= global_fabric_bytes measures exactly what
+// per-link selection buys. ParallelSnapshotEqual records that the adaptive
+// row's full metric snapshot is byte-identical when re-run on 8 engine
+// cores (the global controller is inherently serial and is not re-run).
+type TopoResult struct {
+	Topology              string  `json:"topology"`
+	GPUs                  int     `json:"gpus"`
+	Workload              string  `json:"workload"`
+	BaseExecCycles        uint64  `json:"base_exec_cycles"`
+	BaseFabricBytes       uint64  `json:"base_fabric_bytes"`
+	PerLinkExecCycles     uint64  `json:"per_link_exec_cycles"`
+	PerLinkFabricBytes    uint64  `json:"per_link_fabric_bytes"`
+	GlobalExecCycles      uint64  `json:"global_exec_cycles"`
+	GlobalFabricBytes     uint64  `json:"global_fabric_bytes"`
+	PerLinkSpeedup        float64 `json:"per_link_speedup"`
+	GlobalSpeedup         float64 `json:"global_speedup"`
+	PerLinkTraffic        float64 `json:"per_link_traffic_vs_base"`
+	GlobalTraffic         float64 `json:"global_traffic_vs_base"`
+	WallMs                float64 `json:"wall_ms"`
+	ParallelSnapshotEqual bool    `json:"parallel_snapshot_equal"`
+}
+
 // Report is the benchmark-report JSON schema.
 type Report struct {
 	Generated string `json:"generated"`
@@ -122,9 +155,10 @@ type Report struct {
 		NsPerLine float64 `json:"ns_per_line"`
 		Speedup   float64 `json:"speedup_vs_baseline"`
 	} `json:"sampling_trio"`
-	Macro    []MacroResult  `json:"macro"`
-	SimCores []CoresResult  `json:"sim_cores"`
-	Windows  []WindowResult `json:"window_scheduling"`
+	Macro      []MacroResult  `json:"macro"`
+	SimCores   []CoresResult  `json:"sim_cores"`
+	Windows    []WindowResult `json:"window_scheduling"`
+	Topologies []TopoResult   `json:"topologies"`
 }
 
 // preBaseline is the recorded state of the encode hot path on the parent
@@ -447,8 +481,105 @@ func windowSuite(scale int, short bool) ([]WindowResult, error) {
 	return out, nil
 }
 
+// snapshotJSON serializes a run's metric snapshot for byte comparison.
+func snapshotJSON(res *runner.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := res.Snapshot.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// topoSuite builds the topology table: one workload on every interconnect
+// shape, comparing the paper's per-link adaptive controller against one
+// global controller shared by all endpoints, and byte-comparing the
+// adaptive run's metric snapshot between 1 and 8 engine cores.
+func topoSuite(scale int, short bool) ([]TopoResult, error) {
+	type shape struct {
+		topo fabric.Topology
+		gpus int
+	}
+	shapes := []shape{
+		{fabric.TopologyBus, 4}, {fabric.TopologyCrossbar, 4},
+		{fabric.TopologyRing, 8}, {fabric.TopologyRing, 16}, {fabric.TopologyRing, 64},
+		{fabric.TopologyMesh, 8}, {fabric.TopologyMesh, 16}, {fabric.TopologyMesh, 64},
+		{fabric.TopologyTree, 8}, {fabric.TopologyTree, 16}, {fabric.TopologyTree, 64},
+	}
+	if short {
+		shapes = []shape{
+			{fabric.TopologyRing, 8}, {fabric.TopologyMesh, 8}, {fabric.TopologyTree, 8},
+		}
+	}
+	const workload = "SC"
+	var out []TopoResult
+	for _, sh := range shapes {
+		run := func(pol core.PolicyID, cores int) (*runner.Result, error) {
+			opts := runner.Options{
+				Scale:    workloads.Scale(scale),
+				Policy:   pol,
+				NumGPUs:  sh.gpus,
+				Topology: sh.topo,
+				SimCores: cores,
+			}
+			if pol != core.PolicyNone {
+				opts.Lambda = core.DefaultLambda
+			}
+			return runner.Run(workload, opts)
+		}
+		start := time.Now()
+		base, err := run(core.PolicyNone, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%d/none: %w", sh.topo, sh.gpus, err)
+		}
+		perLink, err := run(core.PolicyAdaptive, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%d/adaptive: %w", sh.topo, sh.gpus, err)
+		}
+		perLink8, err := run(core.PolicyAdaptive, 8)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%d/adaptive cores=8: %w", sh.topo, sh.gpus, err)
+		}
+		global, err := run(core.PolicyAdaptiveGlobal, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%d/adaptive-global: %w", sh.topo, sh.gpus, err)
+		}
+		wall := time.Since(start)
+		snap1, err := snapshotJSON(perLink)
+		if err != nil {
+			return nil, err
+		}
+		snap8, err := snapshotJSON(perLink8)
+		if err != nil {
+			return nil, err
+		}
+		equal := bytes.Equal(snap1, snap8)
+		if !equal {
+			return nil, fmt.Errorf("%s/%d: 8-core metric snapshot diverged from serial run",
+				sh.topo, sh.gpus)
+		}
+		out = append(out, TopoResult{
+			Topology:              string(sh.topo),
+			GPUs:                  sh.gpus,
+			Workload:              workload,
+			BaseExecCycles:        base.ExecCycles,
+			BaseFabricBytes:       base.FabricBytes,
+			PerLinkExecCycles:     perLink.ExecCycles,
+			PerLinkFabricBytes:    perLink.FabricBytes,
+			GlobalExecCycles:      global.ExecCycles,
+			GlobalFabricBytes:     global.FabricBytes,
+			PerLinkSpeedup:        round2(float64(base.ExecCycles) / float64(perLink.ExecCycles)),
+			GlobalSpeedup:         round2(float64(base.ExecCycles) / float64(global.ExecCycles)),
+			PerLinkTraffic:        round2(float64(perLink.FabricBytes) / float64(base.FabricBytes)),
+			GlobalTraffic:         round2(float64(global.FabricBytes) / float64(base.FabricBytes)),
+			WallMs:                float64(wall.Nanoseconds()) / 1e6,
+			ParallelSnapshotEqual: equal,
+		})
+	}
+	return out, nil
+}
+
 func main() {
-	outPath := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: 2 workloads × 2 policies, skip nothing else")
 	flag.Parse()
 
@@ -511,6 +642,14 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Windows = windows
+
+	fmt.Fprintln(os.Stderr, "benchreport: running topology × codec-selection table...")
+	topos, err := topoSuite(scale, *short)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	rep.Topologies = topos
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"mgpucompress/internal/comp"
+	"mgpucompress/internal/fabric"
 	"mgpucompress/internal/runner"
 	"mgpucompress/internal/workloads"
 )
@@ -27,6 +28,8 @@ func main() {
 	n := flag.Int("n", 500, "number of consecutive transfers for figure 1")
 	scale := flag.Int("scale", int(workloads.ScaleSmall), "input scale factor")
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
+	gpus := flag.Int("gpus", 0, "GPU count (0 = the paper's 4)")
+	topology := flag.String("topology", "", "fabric topology: bus (paper), crossbar, ring, mesh or tree")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	simCores := flag.Int("sim-cores", 1, "engine workers per simulation (results are byte-identical for any value)")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
@@ -38,7 +41,8 @@ func main() {
 		log.Fatalf("-sim-cores must be at least 1 (got %d)", *simCores)
 	}
 
-	opts := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus, SimCores: *simCores}
+	opts := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus, SimCores: *simCores,
+		Topology: fabric.Topology(*topology), NumGPUs: *gpus}
 	sw := runner.NewSweep(runner.SweepConfig{Jobs: *jobs, Trace: *traceOut != ""})
 	defer func() {
 		if *metricsOut != "" {

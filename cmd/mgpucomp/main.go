@@ -36,7 +36,7 @@ func main() {
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default 4; paper scale is 64)")
 	characterize := flag.Bool("characterize", false, "also run every codec on every transfer (Table V/VI columns)")
 	gpus := flag.Int("gpus", 0, "GPU count (0 = the paper's 4)")
-	topology := flag.String("topology", "", "fabric topology: bus (paper) or crossbar (extension)")
+	topology := flag.String("topology", "", "fabric topology: bus (paper), crossbar, ring, mesh or tree")
 	remoteCache := flag.Bool("remote-cache", false, "enable the L1.5 remote-data cache extension")
 	traceFlag := flag.Bool("trace", false, "print a fabric transfer timeline summary")
 	statsFlag := flag.Bool("stats", false, "print the hardware counter report")

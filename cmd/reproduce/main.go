@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"mgpucompress/internal/comp"
+	"mgpucompress/internal/fabric"
 	"mgpucompress/internal/fault"
 	"mgpucompress/internal/runner"
 	"mgpucompress/internal/serve"
@@ -44,6 +45,8 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	scale := flag.Int("scale", int(workloads.ScaleSmall), "input scale factor")
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
+	gpus := flag.Int("gpus", 0, "GPU count (0 = the paper's 4)")
+	topology := flag.String("topology", "", "fabric topology: bus (paper), crossbar, ring, mesh or tree")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	resume := flag.String("resume", "", "JSONL job journal: replayed if it exists, appended to as jobs finish")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress lines")
@@ -66,17 +69,18 @@ func main() {
 	if *server != "" && *traceOut != "" {
 		log.Fatal("-trace-out requires local execution: results fetched from a daemon carry no span timeline")
 	}
-	if err := run(*out, *scale, *cus, *jobs, *simCores, *resume, *quiet, *seed, prof, *metricsOut, *traceOut, *server); err != nil {
+	o := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus, Seed: *seed, Fault: prof,
+		SimCores: *simCores, Topology: fabric.Topology(*topology), NumGPUs: *gpus}
+	if err := run(*out, *jobs, o, *resume, *quiet, *metricsOut, *traceOut, *server); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(out string, scale, cus, jobs, simCores int, resume string, quiet bool, seed int64, prof fault.Profile, metricsOut, traceOut, server string) error {
+func run(out string, jobs int, o runner.ExpOptions, resume string, quiet bool, metricsOut, traceOut, server string) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	o := runner.ExpOptions{Scale: workloads.Scale(scale), CUsPerGPU: cus, Seed: seed, Fault: prof,
-		SimCores: simCores}
+	scale := int(o.Scale)
 	start := time.Now()
 
 	if jobs <= 0 {

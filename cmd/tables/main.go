@@ -13,6 +13,7 @@ import (
 	"log"
 
 	"mgpucompress/internal/comp"
+	"mgpucompress/internal/fabric"
 	"mgpucompress/internal/runner"
 	"mgpucompress/internal/workloads"
 )
@@ -25,6 +26,8 @@ func main() {
 	area := flag.Bool("area", false, "print the Sec. VII-C area overhead instead")
 	scale := flag.Int("scale", int(workloads.ScaleSmall), "input scale factor")
 	cus := flag.Int("cus", 0, "CUs per GPU (0 = default)")
+	gpus := flag.Int("gpus", 0, "GPU count (0 = the paper's 4)")
+	topology := flag.String("topology", "", "fabric topology: bus (paper), crossbar, ring, mesh or tree")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	simCores := flag.Int("sim-cores", 1, "engine workers per simulation (results are byte-identical for any value)")
 	metricsOut := flag.String("metrics-out", "", "write every job's metric snapshot as JSON to this file")
@@ -39,7 +42,8 @@ func main() {
 		fmt.Print(runner.FormatAreaOverhead())
 		return
 	}
-	opts := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus, SimCores: *simCores}
+	opts := runner.ExpOptions{Scale: workloads.Scale(*scale), CUsPerGPU: *cus, SimCores: *simCores,
+		Topology: fabric.Topology(*topology), NumGPUs: *gpus}
 	s := runner.NewSweep(runner.SweepConfig{Jobs: *jobs, Trace: *traceOut != ""})
 	defer func() {
 		if *metricsOut != "" {

@@ -452,6 +452,13 @@ func PolicyFactory(id PolicyID, lambda float64) (func() Policy, error) {
 		return func() Policy { return NewAdaptive(Config{Lambda: lambda}) }, nil
 	case PolicyDynamic:
 		return func() Policy { return NewDynamicAdaptive(DynamicConfig{}) }, nil
+	case PolicyAdaptiveGlobal:
+		// Global codec selection: the factory closure captures one shared
+		// controller, so every endpoint it is handed to observes and obeys
+		// the same selection state. Callers must serialize the simulation
+		// (the runner forces SimCores=1 for this policy).
+		shared := NewAdaptive(Config{Lambda: lambda})
+		return func() Policy { return shared }, nil
 	default:
 		return nil, fmt.Errorf("core: invalid policy %v", id)
 	}

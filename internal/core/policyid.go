@@ -18,21 +18,31 @@ const (
 	PolicyBDI
 	// PolicyCPackZ always runs C-Pack+Z.
 	PolicyCPackZ
-	// PolicyAdaptive is the paper's adaptive controller (Sec. V).
+	// PolicyAdaptive is the paper's adaptive controller (Sec. V): one
+	// independent controller per compressing endpoint, i.e. per-link codec
+	// selection.
 	PolicyAdaptive
 	// PolicyDynamic is the dynamic-λ extension.
 	PolicyDynamic
+	// PolicyAdaptiveGlobal shares ONE adaptive controller across every
+	// compressing endpoint — global codec selection, the counterpoint the
+	// paper never evaluates against its per-link scheme. Because the shared
+	// controller is observed from every partition, the runner forces such
+	// runs onto a single engine core; results are a pure function of the
+	// inputs but, unlike every other policy, not meaningfully parallel.
+	PolicyAdaptiveGlobal
 
 	policyCount // sentinel; keep last
 )
 
 var policyNames = [policyCount]string{
-	PolicyNone:     "none",
-	PolicyFPC:      "fpc",
-	PolicyBDI:      "bdi",
-	PolicyCPackZ:   "cpackz",
-	PolicyAdaptive: "adaptive",
-	PolicyDynamic:  "dynamic",
+	PolicyNone:           "none",
+	PolicyFPC:            "fpc",
+	PolicyBDI:            "bdi",
+	PolicyCPackZ:         "cpackz",
+	PolicyAdaptive:       "adaptive",
+	PolicyDynamic:        "dynamic",
+	PolicyAdaptiveGlobal: "adaptive-global",
 }
 
 // Valid reports whether p is one of the declared policies.
@@ -54,5 +64,5 @@ func ParsePolicy(s string) (PolicyID, error) {
 			return PolicyID(id), nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown policy %q (want none|fpc|bdi|cpackz|adaptive|dynamic)", s)
+	return 0, fmt.Errorf("core: unknown policy %q (want none|fpc|bdi|cpackz|adaptive|dynamic|adaptive-global)", s)
 }

@@ -26,8 +26,14 @@ type Fabric interface {
 	// Utilization is busy time over elapsed time (for a crossbar, averaged
 	// over the output links).
 	Utilization(now sim.Time) float64
+	// EnergyPJ is the accumulated link transfer energy: bits moved times
+	// the pJ/bit of the link class each hop crossed. Single-hop fabrics
+	// (bus, crossbar) price everything at Config.BaseClass; switched
+	// topologies additionally charge Board/Node tiers per inter-switch hop.
+	EnergyPJ() float64
 	// RegisterMetrics exposes the fabric counters under prefix
 	// (conventionally "fabric"): bytes, messages, busy_cycles, links.
+	// Switched topologies add hops and switches.
 	RegisterMetrics(reg *metrics.Registry, prefix string)
 }
 
@@ -38,7 +44,20 @@ type Topology string
 const (
 	TopologyBus      Topology = "bus"      // the paper's shared bus
 	TopologyCrossbar Topology = "crossbar" // extension: full crossbar
+	TopologyRing     Topology = "ring"     // switched: bidirectional ring, one switch per GPU
+	TopologyMesh     Topology = "mesh"     // switched: 2D mesh, dimension-ordered routing
+	TopologyTree     Topology = "tree"     // switched: radix-4 hierarchical switch fabric
 )
+
+// Topologies lists every supported topology in presentation order.
+func Topologies() []Topology {
+	return []Topology{TopologyBus, TopologyCrossbar, TopologyRing, TopologyMesh, TopologyTree}
+}
+
+// Switched reports whether t is one of the multi-hop switch topologies.
+func (t Topology) Switched() bool {
+	return t == TopologyRing || t == TopologyMesh || t == TopologyTree
+}
 
 // New builds the fabric selected by cfg.Topology (default: the paper's bus)
 // as a component of the hub partition part.
@@ -46,6 +65,8 @@ func New(name string, part *sim.Partition, cfg Config) Fabric {
 	switch cfg.Topology {
 	case TopologyCrossbar:
 		return NewCrossbar(name, part, cfg)
+	case TopologyRing, TopologyMesh, TopologyTree:
+		return NewSwitchFabric(name, part, cfg)
 	case TopologyBus, "":
 		return NewBus(name, part, cfg)
 	default:
@@ -184,6 +205,12 @@ func (c *Crossbar) TotalBytes() uint64 { return c.bytesSent }
 
 // TotalMessages implements Fabric.
 func (c *Crossbar) TotalMessages() uint64 { return c.messagesSent }
+
+// EnergyPJ implements Fabric: every crossbar transfer crosses one link of
+// the configured base class.
+func (c *Crossbar) EnergyPJ() float64 {
+	return float64(c.bytesSent*8) * c.cfg.BaseClass.PJPerBit()
+}
 
 // Utilization implements Fabric: mean output-link utilization.
 func (c *Crossbar) Utilization(now sim.Time) float64 {

@@ -17,6 +17,7 @@ package fabric
 import (
 	"fmt"
 
+	"mgpucompress/internal/energy"
 	"mgpucompress/internal/fault"
 	"mgpucompress/internal/metrics"
 	"mgpucompress/internal/sim"
@@ -28,15 +29,31 @@ type Config struct {
 	// BytesPerCycle is the link width (paper: 20 B/cycle at 1 GHz).
 	BytesPerCycle int
 	// OutBufferBytes bounds each endpoint's output queue (paper: 4 KB).
+	// Zero means unbounded.
 	OutBufferBytes int
 	// LinkLatency is the one-way wire latency, in cycles, between an
-	// endpoint and the fabric arbiter. It is declared at construction and
-	// is the latency floor under the parallel engine's adaptive windows, so
-	// it must be at least 1 (New normalizes smaller values up).
+	// endpoint and the fabric arbiter (and, for switched topologies,
+	// between adjacent switches). It is declared at construction and is the
+	// latency floor under the parallel engine's adaptive windows, so it
+	// must be at least 1 (Validate rejects smaller values).
 	LinkLatency sim.Time
-	// Topology selects the implementation: TopologyBus (paper, default)
-	// or TopologyCrossbar (extension).
+	// Topology selects the implementation: TopologyBus (paper, default),
+	// TopologyCrossbar, or one of the switched topologies TopologyRing,
+	// TopologyMesh, TopologyTree.
 	Topology Topology
+	// Nodes is the number of GPU endpoints the switched topologies size
+	// their switch graph for: one switch per GPU for ring and mesh, radix-4
+	// leaf grouping for the tree. Endpoints owned by partitions with index
+	// >= Nodes (the host) attach to a dedicated host switch. Ignored by bus
+	// and crossbar; platform.Build sets it to NumGPUs.
+	Nodes int
+	// BaseClass is the energy class of the endpoint egress links (the
+	// switch-to-GPU wires), and the class of every transfer on the
+	// single-hop bus and crossbar fabrics. The zero value (OnChip) is
+	// normalized to the paper's MCM class by platform.Build; switched
+	// topologies price their long inter-switch hops at Board/Node tiers on
+	// top of this (see SwitchFabric).
+	BaseClass energy.LinkClass
 	// Trace, when non-nil, records every completed transfer for offline
 	// timeline analysis.
 	Trace *trace.Log
@@ -49,7 +66,58 @@ type Config struct {
 
 // DefaultConfig returns the Table VII fabric (shared bus).
 func DefaultConfig() Config {
-	return Config{BytesPerCycle: 20, OutBufferBytes: 4 * 1024, LinkLatency: 2, Topology: TopologyBus}
+	return Config{BytesPerCycle: 20, OutBufferBytes: 4 * 1024, LinkLatency: 2,
+		Topology: TopologyBus, BaseClass: energy.MCM}
+}
+
+// Validate reports the first configuration error. It replaces the silent
+// normalization the constructors used to apply (LinkLatency below the
+// parallel engine's one-cycle latency floor, unknown topologies falling back
+// to the bus at higher layers): platform.Build calls it after per-field
+// defaulting, so a partially-set Config is rejected loudly instead of being
+// quietly replaced.
+func (c Config) Validate() error {
+	switch c.Topology {
+	case "", TopologyBus, TopologyCrossbar:
+	case TopologyRing, TopologyTree:
+		if c.Nodes < 2 {
+			return fmt.Errorf("fabric: topology %q needs Nodes >= 2, got %d", c.Topology, c.Nodes)
+		}
+	case TopologyMesh:
+		if _, _, err := MeshDims(c.Nodes); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("fabric: unknown topology %q", c.Topology)
+	}
+	if c.BytesPerCycle <= 0 {
+		return fmt.Errorf("fabric: BytesPerCycle must be positive, got %d", c.BytesPerCycle)
+	}
+	if c.OutBufferBytes < 0 {
+		return fmt.Errorf("fabric: negative OutBufferBytes %d", c.OutBufferBytes)
+	}
+	if c.LinkLatency < 1 {
+		return fmt.Errorf("fabric: LinkLatency %d is below the engine's one-cycle latency floor", c.LinkLatency)
+	}
+	if c.BaseClass < energy.OnChip || c.BaseClass > energy.Node {
+		return fmt.Errorf("fabric: invalid link energy class %d", c.BaseClass)
+	}
+	return nil
+}
+
+// MeshDims returns the 2D grid dimensions (width >= height) the mesh
+// topology uses for a power-of-two GPU count: 4 -> 2x2, 8 -> 4x2, 16 -> 4x4,
+// 64 -> 8x8. Non-power-of-two counts have no rectangular power-of-two
+// factorization and are rejected.
+func MeshDims(nodes int) (w, h int, err error) {
+	if nodes < 2 || nodes&(nodes-1) != 0 {
+		return 0, 0, fmt.Errorf("fabric: mesh needs a power-of-two GPU count >= 2, got %d", nodes)
+	}
+	w = 1
+	for w*w < nodes {
+		w <<= 1
+	}
+	return w, nodes / w, nil
 }
 
 // Bus is the shared fabric arbiter; it lives in the hub partition and talks
@@ -194,6 +262,12 @@ func (b *Bus) TotalBytes() uint64 { return b.BytesSent }
 
 // TotalMessages implements Fabric.
 func (b *Bus) TotalMessages() uint64 { return b.MessagesSent }
+
+// EnergyPJ implements Fabric: every bus transfer crosses one link of the
+// configured base class.
+func (b *Bus) EnergyPJ() float64 {
+	return float64(b.BytesSent*8) * b.cfg.BaseClass.PJPerBit()
+}
 
 // QueuedMessages returns the number of messages waiting across all
 // endpoints (for tests and debugging).

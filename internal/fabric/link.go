@@ -44,6 +44,28 @@ type endpoint struct {
 	// when a transfer claims the fabric and returned by the owner-side link
 	// as the component drains its port.
 	inCredit int
+
+	// Switched-fabric state (unused by bus and crossbar).
+	//
+	// creditOut, when non-nil, carries output-buffer credits on a dedicated
+	// hub-to-owner link. Switched fabrics publish next-send promises on
+	// toOwner while an egress transmission is in flight; credits for the
+	// endpoint's own ingress traffic are emitted at injection time and may
+	// legitimately precede that horizon, so they must ride a link the
+	// promise does not cover.
+	creditOut *sim.Remote
+	// sw is the switch this endpoint hangs off.
+	sw int
+	// egrInFlight and egrQueue serialize the endpoint's egress wire:
+	// messages that reached the destination switch wait here for the
+	// switch-to-owner link, which moves BytesPerCycle like every other
+	// link. The flag (not a busy-until time) keeps the wire occupied until
+	// the completion event has actually fired: an event landing at exactly
+	// the completion time must not start the next transmission first, or
+	// its next-send promise would overtake the completed message's
+	// hand-off.
+	egrInFlight bool
+	egrQueue    []sim.Msg
 }
 
 func newHub(name string, part *sim.Partition, cfg Config) hub {
@@ -153,9 +175,15 @@ func (h *hub) cycles(bytes int) sim.Time {
 
 // outCredit returns output-buffer space to the source link once its message
 // has claimed the fabric (the classic "output queue drains at arbitration"
-// semantics, now with the wire latency made explicit).
+// semantics, now with the wire latency made explicit). Switched fabrics
+// route the credit over the endpoint's dedicated credit link so it is never
+// constrained by an egress next-send promise on toOwner.
 func (h *hub) outCredit(now sim.Time, ep *endpoint, bytes int) {
-	ep.toOwner.Schedule(outCreditEvent{
+	r := ep.toOwner
+	if ep.creditOut != nil {
+		r = ep.creditOut
+	}
+	r.Schedule(outCreditEvent{
 		EventBase: sim.NewEventBase(now+h.cfg.LinkLatency, ep.link),
 		link:      ep.link,
 		bytes:     bytes,

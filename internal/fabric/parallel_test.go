@@ -76,6 +76,7 @@ func runParallelDigest(t *testing.T, topology Topology, parts, cores, rounds int
 	hub := engine.Partition(parts)
 	cfg := DefaultConfig()
 	cfg.Topology = topology
+	cfg.Nodes = parts
 	f := New("fabric", hub, cfg)
 	nodes := make([]*chatter, parts)
 	for i := range nodes {
@@ -112,10 +113,10 @@ func runParallelDigest(t *testing.T, topology Topology, parts, cores, rounds int
 
 // TestParallelMatchesSerial: the conservative parallel engine must produce
 // byte-identical receive logs (message IDs included) and metrics snapshots
-// for any core count and any GOMAXPROCS, on both fabric topologies.
+// for any core count and any GOMAXPROCS, on every fabric topology.
 func TestParallelMatchesSerial(t *testing.T) {
 	const parts, rounds = 4, 50
-	for _, topo := range []Topology{TopologyBus, TopologyCrossbar} {
+	for _, topo := range Topologies() {
 		want := runParallelDigest(t, topo, parts, 1, rounds)
 		for _, procs := range []int{1, runtime.GOMAXPROCS(0)} {
 			prev := runtime.GOMAXPROCS(procs)

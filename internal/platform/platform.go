@@ -11,6 +11,7 @@ import (
 	"mgpucompress/internal/cache"
 	"mgpucompress/internal/comp"
 	"mgpucompress/internal/core"
+	"mgpucompress/internal/energy"
 	"mgpucompress/internal/fabric"
 	"mgpucompress/internal/fault"
 	"mgpucompress/internal/gpu"
@@ -161,7 +162,12 @@ type Platform struct {
 	// is off).
 	Spans  *trace.Recorder
 	phases []*phaseTracker
-	cfg    Config
+	// seenPolicies dedupes instrumentation when Config.NewPolicy hands the
+	// same controller instance to several endpoints (the adaptive-global
+	// policy): a shared controller is registered once, under the first
+	// unit's prefix, instead of once per endpoint.
+	seenPolicies map[core.Policy]bool
+	cfg          Config
 }
 
 // phaseTracker turns a controller's phase-transition callbacks into
@@ -226,6 +232,13 @@ func (p *Platform) instrumentPolicy(unit int, pol core.Policy) {
 	}
 	prefix := fmt.Sprintf("ctrl%d", unit)
 	if r, ok := pol.(registrar); ok {
+		if p.seenPolicies == nil {
+			p.seenPolicies = make(map[core.Policy]bool)
+		}
+		if p.seenPolicies[pol] {
+			return // shared controller, already instrumented
+		}
+		p.seenPolicies[pol] = true
 		r.RegisterMetrics(p.Metrics, prefix)
 	}
 	if p.cfg.Fault.Enabled() {
@@ -279,8 +292,26 @@ func Build(cfg Config) (*Platform, Partitions) {
 	if cfg.DRAM.AccessLatency == 0 {
 		cfg.DRAM = base.DRAM
 	}
+	// Fabric defaults are per-field: the old wholesale fallback silently
+	// replaced a partially-set Config (losing, say, a Topology choice made
+	// without a BytesPerCycle override). Anything still invalid after
+	// defaulting is rejected by Validate below instead of being normalized
+	// away.
 	if cfg.Fabric.BytesPerCycle == 0 {
-		cfg.Fabric = base.Fabric
+		cfg.Fabric.BytesPerCycle = base.Fabric.BytesPerCycle
+	}
+	if cfg.Fabric.OutBufferBytes == 0 {
+		cfg.Fabric.OutBufferBytes = base.Fabric.OutBufferBytes
+	}
+	if cfg.Fabric.LinkLatency == 0 {
+		cfg.Fabric.LinkLatency = base.Fabric.LinkLatency
+	}
+	if cfg.Fabric.Topology == "" {
+		cfg.Fabric.Topology = base.Fabric.Topology
+	}
+	if cfg.Fabric.BaseClass == energy.OnChip {
+		// The zero value selects the paper's MCM fabric (Sec. VII-B).
+		cfg.Fabric.BaseClass = base.Fabric.BaseClass
 	}
 	if cfg.ArgBufferBytes == 0 {
 		cfg.ArgBufferBytes = base.ArgBufferBytes
@@ -290,6 +321,16 @@ func Build(cfg Config) (*Platform, Partitions) {
 	}
 	if cfg.SimCores < 1 {
 		cfg.SimCores = 1
+	}
+	// The switched topologies size their switch graph from the GPU count;
+	// the fabric maps owner-partition indices 0..NumGPUs-1 to GPU nodes and
+	// the hub partition to the host switch, so Nodes always mirrors NumGPUs.
+	cfg.Fabric.Nodes = cfg.NumGPUs
+	if err := cfg.Fabric.Validate(); err != nil {
+		// User-facing layers (runner.Options.Validate, the CLIs) reject bad
+		// shapes with an error first; reaching Build with one is a wiring
+		// bug.
+		panic(fmt.Sprintf("platform: %v", err))
 	}
 
 	if cfg.Metrics == nil {

@@ -304,8 +304,8 @@ func FormatExtensionAblation(rows []ExtensionRow) string {
 	return sb.String()
 }
 
-// TopologyRow compares the shared bus against the crossbar extension, with
-// and without adaptive compression.
+// TopologyRow compares one interconnect (bus, crossbar, ring, mesh or
+// tree) with and without adaptive compression.
 type TopologyRow struct {
 	Benchmark string
 	Topology  fabric.Topology
@@ -318,9 +318,10 @@ type TopologyRow struct {
 
 // TopologyAblation quantifies how much of compression's win comes from
 // relieving fabric contention: on the richer crossbar, the same traffic
-// reduction buys less time.
+// reduction buys less time, while the switched topologies (ring, mesh,
+// tree) add multi-hop serialization that compression relieves at every hop.
 func (s *Sweep) TopologyAblation(benches []string, o ExpOptions) ([]TopologyRow, error) {
-	topos := []fabric.Topology{fabric.TopologyBus, fabric.TopologyCrossbar}
+	topos := fabric.Topologies()
 	var keys []sweep.JobKey
 	for _, b := range benches {
 		for _, topo := range topos {
@@ -360,7 +361,7 @@ func TopologyAblation(benches []string, o ExpOptions) ([]TopologyRow, error) {
 // FormatTopologyAblation renders the topology comparison.
 func FormatTopologyAblation(rows []TopologyRow) string {
 	var sb strings.Builder
-	sb.WriteString("Topology ablation: compression speedup on bus vs crossbar\n")
+	sb.WriteString("Topology ablation: compression speedup per interconnect\n")
 	fmt.Fprintf(&sb, "%-6s %-10s %14s %14s %10s\n",
 		"Bench", "topology", "base cycles", "adaptive cyc", "speedup")
 	for _, r := range rows {

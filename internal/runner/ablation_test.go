@@ -163,8 +163,8 @@ func TestTopologyAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
-		t.Fatalf("got %d rows", len(rows))
+	if want := len(fabric.Topologies()); len(rows) != want {
+		t.Fatalf("got %d rows, want one per topology (%d)", len(rows), want)
 	}
 	var bus, xbar TopologyRow
 	for _, r := range rows {
@@ -173,6 +173,9 @@ func TestTopologyAblation(t *testing.T) {
 			bus = r
 		case fabric.TopologyCrossbar:
 			xbar = r
+		}
+		if r.BaseCycles == 0 {
+			t.Errorf("%s: empty base run", r.Topology)
 		}
 	}
 	// The crossbar itself must be faster than the bus.

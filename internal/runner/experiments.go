@@ -8,6 +8,7 @@ import (
 	"mgpucompress/internal/comp"
 	"mgpucompress/internal/core"
 	"mgpucompress/internal/energy"
+	"mgpucompress/internal/fabric"
 	"mgpucompress/internal/fault"
 	"mgpucompress/internal/stats"
 	"mgpucompress/internal/workloads"
@@ -28,11 +29,16 @@ type ExpOptions struct {
 	// Seed and Fault it never reaches the fingerprints: results are
 	// byte-identical for any value.
 	SimCores int
+	// Topology selects the interconnect for every job ("" = shared bus);
+	// NumGPUs the endpoint count (0 = the paper's 4). Both reach the job
+	// fingerprints, so experiments on different fabrics never share runs.
+	Topology fabric.Topology
+	NumGPUs  int
 }
 
 func (o ExpOptions) base() Options {
 	return Options{Scale: o.Scale, CUsPerGPU: o.CUsPerGPU, Seed: o.Seed, Fault: o.Fault,
-		SimCores: o.SimCores}
+		SimCores: o.SimCores, Topology: o.Topology, NumGPUs: o.NumGPUs}
 }
 
 // ---------------------------------------------------------------------------

@@ -115,9 +115,24 @@ func (o Options) Validate() error {
 		return fmt.Errorf("negative fixed lookahead %d", o.FixedLookahead)
 	}
 	switch o.Topology {
-	case "", fabric.TopologyBus, fabric.TopologyCrossbar:
+	case "", fabric.TopologyBus, fabric.TopologyCrossbar, fabric.TopologyRing, fabric.TopologyTree:
+	case fabric.TopologyMesh:
+		n := o.NumGPUs
+		if n == 0 {
+			n = platform.DefaultConfig().NumGPUs
+		}
+		if _, _, err := fabric.MeshDims(n); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown topology %q", o.Topology)
+	}
+	if o.Policy == core.PolicyAdaptiveGlobal && o.FixedLookahead > 0 {
+		// The shared controller observes transfers from every partition, so
+		// the window placement becomes part of the observation order; pinning
+		// it would make FixedLookahead result-bearing instead of a pure
+		// scheduling knob.
+		return fmt.Errorf("policy adaptive-global does not support FixedLookahead")
 	}
 	if o.Link < energy.OnChip || o.Link > energy.Node {
 		return fmt.Errorf("invalid link class %d", o.Link)
@@ -334,13 +349,21 @@ func Run(abbrev string, opts Options) (*Result, error) {
 
 	// Ordered-stream captures are serial by construction: a transfer time
 	// series and a trace file reflect one global interleaving, so those
-	// runs pin the engine to one core. Everything else may parallelize.
-	if opts.Trace || opts.SeriesLimit > 0 {
+	// runs pin the engine to one core. The adaptive-global policy shares
+	// one controller across every partition and is serialized for the same
+	// reason. Everything else may parallelize.
+	if opts.Trace || opts.SeriesLimit > 0 || opts.Policy == core.PolicyAdaptiveGlobal {
 		opts.SimCores = 1
 	}
 
 	reg := metrics.NewRegistry()
 	spans := &trace.Recorder{}
+
+	link := opts.Link
+	if link == energy.OnChip {
+		// The zero value selects the paper's MCM fabric (Sec. VII-B).
+		link = energy.MCM
+	}
 
 	cfg := platform.DefaultConfig()
 	cfg.Metrics = reg
@@ -351,6 +374,10 @@ func Run(abbrev string, opts Options) (*Result, error) {
 	if opts.Topology != "" {
 		cfg.Fabric.Topology = opts.Topology
 	}
+	// The fabric prices endpoint links (and, on the single-hop fabrics,
+	// every transfer) at the selected class; switched topologies layer
+	// board/node tiers on their long hops via Fabric.EnergyPJ.
+	cfg.Fabric.BaseClass = link
 	if opts.RemoteCache {
 		rc := platform.RemoteCacheConfig()
 		cfg.RemoteCache = &rc
@@ -395,15 +422,11 @@ func Run(abbrev string, opts Options) (*Result, error) {
 	}
 	p, _ := platform.Build(cfg)
 
-	link := opts.Link
-	if link == energy.OnChip {
-		// The zero value selects the paper's MCM fabric (Sec. VII-B).
-		link = energy.MCM
-	}
-	// Lazily evaluated at snapshot time, after the run has accumulated.
-	reg.GaugeFunc("energy/fabric_pj", func() float64 {
-		return float64(p.Bus.TotalBytes()*8) * link.PJPerBit()
-	})
+	// Lazily evaluated at snapshot time, after the run has accumulated. The
+	// fabric owns the accounting: single-hop fabrics price TotalBytes at the
+	// base class (bit-identical to the pre-topology arithmetic), switched
+	// ones sum per-hop, per-class bytes.
+	reg.GaugeFunc("energy/fabric_pj", p.Bus.EnergyPJ)
 	reg.GaugeFunc("energy/codec_pj", func() float64 { return recs.energyTotal() })
 
 	stage := func(name string, fn func(*platform.Platform) error) error {
@@ -438,7 +461,7 @@ func Run(abbrev string, opts Options) (*Result, error) {
 		TraceLog:      traceLog,
 		Spans:         spans,
 	}
-	m.FabricEnergyPJ = float64(m.FabricBytes*8) * link.PJPerBit()
+	m.FabricEnergyPJ = p.Bus.EnergyPJ()
 	for _, dev := range p.GPUs {
 		m.ReadLatency.Merge(&dev.RDMA.ReadLatency)
 	}
